@@ -1,0 +1,150 @@
+// Benchmarks: one per table and figure of the paper's evaluation. Each
+// drives the same experiment code as cmd/gtsbench at a reduced dataset
+// scale so `go test -bench=.` finishes quickly; run
+// `go run ./cmd/gtsbench -exp all` for the full-scale tables.
+//
+// Wall-clock ns/op measures the *simulator's* cost; the reproduced quantity
+// is the virtual time inside each table, surfaced via ReportMetric where a
+// single headline number exists.
+package gts_test
+
+import (
+	"strconv"
+	"testing"
+
+	gts "repro"
+	"repro/internal/experiments"
+)
+
+// benchRunner returns a fresh runner at bench scale. Graphs are cached
+// inside the runner, so each benchmark pays generation once.
+func benchRunner() *experiments.Runner {
+	return experiments.New(experiments.Options{Shrink: 16, PRIterations: 5})
+}
+
+// benchExperiment runs one experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	r := benchRunner()
+	b.ResetTimer()
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = r.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkTable1TransferKernelRatios(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2PhysicalIDConfigs(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkTable3DatasetStatistics(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkTable4WAvsTopology(b *testing.B)         { benchExperiment(b, "table4") }
+func BenchmarkTable5TOTEMRatios(b *testing.B)          { benchExperiment(b, "table5") }
+func BenchmarkFig4StreamTimelines(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkFig6VsDistributed(b *testing.B)          { benchExperiment(b, "fig6") }
+func BenchmarkFig7VsCPU(b *testing.B)                  { benchExperiment(b, "fig7") }
+func BenchmarkFig8VsGPU(b *testing.B)                  { benchExperiment(b, "fig8") }
+func BenchmarkFig9Strategies(b *testing.B)             { benchExperiment(b, "fig9") }
+func BenchmarkFig10Streams(b *testing.B)               { benchExperiment(b, "fig10") }
+func BenchmarkFig11Caching(b *testing.B)               { benchExperiment(b, "fig11") }
+func BenchmarkFig13MoreAlgorithms(b *testing.B)        { benchExperiment(b, "fig13") }
+func BenchmarkFig14MicroTechniques(b *testing.B)       { benchExperiment(b, "fig14") }
+func BenchmarkCostModelChecks(b *testing.B)            { benchExperiment(b, "costmodel") }
+func BenchmarkXStreamAblation(b *testing.B)            { benchExperiment(b, "xstream") }
+func BenchmarkScaleup(b *testing.B)                    { benchExperiment(b, "scaleup") }
+func BenchmarkDesignAblations(b *testing.B)            { benchExperiment(b, "ablations") }
+
+// The benchmarks below measure the engine itself (not the comparison
+// harness): virtual seconds per run are reported as "vsec".
+
+func benchEngine(b *testing.B, dataset, algo string, cfg gts.Config) {
+	g, err := gts.Generate(dataset, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := gts.NewSystem(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var vsec float64
+	for i := 0; i < b.N; i++ {
+		var m gts.Metrics
+		switch algo {
+		case "BFS":
+			res, err := sys.BFS(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m = res.Metrics
+		case "PageRank":
+			res, err := sys.PageRank(0.85, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m = res.Metrics
+		}
+		vsec = m.Elapsed.Seconds()
+	}
+	b.ReportMetric(vsec, "vsec")
+}
+
+func BenchmarkGTSBFS(b *testing.B) {
+	for _, ds := range []string{"Twitter", "RMAT28"} {
+		b.Run(ds, func(b *testing.B) { benchEngine(b, ds, "BFS", gts.Config{}) })
+	}
+}
+
+func BenchmarkGTSPageRank(b *testing.B) {
+	for _, ds := range []string{"Twitter", "RMAT28"} {
+		b.Run(ds, func(b *testing.B) { benchEngine(b, ds, "PageRank", gts.Config{}) })
+	}
+}
+
+func BenchmarkGTSStrategies(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cfg  gts.Config
+	}{
+		{"P-2GPU", gts.Config{GPUs: 2, Strategy: gts.StrategyP}},
+		{"S-2GPU", gts.Config{GPUs: 2, Strategy: gts.StrategyS}},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchEngine(b, "RMAT28", "PageRank", tc.cfg) })
+	}
+}
+
+func BenchmarkGTSStreamSweep(b *testing.B) {
+	for _, streams := range []int{1, 8, 32} {
+		b.Run(strconv.Itoa(streams), func(b *testing.B) {
+			benchEngine(b, "RMAT28", "PageRank", gts.Config{Streams: streams})
+		})
+	}
+}
+
+// BenchmarkSlottedPageBuild measures the page packer (real work, not
+// simulation).
+func BenchmarkSlottedPageBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gts.Generate("RMAT27", 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBenchIDsCoverEveryExperiment pins the benchmark list to the
+// experiment registry so a new experiment cannot be added without a bench.
+func TestBenchIDsCoverEveryExperiment(t *testing.T) {
+	covered := map[string]bool{
+		"table1": true, "table2": true, "table3": true, "table4": true, "table5": true,
+		"fig4": true, "fig6": true, "fig7": true, "fig8": true, "fig9": true,
+		"fig10": true, "fig11": true, "fig13": true, "fig14": true,
+		"costmodel": true, "xstream": true, "scaleup": true, "ablations": true,
+	}
+	for _, id := range experiments.IDs() {
+		if !covered[id] {
+			t.Errorf("experiment %s has no benchmark — add one", id)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command gtsgen generates a dataset from the registry (RMAT26..RMAT32,
+// Twitter, UK2007, YahooWeb) or from raw RMAT parameters, packs it into the
+// slotted page format, and writes it to a store file for cmd/gts.
+//
+// Usage:
+//
+//	gtsgen -dataset RMAT27 -shrink 12 -o rmat27.gts
+//	gtsgen -scale 16 -edgefactor 16 -o custom.gts
+//	gtsgen -input edges.txt -o mine.gts         # SNAP-style edge list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	gts "repro"
+	"repro/internal/csr"
+	"repro/internal/rmat"
+	"repro/internal/slottedpage"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "registry dataset name (empty = raw RMAT via -scale)")
+	input := flag.String("input", "", "edge-list file to load instead of generating ('src dst' per line)")
+	shrink := flag.Int("shrink", 12, "down-scaling for registry datasets, as a power of two")
+	scale := flag.Int("scale", 16, "RMAT scale for raw generation (V = 2^scale)")
+	edgeFactor := flag.Int("edgefactor", 16, "edges per vertex for raw generation")
+	seed := flag.Int64("seed", 1, "RMAT seed for raw generation")
+	p := flag.Int("p", 2, "page-ID byte width")
+	q := flag.Int("q", 2, "slot-number byte width")
+	pageSize := flag.Int("pagesize", 1<<20, "page size in bytes")
+	out := flag.String("o", "graph.gts", "output file")
+	flag.Parse()
+
+	var g *gts.Graph
+	var err error
+	if *input != "" {
+		var raw *csr.Graph
+		raw, err = csr.ReadEdgeListFile(*input)
+		if err == nil {
+			g, err = gts.BuildGraph(raw, gts.ScaledPageConfig(*p, *q, *pageSize))
+		}
+	} else if *dataset != "" {
+		g, err = gts.Generate(*dataset, *shrink)
+	} else {
+		params := rmat.Default(*scale)
+		params.EdgeFactor = *edgeFactor
+		params.Seed = *seed
+		var raw interface {
+			slottedpage.Source
+		}
+		raw, err = rmat.Generate(params)
+		if err == nil {
+			g, err = gts.BuildGraph(raw, gts.ScaledPageConfig(*p, *q, *pageSize))
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtsgen:", err)
+		os.Exit(1)
+	}
+	if err := g.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "gtsgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges, %d SP + %d LP pages of %d bytes\n",
+		*out, g.NumVertices(), g.NumEdges(), g.NumSP(), g.NumLP(), g.Config().PageSize)
+}

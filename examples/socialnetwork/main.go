@@ -1,0 +1,95 @@
+// Social-network analysis on a Twitter-like graph: the intro's motivating
+// workload. Runs BFS reachability from a hub account, single-source
+// betweenness to find brokers, and shortest paths — the paper's three
+// traversal-class algorithms — and shows how the device page cache
+// accelerates repeat page visits across traversal levels.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	gts "repro"
+)
+
+func main() {
+	// A Twitter profile proxy: ~35 out-edges per account, heavy hubs.
+	graph, err := gts.Generate("Twitter", 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("social graph: %d accounts, %d follows, %d LP pages for celebrity hubs\n\n",
+		graph.NumVertices(), graph.NumEdges(), graph.NumLP())
+
+	sys, err := gts.NewSystem(graph, gts.Config{GPUs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reachability: how far does a post spread?
+	const hub = 0
+	bfs, err := sys.BFS(hub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byLevel := map[int16]int{}
+	for _, l := range bfs.Levels {
+		if l >= 0 {
+			byLevel[l]++
+		}
+	}
+	fmt.Printf("cascade from account %d (%d hops deep):\n", hub, bfs.Metrics.Levels-1)
+	for l := int16(0); int(l) < len(byLevel); l++ {
+		fmt.Printf("  hop %d: %6d accounts\n", l, byLevel[l])
+	}
+	fmt.Printf("  page cache hit rate across hops: %.0f%%\n\n", 100*bfs.CacheHitRate)
+
+	// Brokers: who sits on the most shortest paths from the hub?
+	bc, err := sys.BC(hub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type broker struct {
+		v     int
+		score float64
+	}
+	brokers := make([]broker, len(bc.Scores))
+	for v, s := range bc.Scores {
+		brokers[v] = broker{v, s}
+	}
+	sort.Slice(brokers, func(i, j int) bool { return brokers[i].score > brokers[j].score })
+	fmt.Println("top information brokers (betweenness):")
+	for _, b := range brokers[:5] {
+		fmt.Printf("  account %-7d %.1f\n", b.v, b.score)
+	}
+
+	// Weighted distance (e.g. interaction cost) to everyone.
+	sssp, err := sys.SSSP(hub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reached := 0
+	for _, d := range sssp.Dist {
+		if d < 1e30 {
+			reached++
+		}
+	}
+	fmt.Printf("\nweighted shortest paths reach %d/%d accounts\n", reached, graph.NumVertices())
+
+	// "Who to follow": Random Walk with Restart gives personalized
+	// proximity from the hub.
+	rwr, err := sys.RWR(hub, 0.15, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, bestScore := uint64(0), float32(-1)
+	for v, s := range rwr.Scores {
+		if uint64(v) != hub && s > bestScore {
+			best, bestScore = uint64(v), s
+		}
+	}
+	fmt.Printf("closest account to %d by random-walk proximity: %d (%.5f)\n", hub, best, bestScore)
+	fmt.Printf("total virtual time: BFS %v, BC %v, SSSP %v, RWR %v\n",
+		bfs.Elapsed, bc.Elapsed, sssp.Elapsed, rwr.Elapsed)
+}

@@ -1,0 +1,502 @@
+// Package gts is the public API of this repository's reproduction of
+// "GTS: A Fast and Scalable Graph Processing Method based on Streaming
+// Topology to GPUs" (Kim et al., SIGMOD 2016).
+//
+// GTS stores a graph's topology in the slotted page format on (simulated)
+// PCI-E SSDs, keeps only the updatable attribute vectors in GPU device
+// memory, and streams topology pages to thousands of GPU cores over
+// asynchronous streams. This package wires the building blocks together:
+//
+//	g, _ := gts.Generate("RMAT27", 12)          // scaled-down proxy dataset
+//	sys, _ := gts.NewSystem(g, gts.Config{GPUs: 2})
+//	res, _ := sys.PageRank(0.85, 10)
+//	fmt.Println(res.Elapsed, res.Ranks[0])
+//
+// Algorithms execute functionally (results are exact); elapsed times come
+// from a deterministic discrete-event model of the paper's testbed — see
+// DESIGN.md for the substitution rationale.
+package gts
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graphgen"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/slottedpage"
+	"repro/internal/trace"
+)
+
+// Graph is a slotted-page topology store (see internal/slottedpage).
+type Graph = slottedpage.Graph
+
+// PageConfig fixes the slotted page layout; see DefaultPageConfig.
+type PageConfig = slottedpage.Config
+
+// Source supplies topology to BuildGraph (internal/csr.Graph implements it).
+type Source = slottedpage.Source
+
+// Strategy selects the multi-GPU scheme of the paper's §4.
+type Strategy = core.Strategy
+
+// Multi-GPU strategies.
+const (
+	// StrategyP replicates attribute data and partitions topology: fastest,
+	// but WA must fit one GPU's memory (§4.1).
+	StrategyP = core.StrategyP
+	// StrategyS partitions attribute data and broadcasts topology: scales
+	// WA across GPUs (§4.2).
+	StrategyS = core.StrategyS
+)
+
+// Technique selects the micro-level parallel scheme of §6.2.
+type Technique = kernels.Technique
+
+// Micro-level techniques.
+const (
+	EdgeCentric   = kernels.EdgeCentric
+	VertexCentric = kernels.VertexCentric
+	Hybrid        = kernels.Hybrid
+)
+
+// Storage selects where the graph lives during a run.
+type Storage int
+
+// Storage placements.
+const (
+	// InMemory serves pages from main memory (the paper's setting for
+	// graphs up to RMAT30).
+	InMemory Storage = iota
+	// SSDs streams pages from PCI-E SSD(s) through a main-memory buffer
+	// (the paper's setting for RMAT31-32).
+	SSDs
+	// HDDs streams from spinning disks (Figure 9's worst case).
+	HDDs
+)
+
+// Config describes the machine and engine options for a System.
+// The zero value means: 1 GPU, in-memory graph, Strategy-P, 32 streams,
+// edge-centric kernels, page cache in all free device memory.
+type Config struct {
+	GPUs     int
+	Storage  Storage
+	Devices  int // SSD/HDD count; default 2 when Storage != InMemory
+	Strategy Strategy
+	Streams  int
+	Tech     Technique
+	// CacheBytes: 0 = all free device memory, gts.CacheDisabled = off.
+	CacheBytes int64
+	// MMBufBytes bounds the main-memory page buffer for storage-backed
+	// runs; 0 = 20% of the topology (the paper's setting).
+	MMBufBytes int64
+	// Prefetch enables sequential read-ahead from storage into the
+	// main-memory buffer (an extension; see core.Options.Prefetch).
+	Prefetch bool
+	// ScaleFactor divides all memory capacities (device + host), used to
+	// run scaled-down datasets against proportionally scaled hardware.
+	// 0 or 1 means the paper's full-size machine.
+	ScaleFactor int64
+	// Trace records per-stream copy/kernel spans when non-nil.
+	Trace *trace.Recorder
+}
+
+// CacheDisabled turns the device page cache off (Config.CacheBytes).
+const CacheDisabled = core.CacheDisabled
+
+// machineSpec realizes the Config as a hardware description.
+func (c Config) machineSpec() hw.MachineSpec {
+	gpus := c.GPUs
+	if gpus == 0 {
+		gpus = 1
+	}
+	devices := c.Devices
+	if devices == 0 {
+		devices = 2
+	}
+	var spec hw.MachineSpec
+	switch c.Storage {
+	case SSDs:
+		spec = hw.Workstation(gpus, devices)
+	case HDDs:
+		spec = hw.WorkstationHDD(gpus, devices)
+	default:
+		spec = hw.Workstation(gpus, 0)
+	}
+	if c.ScaleFactor > 1 {
+		spec = spec.Scale(c.ScaleFactor)
+	}
+	return spec
+}
+
+// DefaultPageConfig returns the paper's (p=2,q=2) layout with 1 MB pages.
+func DefaultPageConfig() PageConfig { return slottedpage.Config22() }
+
+// LargeGraphPageConfig returns the (p=3,q=3) layout with 64 MB pages the
+// paper uses for RMAT30-32.
+func LargeGraphPageConfig() PageConfig { return slottedpage.Config33() }
+
+// ScaledPageConfig returns a (p,q) layout with a custom page size, for
+// scaled-down datasets.
+func ScaledPageConfig(p, q, pageSize int) PageConfig {
+	return slottedpage.ScaledConfig(p, q, pageSize)
+}
+
+// BuildGraph packs a topology source into slotted pages.
+func BuildGraph(src Source, cfg PageConfig) (*Graph, error) {
+	return slottedpage.Build(src, cfg)
+}
+
+// Generate materializes one of the paper's datasets (RMAT26..RMAT32,
+// Twitter, UK2007, YahooWeb) shrunk by 2^shrink and packs it into slotted
+// pages with a proportionally scaled page size.
+func Generate(dataset string, shrink int) (*Graph, error) {
+	d, ok := graphgen.ByName(dataset)
+	if !ok {
+		return nil, fmt.Errorf("gts: unknown dataset %q (see graphgen registry)", dataset)
+	}
+	g, err := d.Generate(shrink)
+	if err != nil {
+		return nil, err
+	}
+	return BuildGraph(g, PageConfigFor(dataset, shrink))
+}
+
+// PageConfigFor returns the layout the paper uses for the dataset — (3,3)
+// with 64 MB pages for RMAT30-32, (2,2) with 1 MB pages otherwise — with
+// the page size shrunk alongside the data (floor 4 KiB).
+func PageConfigFor(dataset string, shrink int) PageConfig {
+	cfg := DefaultPageConfig()
+	switch dataset {
+	case "RMAT30", "RMAT31", "RMAT32":
+		cfg = LargeGraphPageConfig()
+	}
+	size := cfg.PageSize >> shrink
+	if size < 4096 {
+		size = 4096
+	}
+	cfg.PageSize = size
+	return cfg
+}
+
+// LoadGraph reads a slotted-page store written by (*Graph).WriteFile.
+func LoadGraph(path string) (*Graph, error) { return slottedpage.ReadFile(path) }
+
+// System binds a graph to a configured machine and runs algorithms on it.
+type System struct {
+	graph *Graph
+	cfg   Config
+}
+
+// NewSystem validates the configuration against the graph.
+func NewSystem(g *Graph, cfg Config) (*System, error) {
+	// Construct an engine once to surface configuration errors eagerly.
+	if _, err := core.New(cfg.machineSpec(), g, cfg.options()); err != nil {
+		return nil, err
+	}
+	return &System{graph: g, cfg: cfg}, nil
+}
+
+// Graph returns the system's graph.
+func (s *System) Graph() *Graph { return s.graph }
+
+func (c Config) options() core.Options {
+	return core.Options{
+		Strategy:   c.Strategy,
+		Streams:    c.Streams,
+		Technique:  c.Tech,
+		CacheBytes: c.CacheBytes,
+		MMBufBytes: c.MMBufBytes,
+		Prefetch:   c.Prefetch,
+		Trace:      c.Trace,
+	}
+}
+
+// Metrics carries the run-level measurements shared by all results.
+type Metrics struct {
+	// Elapsed is virtual wall-clock time on the modeled hardware.
+	Elapsed sim.Time
+	// Levels is traversal depth (BFS-like) or iterations (PageRank-like).
+	Levels int32
+	// PagesStreamed, CacheHitRate, BufferHitRate, BytesToGPU, StorageBytes
+	// describe the data movement; TransferTime vs KernelTime is Table 1's
+	// ratio; MTEPS is millions of traversed edges per second.
+	PagesStreamed int64
+	CacheHitRate  float64
+	BufferHitRate float64
+	BytesToGPU    int64
+	StorageBytes  int64
+	TransferTime  sim.Time
+	KernelTime    sim.Time
+	WABytes       int64
+	MTEPS         float64
+	// LevelPages and LevelBytes record per-level streaming volume (the
+	// inputs of the paper's Eq. 2).
+	LevelPages []int64
+	LevelBytes []int64
+}
+
+func metricsOf(r *core.Report) Metrics {
+	return Metrics{
+		Elapsed:       r.Elapsed,
+		Levels:        r.Levels,
+		PagesStreamed: r.PagesStreamed,
+		CacheHitRate:  r.CacheHitRate,
+		BufferHitRate: r.BufferHitRate,
+		BytesToGPU:    r.BytesToGPU,
+		StorageBytes:  r.StorageBytes,
+		TransferTime:  r.TransferTime,
+		KernelTime:    r.KernelTime,
+		WABytes:       r.WABytes,
+		MTEPS:         r.MTEPS,
+		LevelPages:    r.LevelPages,
+		LevelBytes:    r.LevelBytes,
+	}
+}
+
+func (s *System) run(k kernels.Kernel, source uint64) (*core.Report, error) {
+	opts := s.cfg.options()
+	opts.Source = source
+	eng, err := core.New(s.cfg.machineSpec(), s.graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(k)
+}
+
+// BFSResult holds per-vertex traversal levels (-1 = unreachable).
+type BFSResult struct {
+	Metrics
+	Levels []int16
+}
+
+// BFS runs breadth-first search from source.
+func (s *System) BFS(source uint64) (*BFSResult, error) {
+	k := kernels.NewBFS(s.graph)
+	rep, err := s.run(k, source)
+	if err != nil {
+		return nil, err
+	}
+	return &BFSResult{Metrics: metricsOf(rep), Levels: k.Levels(rep.State)}, nil
+}
+
+// PageRankResult holds the final rank vector.
+type PageRankResult struct {
+	Metrics
+	Ranks []float32
+}
+
+// PageRank runs the given number of iterations with damping factor df.
+func (s *System) PageRank(df float64, iterations int) (*PageRankResult, error) {
+	k := kernels.NewPageRank(s.graph, df, iterations)
+	rep, err := s.run(k, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &PageRankResult{Metrics: metricsOf(rep), Ranks: k.Ranks(rep.State)}, nil
+}
+
+// SSSPResult holds distances (math.MaxFloat32 = unreachable) under the
+// deterministic synthetic weights of kernels.Weight.
+type SSSPResult struct {
+	Metrics
+	Dist []float32
+}
+
+// SSSP runs single-source shortest paths from source.
+func (s *System) SSSP(source uint64) (*SSSPResult, error) {
+	k := kernels.NewSSSP(s.graph)
+	rep, err := s.run(k, source)
+	if err != nil {
+		return nil, err
+	}
+	return &SSSPResult{Metrics: metricsOf(rep), Dist: k.Distances(rep.State)}, nil
+}
+
+// CCResult holds weakly-connected-component labels (minimum vertex ID per
+// component).
+type CCResult struct {
+	Metrics
+	Labels []uint32
+}
+
+// CC runs connected components.
+func (s *System) CC() (*CCResult, error) {
+	k := kernels.NewCC(s.graph)
+	rep, err := s.run(k, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &CCResult{Metrics: metricsOf(rep), Labels: k.Components(rep.State)}, nil
+}
+
+// BCResult holds single-source betweenness scores.
+type BCResult struct {
+	Metrics
+	Scores []float64
+}
+
+// BC runs single-source betweenness centrality from source.
+func (s *System) BC(source uint64) (*BCResult, error) {
+	k := kernels.NewBC(s.graph)
+	rep, err := s.run(k, source)
+	if err != nil {
+		return nil, err
+	}
+	return &BCResult{Metrics: metricsOf(rep), Scores: k.Centrality(rep.State, source)}, nil
+}
+
+// RWRResult holds Random-Walk-with-Restart proximity scores.
+type RWRResult struct {
+	Metrics
+	Scores []float32
+}
+
+// RWR runs Random Walk with Restart from source with restart probability c
+// for the given iteration count.
+func (s *System) RWR(source uint64, c float64, iterations int) (*RWRResult, error) {
+	k := kernels.NewRWR(s.graph, c, iterations)
+	rep, err := s.run(k, source)
+	if err != nil {
+		return nil, err
+	}
+	return &RWRResult{Metrics: metricsOf(rep), Scores: k.Scores(rep.State)}, nil
+}
+
+// DegreeResult holds per-vertex out-degrees and their histogram.
+type DegreeResult struct {
+	Metrics
+	Degrees   []int32
+	Histogram []int64
+}
+
+// DegreeDistribution computes out-degrees in one full topology scan.
+func (s *System) DegreeDistribution() (*DegreeResult, error) {
+	k := kernels.NewDegreeDist(s.graph)
+	rep, err := s.run(k, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &DegreeResult{
+		Metrics:   metricsOf(rep),
+		Degrees:   k.Degrees(rep.State),
+		Histogram: k.Histogram(rep.State),
+	}, nil
+}
+
+// KCoreResult holds K-core membership.
+type KCoreResult struct {
+	Metrics
+	InCore []bool
+}
+
+// KCore peels the graph to its K-core (multigraph undirected degree).
+func (s *System) KCore(k int) (*KCoreResult, error) {
+	kern := kernels.NewKCore(s.graph, k)
+	rep, err := s.run(kern, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &KCoreResult{Metrics: metricsOf(rep), InCore: kern.InCore(rep.State)}, nil
+}
+
+// RadiusResult holds per-vertex eccentricity estimates and the sketch state
+// needed for neighborhood-size queries.
+type RadiusResult struct {
+	Metrics
+	// Radii are per-vertex out-eccentricity estimates: the hop at which
+	// each vertex's reachable-set sketch last grew.
+	Radii []int32
+	// EffectiveDiameter is the hop within which 90% of vertices'
+	// sketches had stabilized.
+	EffectiveDiameter int32
+}
+
+// Radius estimates per-vertex radii and the graph's effective diameter with
+// ANF-style Flajolet-Martin sketches (the paper's 3.3 "radius estimations").
+func (s *System) Radius(sketches, maxHops int) (*RadiusResult, error) {
+	k := kernels.NewRadius(s.graph, sketches, maxHops)
+	rep, err := s.run(k, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &RadiusResult{
+		Metrics:           metricsOf(rep),
+		Radii:             k.Radii(rep.State),
+		EffectiveDiameter: k.EffectiveDiameter(rep.State, 0.9),
+	}, nil
+}
+
+// NeighborhoodResult holds k-hop ball membership.
+type NeighborhoodResult struct {
+	Metrics
+	// Hops[v] is the distance from the source (-1 = outside the ball).
+	Hops []int16
+}
+
+// Neighborhood computes the k-hop out-neighborhood of source, streaming
+// only the pages inside the ball (the paper's 3.3 neighborhood/egonet
+// family).
+func (s *System) Neighborhood(source uint64, hops int) (*NeighborhoodResult, error) {
+	k := kernels.NewNeighborhood(s.graph, hops)
+	rep, err := s.run(k, source)
+	if err != nil {
+		return nil, err
+	}
+	return &NeighborhoodResult{Metrics: metricsOf(rep), Hops: k.Members(rep.State)}, nil
+}
+
+// CrossEdgesResult holds a bipartition's crossing-edge count.
+type CrossEdgesResult struct {
+	Metrics
+	Total int64
+}
+
+// CrossEdges counts edges whose endpoints fall on different sides of the
+// given predicate, in one full scan.
+func (s *System) CrossEdges(side func(v uint64) bool) (*CrossEdgesResult, error) {
+	k := kernels.NewCrossEdges(s.graph, side)
+	rep, err := s.run(k, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &CrossEdgesResult{Metrics: metricsOf(rep), Total: k.Total(rep.State)}, nil
+}
+
+// Kernel is the user-defined algorithm interface of the paper's framework:
+// a pair of page kernels (small-page and large-page variants, Appendix B)
+// plus state management. Implement it to run custom algorithms on the GTS
+// machinery — see examples/customkernel. The five built-in algorithms and
+// the extension kernels in internal/kernels are implementations of this
+// same interface.
+type Kernel = kernels.Kernel
+
+// KernelArgs carries one page-kernel invocation's inputs.
+type KernelArgs = kernels.Args
+
+// KernelResult reports one page-kernel execution.
+type KernelResult = kernels.Result
+
+// KernelState is an algorithm's attribute data (the paper's WA).
+type KernelState = kernels.State
+
+// Kernel classes (see kernels.Class): traversals stream only frontier
+// pages; full scans stream everything per iteration.
+const (
+	BFSLike      = kernels.BFSLike
+	PageRankLike = kernels.PageRankLike
+)
+
+// RunKernel executes a custom kernel on the system and returns its final
+// state along with the run metrics.
+func (s *System) RunKernel(k Kernel, source uint64) (KernelState, Metrics, error) {
+	rep, err := s.run(k, source)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return rep.State, metricsOf(rep), nil
+}
+
+// KernelClass separates traversal kernels from full-scan kernels.
+type KernelClass = kernels.Class

@@ -1,0 +1,259 @@
+package gts
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graphgen"
+	"repro/internal/kernels"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+func smallGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := Generate("RMAT27", 27-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGenerateKnownAndUnknown(t *testing.T) {
+	g := smallGraph(t)
+	if g.NumVertices() != 2048 {
+		t.Errorf("V = %d", g.NumVertices())
+	}
+	if _, err := Generate("NotAGraph", 4); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestPageConfigFor(t *testing.T) {
+	if cfg := PageConfigFor("RMAT31", 12); cfg.PIDBytes != 3 || cfg.SlotBytes != 3 {
+		t.Errorf("RMAT31 config = %+v, want (3,3)", cfg)
+	}
+	if cfg := PageConfigFor("Twitter", 12); cfg.PIDBytes != 2 || cfg.SlotBytes != 2 {
+		t.Errorf("Twitter config = %+v, want (2,2)", cfg)
+	}
+	if cfg := PageConfigFor("Twitter", 30); cfg.PageSize != 4096 {
+		t.Errorf("page size floor = %d", cfg.PageSize)
+	}
+}
+
+func TestEndToEndAllAlgorithms(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	raw := d.MustGenerate(27 - 11)
+	g := smallGraph(t)
+	sys, err := NewSystem(g, Config{GPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bfs, err := sys.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLv := verify.BFS(raw, 0)
+	for v := range wantLv {
+		if bfs.Levels[v] != wantLv[v] {
+			t.Fatalf("BFS vertex %d mismatch", v)
+		}
+	}
+	if bfs.Elapsed <= 0 || bfs.MTEPS <= 0 {
+		t.Error("BFS metrics missing")
+	}
+
+	pr, err := sys.PageRank(0.85, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPR := verify.PageRank(raw, 0.85, 3)
+	for v := range wantPR {
+		if math.Abs(float64(pr.Ranks[v])-wantPR[v]) > 1e-5 {
+			t.Fatalf("PR vertex %d mismatch", v)
+		}
+	}
+
+	sssp, err := sys.SSSP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantD := verify.SSSP(raw, 0, kernels.Weight)
+	for v := range wantD {
+		if !math.IsInf(wantD[v], 1) && float64(sssp.Dist[v]) != wantD[v] {
+			t.Fatalf("SSSP vertex %d mismatch", v)
+		}
+	}
+
+	cc, err := sys.CC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCC := verify.WCC(raw)
+	for v := range wantCC {
+		if cc.Labels[v] != wantCC[v] {
+			t.Fatalf("CC vertex %d mismatch", v)
+		}
+	}
+
+	bc, err := sys.BC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBC := verify.BC(raw, 0)
+	for v := range wantBC {
+		if math.Abs(bc.Scores[v]-wantBC[v]) > 1e-6 {
+			t.Fatalf("BC vertex %d mismatch", v)
+		}
+	}
+}
+
+func TestStorageConfigs(t *testing.T) {
+	g := smallGraph(t)
+	for _, st := range []Storage{InMemory, SSDs, HDDs} {
+		sys, err := NewSystem(g, Config{Storage: st, Devices: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.PageRank(0.85, 1); err != nil {
+			t.Fatalf("storage %d: %v", st, err)
+		}
+	}
+}
+
+func TestScaledHardware(t *testing.T) {
+	g := smallGraph(t)
+	sys, err := NewSystem(g, Config{ScaleFactor: 1 << 12, Streams: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.BFS(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceThroughAPI(t *testing.T) {
+	g := smallGraph(t)
+	rec := trace.New()
+	sys, err := NewSystem(g, Config{Trace: rec, Streams: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.PageRank(0.85, 1); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Total(trace.Kernel) == 0 {
+		t.Error("no kernel spans traced")
+	}
+}
+
+func TestSaveAndLoadGraph(t *testing.T) {
+	g := smallGraph(t)
+	path := filepath.Join(t.TempDir(), "g.gts")
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	g := smallGraph(t)
+	if _, err := NewSystem(g, Config{Streams: 99}); err == nil {
+		t.Error("99 streams accepted")
+	}
+}
+
+func TestExtensionAlgorithmsThroughAPI(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	raw := d.MustGenerate(27 - 11)
+	g := smallGraph(t)
+	sys, err := NewSystem(g, Config{GPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rwr, err := sys.RWR(7, 0.15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRWR := verify.RWR(raw, 7, 0.15, 5)
+	for v := range wantRWR {
+		if math.Abs(float64(rwr.Scores[v])-wantRWR[v]) > 1e-5 {
+			t.Fatalf("RWR vertex %d = %v, want %v", v, rwr.Scores[v], wantRWR[v])
+		}
+	}
+
+	deg, err := sys.DegreeDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < raw.NumVertices(); v++ {
+		if int(deg.Degrees[v]) != raw.Degree(v) {
+			t.Fatalf("degree vertex %d = %d, want %d", v, deg.Degrees[v], raw.Degree(v))
+		}
+	}
+	var sum int64
+	for _, c := range deg.Histogram {
+		sum += c
+	}
+	if sum != int64(raw.NumVertices()) {
+		t.Errorf("histogram sums to %d", sum)
+	}
+
+	kc, err := sys.KCore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKC := verify.KCore(raw, 4)
+	for v := range wantKC {
+		if kc.InCore[v] != wantKC[v] {
+			t.Fatalf("k-core vertex %d = %v, want %v", v, kc.InCore[v], wantKC[v])
+		}
+	}
+}
+
+func TestBallAndCrossEdgesAndRadiusAPI(t *testing.T) {
+	g := smallGraph(t)
+	sys, err := NewSystem(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ball, err := sys.Neighborhood(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := 0
+	for _, h := range ball.Hops {
+		if h >= 0 {
+			if h > 2 {
+				t.Fatalf("hop %d beyond cap", h)
+			}
+			inside++
+		}
+	}
+	if inside < 2 {
+		t.Error("ball contains almost nothing")
+	}
+	ce, err := sys.CrossEdges(func(v uint64) bool { return v%2 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Total <= 0 || ce.Total > int64(g.NumEdges()) {
+		t.Errorf("cross edges = %d", ce.Total)
+	}
+	rad, err := sys.Radius(8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rad.Radii) != int(g.NumVertices()) || rad.EffectiveDiameter < 1 {
+		t.Errorf("radius result malformed: %d radii, diameter %d", len(rad.Radii), rad.EffectiveDiameter)
+	}
+}

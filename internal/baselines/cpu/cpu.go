@@ -1,0 +1,141 @@
+// Package cpu implements the paper's shared-memory CPU baselines (§7.3):
+// Ligra (direction-optimizing frontier processing), Ligra+ (the same engine
+// over byte-delta-compressed adjacency), Galois (asynchronous worklist
+// execution) and MTGL (plain parallel vertex loops without frontier
+// optimization).
+//
+// All engines execute functionally over CSR and charge their measured work
+// (edges actually scanned, vertices actually touched) against the paper's
+// dual-Xeon workstation model. Memory accounting reproduces the paper's
+// finding that the CPU systems cannot load the larger graphs at all.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/csr"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Workstation models the paper's CPU-side testbed: two 8-core Xeon
+// E5-2687W, 128 GB of memory (16 threads, HT off).
+type Workstation struct {
+	Cores        int
+	CyclesPerSec float64 // per core
+	MemBandwidth float64 // aggregate bytes/second
+	Memory       int64
+	// TimeScale divides fixed per-level costs for scaled-down runs; Scale
+	// sets it. Zero means 1.
+	TimeScale int64
+}
+
+// Paper returns the paper's workstation.
+func Paper() Workstation {
+	return Workstation{Cores: 16, CyclesPerSec: 6e9, MemBandwidth: 50e9, Memory: 128 << 30}
+}
+
+// Scale divides the memory capacity by factor (bandwidths stay), matching
+// dataset down-scaling.
+func (w Workstation) Scale(factor int64) Workstation {
+	if factor <= 0 {
+		panic("cpu: scale factor must be positive")
+	}
+	w.Memory /= factor
+	w.TimeScale = factor
+	return w
+}
+
+// Fixed scales a fixed per-level or per-run cost (a parallel_for barrier,
+// engine startup) for scaled-down runs.
+func (w Workstation) Fixed(t sim.Time) sim.Time {
+	if w.TimeScale > 1 {
+		return t / sim.Time(w.TimeScale)
+	}
+	return t
+}
+
+// Time converts work into elapsed time: the compute bound (cycles across
+// cores at the given parallel efficiency) or the memory-bandwidth bound,
+// whichever binds.
+func (w Workstation) Time(cycles float64, bytesTouched int64, efficiency float64) sim.Time {
+	if efficiency <= 0 || efficiency > 1 {
+		efficiency = 1
+	}
+	compute := sim.Seconds(cycles / (float64(w.Cores) * w.CyclesPerSec * efficiency))
+	mem := sim.ByteTime(bytesTouched, w.MemBandwidth)
+	if mem > compute {
+		return mem
+	}
+	return compute
+}
+
+// CheckMemory reports hw.ErrOutOfMemory when bytes exceed the machine.
+func (w Workstation) CheckMemory(bytes int64, what string) error {
+	if bytes > w.Memory {
+		return fmt.Errorf("%w: %s needs %d bytes, machine has %d", hw.ErrOutOfMemory, what, bytes, w.Memory)
+	}
+	return nil
+}
+
+// BFSResult reports a traversal run.
+type BFSResult struct {
+	Levels       []int16
+	Elapsed      sim.Time
+	EdgesScanned int64
+	Depth        int
+}
+
+// PRResult reports a PageRank run.
+type PRResult struct {
+	Ranks   []float64
+	Elapsed sim.Time
+}
+
+// Engine is the interface the experiment harness drives.
+type Engine interface {
+	Name() string
+	// BFS traverses from src; rev is the transpose for pull-based engines
+	// (push-only engines ignore it).
+	BFS(g, rev *csr.Graph, src uint32) (*BFSResult, error)
+	// PageRank runs the fixed-iteration formulation of verify.PageRank.
+	PageRank(g, rev *csr.Graph, damping float64, iterations int) (*PRResult, error)
+}
+
+// cacheLine is the memory traffic of one random access: graph engines
+// touching prev[u] or levels[t] per edge pull a whole line, which is why
+// real shared-memory engines run far below streaming bandwidth.
+const cacheLine = 64
+
+// rawBytes is the resident size of one adjacency direction as the real
+// systems store it: 8-byte offsets per vertex and 8-byte edge entries
+// (Ligra and Galois default to 64-bit IDs at billion scale).
+func rawBytes(g *csr.Graph) int64 {
+	return int64(g.NumVertices())*8 + int64(g.NumEdges())*8
+}
+
+// pageRankPull computes PageRank by gathering over in-edges (shared by the
+// engines; they differ only in cost constants). It returns the ranks and
+// the edges scanned.
+func pageRankPull(g, rev *csr.Graph, damping float64, iterations int) ([]float64, int64) {
+	n := int(g.NumVertices())
+	prev := make([]float64, n)
+	next := make([]float64, n)
+	base := (1 - damping) / float64(n)
+	for i := range prev {
+		prev[i] = 1 / float64(n)
+	}
+	var scanned int64
+	for it := 0; it < iterations; it++ {
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, u := range rev.Out(uint32(v)) {
+				sum += prev[u] / float64(g.Degree(uint64(u)))
+				scanned++
+			}
+			next[v] = base + damping*sum
+		}
+		prev, next = next, prev
+	}
+	return prev, scanned
+}

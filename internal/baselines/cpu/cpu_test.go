@@ -1,0 +1,165 @@
+package cpu
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/csr"
+	"repro/internal/graphgen"
+	"repro/internal/hw"
+	"repro/internal/verify"
+)
+
+func engines() []Engine {
+	ws := Paper()
+	return []Engine{NewLigra(ws), NewLigraPlus(ws), NewGalois(ws), NewMTGL(ws)}
+}
+
+func testGraph() (*csr.Graph, *csr.Graph) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	return g, g.Transpose()
+}
+
+func TestBFSMatchesReferenceAllEngines(t *testing.T) {
+	g, rev := testGraph()
+	want := verify.BFS(g, 0)
+	for _, e := range engines() {
+		res, err := e.BFS(g, rev, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		for v := range want {
+			if res.Levels[v] != want[v] {
+				t.Fatalf("%s: vertex %d level = %d, want %d", e.Name(), v, res.Levels[v], want[v])
+			}
+		}
+		if res.Elapsed <= 0 || res.EdgesScanned == 0 {
+			t.Errorf("%s: missing accounting", e.Name())
+		}
+	}
+}
+
+func TestPageRankMatchesReferenceAllEngines(t *testing.T) {
+	g, rev := testGraph()
+	want := verify.PageRank(g, 0.85, 5)
+	for _, e := range engines() {
+		res, err := e.PageRank(g, rev, 0.85, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		for v := range want {
+			if math.Abs(res.Ranks[v]-want[v]) > 1e-12 {
+				t.Fatalf("%s: vertex %d rank = %v, want %v", e.Name(), v, res.Ranks[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBFSOnDeepPath(t *testing.T) {
+	g := graphgen.Path(2000)
+	rev := g.Transpose()
+	for _, e := range engines() {
+		res, err := e.BFS(g, rev, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if res.Levels[1999] != 1999 {
+			t.Fatalf("%s: tail level = %d", e.Name(), res.Levels[1999])
+		}
+	}
+}
+
+func TestMTGLSlowestOnDeepGraphs(t *testing.T) {
+	// MTGL rescans all vertices per level; on a deep path it must be far
+	// slower than the frontier engines (the paper's Fig. 7 gap).
+	g := graphgen.Path(2000)
+	rev := g.Transpose()
+	ws := Paper()
+	ligra, err := NewLigra(ws).BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtgl, err := NewMTGL(ws).BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mtgl.Elapsed < 2*ligra.Elapsed {
+		t.Errorf("MTGL (%v) not clearly slower than Ligra (%v)", mtgl.Elapsed, ligra.Elapsed)
+	}
+}
+
+func TestLigraDirectionSwitchReducesScans(t *testing.T) {
+	// On a skewed RMAT graph the dense pull with early exit must scan
+	// fewer edges than push-only traversal (Galois scans every frontier
+	// out-edge at least once).
+	g, rev := testGraph()
+	ws := Paper()
+	ligra, err := NewLigra(ws).BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	galois, err := NewGalois(ws).BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ligra.EdgesScanned >= galois.EdgesScanned {
+		t.Errorf("direction optimization did not reduce scans: %d vs %d", ligra.EdgesScanned, galois.EdgesScanned)
+	}
+}
+
+func TestLigraPlusSmallerFootprint(t *testing.T) {
+	g, rev := testGraph()
+	plain := NewLigra(Paper()).graphBytes(g, rev)
+	comp := NewLigraPlus(Paper()).graphBytes(g, rev)
+	if comp >= plain {
+		t.Errorf("compressed %d not below plain %d", comp, plain)
+	}
+}
+
+func TestCompressedBytesSane(t *testing.T) {
+	// A path's deltas are tiny: 1 byte per edge plus offsets.
+	g := graphgen.Path(100)
+	got := compressedBytes(g)
+	want := int64(101)*8 + 99 // offsets + one byte per delta
+	if got != want {
+		t.Errorf("compressedBytes = %d, want %d", got, want)
+	}
+}
+
+func TestVarintLen(t *testing.T) {
+	cases := map[uint64]int{0: 1, 127: 1, 128: 2, 1 << 14: 3, 1 << 62: 9}
+	for v, want := range cases {
+		if got := varintLen(v); got != want {
+			t.Errorf("varintLen(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestOOMOnSmallWorkstation(t *testing.T) {
+	g, rev := testGraph()
+	tiny := Paper().Scale(1 << 40)
+	for _, e := range []Engine{NewLigra(tiny), NewGalois(tiny), NewMTGL(tiny)} {
+		if _, err := e.BFS(g, rev, 0); !errors.Is(err, hw.ErrOutOfMemory) {
+			t.Errorf("%s: err = %v, want ErrOutOfMemory", e.Name(), err)
+		}
+		if _, err := e.PageRank(g, rev, 0.85, 1); !errors.Is(err, hw.ErrOutOfMemory) {
+			t.Errorf("%s PR: err = %v, want ErrOutOfMemory", e.Name(), err)
+		}
+	}
+}
+
+func TestWorkstationTimeBounds(t *testing.T) {
+	ws := Paper()
+	// Compute-bound: tiny bytes.
+	ct := ws.Time(9.6e10, 1, 1) // 16 cores x 6e9 = 9.6e10 cycles/s
+	if ct.Seconds() < 0.99 || ct.Seconds() > 1.01 {
+		t.Errorf("compute bound = %v, want ~1s", ct)
+	}
+	// Memory-bound: huge bytes.
+	mt := ws.Time(1, 50e9, 1)
+	if mt.Seconds() < 0.99 || mt.Seconds() > 1.01 {
+		t.Errorf("memory bound = %v, want ~1s", mt)
+	}
+}

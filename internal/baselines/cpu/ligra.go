@@ -1,0 +1,184 @@
+package cpu
+
+import (
+	"repro/internal/csr"
+	"repro/internal/sim"
+)
+
+// Ligra is the direction-optimizing frontier engine of Shun & Blelloch
+// (PPoPP'13): sparse levels push along out-edges of the frontier, dense
+// levels pull over in-edges of unvisited vertices with early exit. With
+// Compressed set it becomes Ligra+ (DCC'15): adjacency lists stored as
+// byte-coded deltas, shrinking memory at a per-edge decode cost.
+type Ligra struct {
+	WS         Workstation
+	Compressed bool
+}
+
+// NewLigra returns the plain engine.
+func NewLigra(ws Workstation) *Ligra { return &Ligra{WS: ws} }
+
+// NewLigraPlus returns the compressed (Ligra+) engine.
+func NewLigraPlus(ws Workstation) *Ligra { return &Ligra{WS: ws, Compressed: true} }
+
+// Cost constants: cycles per scanned edge for push and pull, per-vertex
+// touch cost, and the parallel-for overhead per level.
+const (
+	ligraPushCycles  = 14.0
+	ligraPullCycles  = 11.0
+	ligraVertexCost  = 6.0
+	ligraDecodeExtra = 1.35 // Ligra+ varint decode multiplier
+	ligraLevelSync   = 25 * sim.Microsecond
+	ligraEfficiency  = 0.8
+)
+
+// Name implements Engine.
+func (l *Ligra) Name() string {
+	if l.Compressed {
+		return "Ligra+"
+	}
+	return "Ligra"
+}
+
+// edgeCycles applies the decode multiplier for Ligra+.
+func (l *Ligra) edgeCycles(base float64) float64 {
+	if l.Compressed {
+		return base * ligraDecodeExtra
+	}
+	return base
+}
+
+// graphBytes is the resident footprint: both directions of the adjacency
+// (pull needs the transpose), compressed when Ligra+.
+func (l *Ligra) graphBytes(g, rev *csr.Graph) int64 {
+	if l.Compressed {
+		return compressedBytes(g) + compressedBytes(rev) + int64(g.NumVertices())*16
+	}
+	return rawBytes(g) + rawBytes(rev)
+}
+
+// compressedBytes computes the exact byte-code size of delta-encoded
+// adjacency: each list sorted, first target as a varint of v-relative
+// delta, the rest as consecutive-difference varints.
+func compressedBytes(g *csr.Graph) int64 {
+	var total int64 = int64(g.NumVertices()+1) * 8 // offsets
+	for v := 0; v < int(g.NumVertices()); v++ {
+		adj := append([]uint32(nil), g.Out(uint32(v))...)
+		for i := 1; i < len(adj); i++ { // insertion sort: lists are short
+			for j := i; j > 0 && adj[j] < adj[j-1]; j-- {
+				adj[j], adj[j-1] = adj[j-1], adj[j]
+			}
+		}
+		prev := uint32(v)
+		for i, t := range adj {
+			var delta int64
+			if i == 0 {
+				delta = int64(t) - int64(prev) // signed first delta
+				if delta < 0 {
+					delta = -2*delta + 1
+				} else {
+					delta = 2 * delta
+				}
+			} else {
+				delta = int64(t - prev)
+			}
+			total += int64(varintLen(uint64(delta)))
+			prev = t
+		}
+	}
+	return total
+}
+
+func varintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// FootprintBytes reports the engine's resident graph footprint (both
+// adjacency directions; compressed for Ligra+) — the quantity the
+// compression ablation tabulates.
+func (l *Ligra) FootprintBytes(g, rev *csr.Graph) int64 { return l.graphBytes(g, rev) }
+
+// BFS implements Engine with Beamer-style direction switching.
+func (l *Ligra) BFS(g, rev *csr.Graph, src uint32) (*BFSResult, error) {
+	if err := l.WS.CheckMemory(l.graphBytes(g, rev), l.Name()+" graph"); err != nil {
+		return nil, err
+	}
+	n := int(g.NumVertices())
+	lv := make([]int16, n)
+	for i := range lv {
+		lv[i] = -1
+	}
+	lv[src] = 0
+	frontier := []uint32{src}
+	denseThreshold := int64(g.NumEdges() / 20)
+
+	res := &BFSResult{}
+	var elapsed sim.Time
+	for level := int16(0); len(frontier) > 0; level++ {
+		var frontierEdges int64
+		for _, v := range frontier {
+			frontierEdges += int64(g.Degree(uint64(v)))
+		}
+		var scanned int64
+		var next []uint32
+		if frontierEdges > denseThreshold {
+			// Dense pull: every unvisited vertex scans in-edges, stopping
+			// at the first frontier parent.
+			for v := 0; v < n; v++ {
+				if lv[v] != -1 {
+					continue
+				}
+				for _, u := range rev.Out(uint32(v)) {
+					scanned++
+					if lv[u] == level {
+						lv[v] = level + 1
+						next = append(next, uint32(v))
+						break
+					}
+				}
+			}
+			elapsed += l.WS.Time(
+				float64(n)*ligraVertexCost+float64(scanned)*l.edgeCycles(ligraPullCycles),
+				scanned*cacheLine, ligraEfficiency)
+		} else {
+			// Sparse push over the frontier's out-edges.
+			for _, v := range frontier {
+				for _, t := range g.Out(v) {
+					scanned++
+					if lv[t] == -1 {
+						lv[t] = level + 1
+						next = append(next, t)
+					}
+				}
+			}
+			elapsed += l.WS.Time(
+				float64(len(frontier))*ligraVertexCost+float64(scanned)*l.edgeCycles(ligraPushCycles),
+				scanned*cacheLine, ligraEfficiency)
+		}
+		elapsed += l.WS.Fixed(ligraLevelSync)
+		res.EdgesScanned += scanned
+		res.Depth++
+		frontier = next
+	}
+	res.Levels = lv
+	res.Elapsed = elapsed
+	return res, nil
+}
+
+// PageRank implements Engine (pull-based dense iterations).
+func (l *Ligra) PageRank(g, rev *csr.Graph, damping float64, iterations int) (*PRResult, error) {
+	if err := l.WS.CheckMemory(l.graphBytes(g, rev)+int64(g.NumVertices())*16, l.Name()+" graph"); err != nil {
+		return nil, err
+	}
+	ranks, scanned := pageRankPull(g, rev, damping, iterations)
+	cycles := float64(scanned)*l.edgeCycles(ligraPullCycles+4) +
+		float64(int(g.NumVertices())*iterations)*ligraVertexCost
+	elapsed := l.WS.Time(cycles, scanned*cacheLine, ligraEfficiency) +
+		sim.Time(iterations)*l.WS.Fixed(ligraLevelSync)
+	return &PRResult{Ranks: ranks, Elapsed: elapsed}, nil
+}

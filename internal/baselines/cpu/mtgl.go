@@ -1,0 +1,86 @@
+package cpu
+
+import (
+	"repro/internal/csr"
+	"repro/internal/sim"
+)
+
+// MTGL is the MultiThreaded Graph Library baseline (Barrett et al.,
+// IPDPS'09): parallel vertex loops over qthreads with no frontier data
+// structure — every level rescans all vertices to find the frontier, which
+// is why the paper's Fig. 7 shows it far behind Ligra and Galois.
+type MTGL struct {
+	WS Workstation
+}
+
+// NewMTGL returns the engine.
+func NewMTGL(ws Workstation) *MTGL { return &MTGL{WS: ws} }
+
+// Cost constants: the qthreads abstraction and generic visitor interfaces
+// carry heavy per-touch overhead.
+const (
+	mtglEdgeCycles   = 90.0
+	mtglVertexCycles = 45.0
+	mtglEfficiency   = 0.5
+	mtglLevelSync    = 400 * sim.Microsecond
+)
+
+// Name implements Engine.
+func (m *MTGL) Name() string { return "MTGL" }
+
+// BFS implements Engine: level-synchronous without a frontier list, so
+// each level scans every vertex (the full-V term dominates on deep
+// graphs).
+func (m *MTGL) BFS(g, rev *csr.Graph, src uint32) (*BFSResult, error) {
+	if err := m.WS.CheckMemory(rawBytes(g)*2+int64(g.NumVertices())*8, "MTGL graph"); err != nil {
+		return nil, err
+	}
+	n := int(g.NumVertices())
+	lv := make([]int16, n)
+	for i := range lv {
+		lv[i] = -1
+	}
+	lv[src] = 0
+	res := &BFSResult{}
+	var elapsed sim.Time
+	for level := int16(0); ; level++ {
+		var scanned int64
+		changed := false
+		for v := 0; v < n; v++ {
+			if lv[v] != level {
+				continue
+			}
+			for _, t := range g.Out(uint32(v)) {
+				scanned++
+				if lv[t] == -1 {
+					lv[t] = level + 1
+					changed = true
+				}
+			}
+		}
+		cycles := float64(n)*mtglVertexCycles + float64(scanned)*mtglEdgeCycles
+		elapsed += m.WS.Time(cycles, int64(n)*2+scanned*cacheLine, mtglEfficiency) + m.WS.Fixed(mtglLevelSync)
+		res.EdgesScanned += scanned
+		res.Depth++
+		if !changed {
+			break
+		}
+	}
+	res.Levels = lv
+	res.Elapsed = elapsed
+	return res, nil
+}
+
+// PageRank implements Engine.
+func (m *MTGL) PageRank(g, rev *csr.Graph, damping float64, iterations int) (*PRResult, error) {
+	bytes := rawBytes(g) + rawBytes(rev) + int64(g.NumVertices())*16
+	if err := m.WS.CheckMemory(bytes*2, "MTGL graph"); err != nil {
+		return nil, err
+	}
+	ranks, scanned := pageRankPull(g, rev, damping, iterations)
+	cycles := float64(scanned)*mtglEdgeCycles +
+		float64(int(g.NumVertices())*iterations)*mtglVertexCycles
+	elapsed := m.WS.Time(cycles, scanned*cacheLine, mtglEfficiency) +
+		sim.Time(iterations)*m.WS.Fixed(mtglLevelSync)
+	return &PRResult{Ranks: ranks, Elapsed: elapsed}, nil
+}

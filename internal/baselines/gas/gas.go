@@ -1,0 +1,410 @@
+// Package gas implements a PowerGraph-style engine: edges are
+// vertex-cut-partitioned across the cluster's workers and computation
+// follows the Gather-Apply-Scatter model — Gather folds over a vertex's
+// in-edges, Apply installs the new value at the vertex's master replica,
+// and Scatter activates out-neighbors. Mirror synchronization traffic is
+// derived from the actual replication factor of the hash vertex-cut, the
+// quantity PowerGraph's design optimizes.
+//
+// The paper finds PowerGraph the fastest and most scalable of the
+// distributed systems it compares against (§7.2); this engine's cost
+// profile reflects that (compiled C++ core, lean barriers, low object
+// overhead).
+package gas
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/cluster"
+	"repro/internal/csr"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// Program is a GAS vertex program over value type V and gather type G.
+type Program[V, G any] interface {
+	// Init returns a vertex's initial value and whether it starts active.
+	Init(v uint32, g *csr.Graph) (V, bool)
+	// Gather folds src's contribution (for the in-edge src -> v) into the
+	// accumulator.
+	Gather(g *csr.Graph, src uint32, srcVal V, v uint32) G
+	// Sum combines two gather accumulators.
+	Sum(a, b G) G
+	// Apply computes v's new value from the gathered accumulator; gathered
+	// is false when the vertex had no in-edges. changed gates Scatter.
+	Apply(v uint32, old V, acc G, gathered bool) (val V, changed bool)
+	// ScatterActivates reports whether a changed vertex activates its
+	// out-neighbors for the next iteration (traversal algorithms) or the
+	// engine runs a fixed number of sweeps (fixed-point algorithms).
+	ScatterActivates() bool
+	// Iterations bounds the run for fixed-sweep programs; 0 means run
+	// until the active set drains.
+	Iterations() int
+	// ValueBytes sizes memory and mirror-sync accounting.
+	ValueBytes() int64
+}
+
+// Profile holds PowerGraph's cost constants.
+type Profile struct {
+	Barrier        sim.Time
+	CyclesPerEdge  float64
+	CyclesPerApply float64
+	Efficiency     float64
+	ObjectOverhead float64
+	GatherMsgBytes int64
+}
+
+// PowerGraph returns the paper-calibrated profile.
+func PowerGraph() Profile {
+	return Profile{
+		Barrier:        120 * sim.Millisecond,
+		CyclesPerEdge:  1800,
+		CyclesPerApply: 900,
+		Efficiency:     0.75,
+		ObjectOverhead: 2.5,
+		GatherMsgBytes: 8,
+	}
+}
+
+// Engine binds the profile to a cluster.
+type Engine struct {
+	Cluster cluster.Spec
+	Profile Profile
+}
+
+// New returns an engine; it validates the cluster spec.
+func New(c cluster.Spec) (*Engine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{Cluster: c, Profile: PowerGraph()}, nil
+}
+
+// Result reports a finished GAS run.
+type Result[V any] struct {
+	Values     []V
+	Elapsed    sim.Time
+	Iterations int
+	// ReplicationFactor is the measured average replicas per vertex under
+	// the hash vertex-cut — PowerGraph's key scalability metric.
+	ReplicationFactor float64
+	NetworkBytes      int64
+}
+
+// replication assigns each edge to worker hash(u,v) mod W and counts, for
+// every vertex, the distinct workers its edges land on (its replicas).
+func replication(g *csr.Graph, workers int) (perVertex []int, avg float64) {
+	n := int(g.NumVertices())
+	words := (workers + 63) / 64
+	marks := make([]uint64, n*words)
+	mark := func(v uint32, w int) {
+		marks[int(v)*words+w/64] |= 1 << (uint(w) % 64)
+	}
+	for u := 0; u < n; u++ {
+		for _, t := range g.Out(uint32(u)) {
+			w := int((uint64(u)*0x9E3779B97F4A7C15 ^ uint64(t)*0xBF58476D1CE4E5B9) % uint64(workers))
+			mark(uint32(u), w)
+			mark(t, w)
+		}
+	}
+	perVertex = make([]int, n)
+	var total int
+	for v := 0; v < n; v++ {
+		c := 0
+		for w := 0; w < words; w++ {
+			c += popcount(marks[v*words+w])
+		}
+		if c == 0 {
+			c = 1 // isolated vertices live on their hash worker only
+		}
+		perVertex[v] = c
+		total += c
+	}
+	return perVertex, float64(total) / float64(n)
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// Run executes prog over g. The gather direction is in-edges, supplied by
+// rev = g.Transpose() (callers typically share one transpose across runs).
+func Run[V, G any](e *Engine, g, rev *csr.Graph, prog Program[V, G]) (*Result[V], error) {
+	n := int(g.NumVertices())
+	w := e.Cluster.Workers
+
+	perVertex, avgRep := replication(g, w)
+
+	// Memory: each worker holds its edge partition plus a replica row per
+	// vertex replica (value + metadata).
+	var replicaBytes int64
+	for _, c := range perVertex {
+		replicaBytes += int64(c) * (prog.ValueBytes() + 16)
+	}
+	perWorker := (int64(g.NumEdges())*8 + replicaBytes) / int64(w)
+	perWorker = int64(float64(perWorker) * e.Profile.ObjectOverhead)
+	if err := e.Cluster.CheckMemory(perWorker, "PowerGraph vertex-cut partition"); err != nil {
+		return nil, err
+	}
+
+	values := make([]V, n)
+	active := bitset.New(n)
+	for v := 0; v < n; v++ {
+		val, act := prog.Init(uint32(v), g)
+		values[v] = val
+		if act {
+			active.Set(v)
+		}
+	}
+
+	res := &Result[V]{ReplicationFactor: avgRep}
+	var elapsed sim.Time
+	maxIters := prog.Iterations()
+	for iter := 0; ; iter++ {
+		if maxIters > 0 && iter >= maxIters {
+			break
+		}
+		if maxIters == 0 && !active.Any() {
+			break
+		}
+		if iter > 100000 {
+			return nil, fmt.Errorf("gas: did not converge in 100000 iterations")
+		}
+
+		next := bitset.New(n)
+		var gatherEdges, applies, scatterEdges, syncMsgs int64
+		first := iter == 0
+		// Fixed-sweep programs (PageRank) are Jacobi iterations: gathers
+		// read the previous sweep's values, not in-place updates.
+		readVals := values
+		if maxIters > 0 {
+			readVals = append([]V(nil), values...)
+		}
+		process := func(v int) {
+			vv := uint32(v)
+			var acc G
+			gathered := false
+			for _, src := range rev.Out(vv) {
+				contrib := prog.Gather(g, src, readVals[src], vv)
+				if gathered {
+					acc = prog.Sum(acc, contrib)
+				} else {
+					acc = contrib
+					gathered = true
+				}
+			}
+			gatherEdges += int64(rev.Degree(uint64(vv)))
+			val, changed := prog.Apply(vv, values[v], acc, gathered)
+			values[v] = val
+			applies++
+			// Mirror sync: gather partials flow in, the applied value
+			// flows back out — 2*(replicas-1) messages.
+			syncMsgs += 2 * int64(perVertex[v]-1)
+			// A signaled vertex scatters on its first activation even if
+			// Apply saw no change (the source's level is already 0).
+			if (changed || first) && prog.ScatterActivates() {
+				for _, t := range g.Out(vv) {
+					next.Set(int(t))
+				}
+				scatterEdges += int64(g.Degree(uint64(vv)))
+			}
+		}
+		if maxIters > 0 {
+			for v := 0; v < n; v++ {
+				process(v)
+			}
+		} else {
+			active.ForEach(process)
+		}
+
+		cycles := float64(gatherEdges+scatterEdges)*e.Profile.CyclesPerEdge +
+			float64(applies)*e.Profile.CyclesPerApply
+		netBytes := syncMsgs * e.Profile.GatherMsgBytes
+		elapsed += e.Cluster.Fixed(e.Profile.Barrier)
+		elapsed += e.Cluster.ComputeTime(cycles, e.Profile.Efficiency)
+		elapsed += e.Cluster.ShuffleTime(netBytes, 2)
+		res.NetworkBytes += netBytes
+		res.Iterations++
+		active = next
+	}
+	res.Values = values
+	res.Elapsed = elapsed
+	return res, nil
+}
+
+// The concrete programs below mirror the Pregel ones so every distributed
+// engine computes identical answers.
+
+// BFSProgram computes levels from Source.
+type BFSProgram struct{ Source uint32 }
+
+// Init implements Program.
+func (p BFSProgram) Init(v uint32, _ *csr.Graph) (int16, bool) {
+	if v == p.Source {
+		return 0, true
+	}
+	return -1, false
+}
+
+// Gather implements Program: propose level srcVal+1 (or -1 if src unseen).
+func (p BFSProgram) Gather(_ *csr.Graph, src uint32, srcVal int16, _ uint32) int16 {
+	if srcVal < 0 {
+		return -1
+	}
+	return srcVal + 1
+}
+
+// Sum implements Program (minimum over non-negative proposals).
+func (p BFSProgram) Sum(a, b int16) int16 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 || a < b {
+		return a
+	}
+	return b
+}
+
+// Apply implements Program.
+func (p BFSProgram) Apply(v uint32, old int16, acc int16, gathered bool) (int16, bool) {
+	if v == p.Source {
+		return 0, old != 0 // changed only on the first application
+	}
+	if gathered && acc >= 0 && (old < 0 || acc < old) {
+		return acc, true
+	}
+	return old, false
+}
+
+// ScatterActivates implements Program.
+func (p BFSProgram) ScatterActivates() bool { return true }
+
+// Iterations implements Program.
+func (p BFSProgram) Iterations() int { return 0 }
+
+// ValueBytes implements Program.
+func (p BFSProgram) ValueBytes() int64 { return 2 }
+
+// PRProgram computes PageRank for a fixed sweep count, matching
+// verify.PageRank's formulation.
+type PRProgram struct {
+	Damping float64
+	Sweeps  int
+	// NumVertices must be the graph's vertex count (Apply has no graph
+	// access).
+	NumVertices float64
+}
+
+// Init implements Program: everyone starts at the uniform prior.
+func (p PRProgram) Init(_ uint32, g *csr.Graph) (float64, bool) {
+	return 1 / float64(g.NumVertices()), true
+}
+
+// Gather implements Program: srcVal/outdeg(src) flows along src -> v.
+func (p PRProgram) Gather(g *csr.Graph, src uint32, srcVal float64, _ uint32) float64 {
+	return srcVal / float64(g.Degree(uint64(src)))
+}
+
+// Sum implements Program.
+func (p PRProgram) Sum(a, b float64) float64 { return a + b }
+
+// Apply implements Program: the damped update with teleport term.
+func (p PRProgram) Apply(v uint32, old float64, acc float64, gathered bool) (float64, bool) {
+	base := (1 - p.Damping) / p.NumVertices
+	if !gathered {
+		return base, true
+	}
+	return base + p.Damping*acc, true
+}
+
+// ScatterActivates implements Program.
+func (p PRProgram) ScatterActivates() bool { return false }
+
+// Iterations implements Program.
+func (p PRProgram) Iterations() int { return p.Sweeps }
+
+// ValueBytes implements Program.
+func (p PRProgram) ValueBytes() int64 { return 8 }
+
+// SSSPProgram computes shortest paths from Source with kernels.Weight.
+type SSSPProgram struct{ Source uint32 }
+
+// Init implements Program.
+func (p SSSPProgram) Init(v uint32, _ *csr.Graph) (float64, bool) {
+	if v == p.Source {
+		return 0, true
+	}
+	return math.Inf(1), false
+}
+
+// Gather implements Program.
+func (p SSSPProgram) Gather(_ *csr.Graph, src uint32, srcVal float64, v uint32) float64 {
+	return srcVal + float64(kernels.Weight(uint64(src), uint64(v)))
+}
+
+// Sum implements Program.
+func (p SSSPProgram) Sum(a, b float64) float64 { return math.Min(a, b) }
+
+// Apply implements Program.
+func (p SSSPProgram) Apply(v uint32, old float64, acc float64, gathered bool) (float64, bool) {
+	if v == p.Source {
+		return 0, old != 0
+	}
+	if gathered && acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// ScatterActivates implements Program.
+func (p SSSPProgram) ScatterActivates() bool { return true }
+
+// Iterations implements Program.
+func (p SSSPProgram) Iterations() int { return 0 }
+
+// ValueBytes implements Program.
+func (p SSSPProgram) ValueBytes() int64 { return 8 }
+
+// CCProgram computes weakly-connected components by min-label flooding.
+// Run it over the *undirected* view of the graph (pass it as both g and
+// rev) so labels traverse edges in both directions.
+type CCProgram struct{}
+
+// Init implements Program: every vertex starts as its own component,
+// active so the first iteration floods all labels.
+func (p CCProgram) Init(v uint32, _ *csr.Graph) (uint32, bool) { return v, true }
+
+// Gather implements Program.
+func (p CCProgram) Gather(_ *csr.Graph, _ uint32, srcVal uint32, _ uint32) uint32 { return srcVal }
+
+// Sum implements Program (minimum).
+func (p CCProgram) Sum(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Apply implements Program.
+func (p CCProgram) Apply(_ uint32, old uint32, acc uint32, gathered bool) (uint32, bool) {
+	if gathered && acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// ScatterActivates implements Program.
+func (p CCProgram) ScatterActivates() bool { return true }
+
+// Iterations implements Program.
+func (p CCProgram) Iterations() int { return 0 }
+
+// ValueBytes implements Program.
+func (p CCProgram) ValueBytes() int64 { return 4 }

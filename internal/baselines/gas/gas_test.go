@@ -1,0 +1,136 @@
+package gas
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graphgen"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/verify"
+)
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(cluster.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	rev := g.Transpose()
+	want := verify.BFS(g, 0)
+	res, err := Run(testEngine(t), g, rev, BFSProgram{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("vertex %d level = %d, want %d", v, res.Values[v], want[v])
+		}
+	}
+	if res.ReplicationFactor <= 1 {
+		t.Errorf("replication factor = %v, want > 1 on 30 workers", res.ReplicationFactor)
+	}
+	if res.NetworkBytes == 0 || res.Elapsed <= 0 {
+		t.Error("missing accounting")
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	rev := g.Transpose()
+	want := verify.PageRank(g, 0.85, 5)
+	prog := PRProgram{Damping: 0.85, Sweeps: 5, NumVertices: float64(g.NumVertices())}
+	res, err := Run(testEngine(t), g, rev, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Abs(res.Values[v]-want[v]) > 1e-12 {
+			t.Fatalf("vertex %d rank = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+	if res.Iterations != 5 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestSSSPMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 12)
+	rev := g.Transpose()
+	want := verify.SSSP(g, 0, kernels.Weight)
+	res, err := Run(testEngine(t), g, rev, SSSPProgram{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("vertex %d dist = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestBFSOnPathTerminates(t *testing.T) {
+	g := graphgen.Path(200)
+	res, err := Run(testEngine(t), g, g.Transpose(), BFSProgram{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 200; v++ {
+		if res.Values[v] != int16(v) {
+			t.Fatalf("vertex %d level = %d", v, res.Values[v])
+		}
+	}
+	if res.Iterations < 199 {
+		t.Errorf("iterations = %d, want >= 199 (one per level)", res.Iterations)
+	}
+}
+
+func TestReplicationGrowsWithWorkers(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 12)
+	_, small := replication(g, 2)
+	_, large := replication(g, 30)
+	if large <= small {
+		t.Errorf("replication 30 workers (%v) not above 2 workers (%v)", large, small)
+	}
+}
+
+func TestOOMOnTinyCluster(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 12)
+	small := cluster.Paper()
+	small.MemoryPerWorker = 1 << 8
+	e, err := New(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(e, g, g.Transpose(), BFSProgram{Source: 0}); !errors.Is(err, hw.ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestCCMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 12)
+	u := g.Undirected()
+	want := verify.WCC(g)
+	res, err := Run(testEngine(t), u, u, CCProgram{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("vertex %d label = %d, want %d", v, res.Values[v], want[v])
+		}
+	}
+}

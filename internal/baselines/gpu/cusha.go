@@ -1,0 +1,99 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/baselines/cpu"
+	"repro/internal/csr"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// CuSha is the G-Shards engine of Khorasani et al. (HPDC'14): edges are
+// laid out in destination-windowed shards so GPU warps stream them with
+// fully coalesced access. The whole representation must fit in device
+// memory — the paper finds CuSha handles BFS only up to Twitter and
+// PageRank on none of the tested graphs (§7.4) — and every iteration
+// processes all shards (no frontier), which hurts traversals on deep
+// graphs.
+type CuSha struct {
+	Device  hw.GPUSpec
+	NumGPUs int
+	// OverheadScale divides the fixed per-iteration overhead for
+	// scaled-down runs (0 or 1 = full size).
+	OverheadScale int64
+}
+
+// NewCuSha returns the engine.
+func NewCuSha(gpus int, dev hw.GPUSpec) *CuSha {
+	return &CuSha{Device: dev, NumGPUs: gpus}
+}
+
+// Footprint constants: a shard entry keeps the source index, the in-window
+// destination and the edge value; PageRank additionally duplicates vertex
+// values into every shard window it appears in.
+const (
+	cushaEdgeBytes         = 8
+	cushaPREdgeBytes       = 12
+	cushaVertexBytes       = 8
+	cushaPRVertexBytes     = 24
+	cushaEdgesPerSec       = 5.0e9 // coalesced shard streaming is fast
+	cushaIterationOverhead = 150 * sim.Microsecond
+)
+
+// Name identifies the engine.
+func (c *CuSha) Name() string { return "CuSha" }
+
+func (c *CuSha) checkFit(bytes int64, what string) error {
+	cap := c.Device.DeviceMemory * int64(c.NumGPUs)
+	if bytes > cap {
+		return fmt.Errorf("%w: CuSha %s needs %d bytes of device memory, have %d",
+			hw.ErrOutOfDeviceMemory, what, bytes, cap)
+	}
+	return nil
+}
+
+// BFS traverses from src. CuSha sweeps all shards once per level.
+func (c *CuSha) BFS(g, rev *csr.Graph, src uint32) (*cpu.BFSResult, error) {
+	bytes := int64(g.NumEdges())*cushaEdgeBytes + int64(g.NumVertices())*cushaVertexBytes
+	if err := c.checkFit(bytes, "G-Shards (BFS)"); err != nil {
+		return nil, err
+	}
+	lv := verify.BFS(g, src)
+	depth := 0
+	for _, l := range lv {
+		if int(l) > depth {
+			depth = int(l)
+		}
+	}
+	levels := depth + 1
+	perLevel := sim.Seconds(float64(g.NumEdges())/(cushaEdgesPerSec*float64(c.NumGPUs))) +
+		c.fixed(cushaIterationOverhead)
+	return &cpu.BFSResult{
+		Levels:       lv,
+		Elapsed:      sim.Time(levels) * perLevel,
+		EdgesScanned: int64(levels) * int64(g.NumEdges()),
+		Depth:        levels,
+	}, nil
+}
+
+// PageRank runs fixed iterations over all shards.
+func (c *CuSha) PageRank(g, rev *csr.Graph, damping float64, iterations int) (*cpu.PRResult, error) {
+	bytes := int64(g.NumEdges())*cushaPREdgeBytes + int64(g.NumVertices())*cushaPRVertexBytes
+	if err := c.checkFit(bytes, "G-Shards (PageRank)"); err != nil {
+		return nil, err
+	}
+	ranks := verify.PageRank(g, damping, iterations)
+	perIter := sim.Seconds(float64(g.NumEdges())/(cushaEdgesPerSec*float64(c.NumGPUs))) +
+		c.fixed(cushaIterationOverhead)
+	return &cpu.PRResult{Ranks: ranks, Elapsed: sim.Time(iterations) * perIter}, nil
+}
+
+// fixed scales a constant per-iteration cost for scaled-down runs.
+func (c *CuSha) fixed(t sim.Time) sim.Time {
+	if c.OverheadScale > 1 {
+		return t / sim.Time(c.OverheadScale)
+	}
+	return t
+}

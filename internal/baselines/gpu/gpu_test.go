@@ -1,0 +1,223 @@
+package gpu
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/baselines/cpu"
+	"repro/internal/csr"
+	"repro/internal/graphgen"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/verify"
+)
+
+func testGraph() (*csr.Graph, *csr.Graph) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	return g, g.Transpose()
+}
+
+func totem() *TOTEM { return NewTOTEM(2, hw.TitanX(), cpu.Paper()) }
+
+func TestTOTEMBFSMatchesReference(t *testing.T) {
+	g, rev := testGraph()
+	want := verify.BFS(g, 0)
+	res, err := totem().BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Levels[v] != want[v] {
+			t.Fatalf("vertex %d level = %d, want %d", v, res.Levels[v], want[v])
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no time accounted")
+	}
+}
+
+func TestTOTEMPageRankMatchesReference(t *testing.T) {
+	g, rev := testGraph()
+	want := verify.PageRank(g, 0.85, 5)
+	res, err := totem().PageRank(g, rev, 0.85, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Ranks[v] != want[v] {
+			t.Fatalf("vertex %d rank mismatch", v)
+		}
+	}
+}
+
+func TestTOTEMSSSPMatchesReference(t *testing.T) {
+	g, rev := testGraph()
+	want := verify.SSSP(g, 0, kernels.Weight)
+	res, err := totem().SSSP(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		w := want[v]
+		if math.IsInf(w, 1) {
+			if res.Dist[v] < 1e29 {
+				t.Fatalf("vertex %d should be unreachable", v)
+			}
+			continue
+		}
+		if res.Dist[v] != w {
+			t.Fatalf("vertex %d dist = %v, want %v", v, res.Dist[v], w)
+		}
+	}
+}
+
+func TestTOTEMCCMatchesReference(t *testing.T) {
+	g, rev := testGraph()
+	want := verify.WCC(g)
+	res, err := totem().CC(g, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Labels[v] != want[v] {
+			t.Fatalf("vertex %d label = %d, want %d", v, res.Labels[v], want[v])
+		}
+	}
+}
+
+func TestTOTEMBCMatchesReference(t *testing.T) {
+	g, rev := testGraph()
+	want := verify.BC(g, 0)
+	res, err := totem().BC(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Abs(res.Scores[v]-want[v]) > 1e-9 {
+			t.Fatalf("vertex %d bc = %v, want %v", v, res.Scores[v], want[v])
+		}
+	}
+}
+
+func TestTOTEMPartitionShrinksWithGraph(t *testing.T) {
+	// Table 5's pattern: as graphs grow, the GPU share falls.
+	d, _ := graphgen.ByName("RMAT27")
+	small := d.MustGenerate(27 - 12) // scale 12
+	big := d.MustGenerate(27 - 15)   // scale 15
+	// Scale device memory so even the small graph does not fully fit.
+	dev := hw.TitanX()
+	dev.DeviceMemory = small.Bytes()
+	eng := NewTOTEM(1, dev, cpu.Paper())
+	_, fSmall := eng.Partition(small, "BFS")
+	_, fBig := eng.Partition(big, "BFS")
+	if fBig >= fSmall {
+		t.Errorf("GPU share did not shrink: %v -> %v", fSmall, fBig)
+	}
+	// PageRank keeps more state per vertex, so its GPU share is no larger.
+	_, fPR := eng.Partition(small, "PageRank")
+	if fPR > fSmall {
+		t.Errorf("PageRank share %v above BFS share %v", fPR, fSmall)
+	}
+}
+
+func TestTOTEMHostOOM(t *testing.T) {
+	g, rev := testGraph()
+	eng := NewTOTEM(2, hw.TitanX(), cpu.Paper().Scale(1<<40))
+	if _, err := eng.BFS(g, rev, 0); !errors.Is(err, hw.ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory (in-memory format)", err)
+	}
+}
+
+func TestRatioString(t *testing.T) {
+	if got := RatioString(0.654); got != "65:35" {
+		t.Errorf("RatioString = %q", got)
+	}
+}
+
+func TestCuShaMatchesReferenceWhenFits(t *testing.T) {
+	g, rev := testGraph()
+	c := NewCuSha(1, hw.TitanX())
+	bfs, err := c.BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := verify.BFS(g, 0)
+	for v := range want {
+		if bfs.Levels[v] != want[v] {
+			t.Fatalf("vertex %d level mismatch", v)
+		}
+	}
+	pr, err := c.PageRank(g, rev, 0.85, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPR := verify.PageRank(g, 0.85, 3)
+	for v := range wantPR {
+		if pr.Ranks[v] != wantPR[v] {
+			t.Fatalf("vertex %d rank mismatch", v)
+		}
+	}
+}
+
+func TestCuShaPageRankOOMsBeforeBFS(t *testing.T) {
+	// Paper: CuSha ran BFS on Twitter but PageRank on nothing — the PR
+	// footprint must exceed the BFS footprint.
+	g, rev := testGraph()
+	dev := hw.TitanX()
+	// Device sized between the two footprints.
+	bfsBytes := int64(g.NumEdges())*cushaEdgeBytes + int64(g.NumVertices())*cushaVertexBytes
+	prBytes := int64(g.NumEdges())*cushaPREdgeBytes + int64(g.NumVertices())*cushaPRVertexBytes
+	dev.DeviceMemory = (bfsBytes + prBytes) / 2
+	c := NewCuSha(1, dev)
+	if _, err := c.BFS(g, rev, 0); err != nil {
+		t.Errorf("BFS should fit: %v", err)
+	}
+	if _, err := c.PageRank(g, rev, 0.85, 3); !errors.Is(err, hw.ErrOutOfDeviceMemory) {
+		t.Errorf("PR err = %v, want ErrOutOfDeviceMemory", err)
+	}
+}
+
+func TestMapGraphLeastScalable(t *testing.T) {
+	// MapGraph's per-edge footprint dwarfs CuSha's.
+	if mapgraphEdgeBytes <= cushaEdgeBytes {
+		t.Error("MapGraph must be less space-efficient than CuSha")
+	}
+	g, rev := testGraph()
+	mg := NewMapGraph(1, hw.TitanX())
+	res, err := mg.BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := verify.BFS(g, 0)
+	for v := range want {
+		if res.Levels[v] != want[v] {
+			t.Fatalf("vertex %d level mismatch", v)
+		}
+	}
+	// A device sized to CuSha-BFS fit rejects MapGraph.
+	dev := hw.TitanX()
+	dev.DeviceMemory = int64(g.NumEdges())*cushaEdgeBytes + int64(g.NumVertices())*cushaVertexBytes
+	if _, err := NewMapGraph(1, dev).BFS(g, rev, 0); !errors.Is(err, hw.ErrOutOfDeviceMemory) {
+		t.Errorf("err = %v, want ErrOutOfDeviceMemory", err)
+	}
+}
+
+func TestCuShaFullSweepsCostlyOnDeepGraphs(t *testing.T) {
+	// CuSha sweeps all shards per level; on a deep path, frontier engines
+	// like MapGraph's GAS steps do far less edge work.
+	g := graphgen.Path(3000)
+	rev := g.Transpose()
+	cu, err := NewCuSha(1, hw.TitanX()).BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := NewMapGraph(1, hw.TitanX()).BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cu.EdgesScanned <= mg.EdgesScanned {
+		t.Errorf("CuSha scanned %d <= MapGraph %d on deep path", cu.EdgesScanned, mg.EdgesScanned)
+	}
+}

@@ -1,0 +1,105 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/baselines/cpu"
+	"repro/internal/csr"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// MapGraph is the GAS-on-GPU engine of Fu, Personick & Thompson
+// (GRADES'14). Its Matrix-Market-derived storage is markedly less
+// space-efficient than CuSha's G-Shards — the paper notes it cannot even
+// run BFS on Twitter, only on tiny graphs (§7.4).
+type MapGraph struct {
+	Device  hw.GPUSpec
+	NumGPUs int
+	// OverheadScale divides the fixed per-step overhead for scaled-down
+	// runs (0 or 1 = full size).
+	OverheadScale int64
+}
+
+// NewMapGraph returns the engine.
+func NewMapGraph(gpus int, dev hw.GPUSpec) *MapGraph {
+	return &MapGraph{Device: dev, NumGPUs: gpus}
+}
+
+// Footprint constants: COO triples plus GAS frontier/gather workspaces.
+const (
+	mapgraphEdgeBytes    = 24
+	mapgraphVertexBytes  = 32
+	mapgraphEdgesPerSec  = 3.5e9
+	mapgraphStepOverhead = 200 * sim.Microsecond
+)
+
+// Name identifies the engine.
+func (m *MapGraph) Name() string { return "MapGraph" }
+
+func (m *MapGraph) checkFit(g *csr.Graph, what string) error {
+	bytes := int64(g.NumEdges())*mapgraphEdgeBytes + int64(g.NumVertices())*mapgraphVertexBytes
+	cap := m.Device.DeviceMemory * int64(m.NumGPUs)
+	if bytes > cap {
+		return fmt.Errorf("%w: MapGraph %s needs %d bytes of device memory, have %d",
+			hw.ErrOutOfDeviceMemory, what, bytes, cap)
+	}
+	return nil
+}
+
+// BFS traverses from src with frontier-based GAS steps.
+func (m *MapGraph) BFS(g, rev *csr.Graph, src uint32) (*cpu.BFSResult, error) {
+	if err := m.checkFit(g, "BFS"); err != nil {
+		return nil, err
+	}
+	n := int(g.NumVertices())
+	lv := make([]int16, n)
+	for i := range lv {
+		lv[i] = -1
+	}
+	lv[src] = 0
+	frontier := []uint32{src}
+	res := &cpu.BFSResult{}
+	var elapsed sim.Time
+	for level := int16(0); len(frontier) > 0; level++ {
+		var scanned int64
+		var next []uint32
+		for _, v := range frontier {
+			for _, tgt := range g.Out(v) {
+				scanned++
+				if lv[tgt] == -1 {
+					lv[tgt] = level + 1
+					next = append(next, tgt)
+				}
+			}
+		}
+		elapsed += sim.Seconds(float64(scanned)/(mapgraphEdgesPerSec*float64(m.NumGPUs))) +
+			m.fixed(mapgraphStepOverhead)
+		res.EdgesScanned += scanned
+		res.Depth++
+		frontier = next
+	}
+	res.Levels = lv
+	res.Elapsed = elapsed
+	return res, nil
+}
+
+// PageRank runs fixed GAS iterations.
+func (m *MapGraph) PageRank(g, rev *csr.Graph, damping float64, iterations int) (*cpu.PRResult, error) {
+	if err := m.checkFit(g, "PageRank"); err != nil {
+		return nil, err
+	}
+	ranks := verify.PageRank(g, damping, iterations)
+	perIter := sim.Seconds(float64(g.NumEdges())/(mapgraphEdgesPerSec*float64(m.NumGPUs))) +
+		m.fixed(mapgraphStepOverhead)
+	return &cpu.PRResult{Ranks: ranks, Elapsed: sim.Time(iterations) * perIter}, nil
+}
+
+// fixed scales a constant per-step cost for scaled-down runs.
+func (m *MapGraph) fixed(t sim.Time) sim.Time {
+	if m.OverheadScale > 1 {
+		return t / sim.Time(m.OverheadScale)
+	}
+	return t
+}

@@ -1,0 +1,180 @@
+// Package graphx implements a GraphX-style engine: Pregel semantics
+// compiled onto a Spark-like dataflow where every superstep is a job of
+// joins — replicate vertex attributes to edge partitions (building
+// triplets), aggregate messages by destination, and join the aggregates
+// back into a new vertex table. Each materialization carries RDD object
+// overhead and lineage bookkeeping, which is why GraphX pays a high
+// per-iteration cost and a large memory footprint relative to the raw data
+// (paper §7.2).
+//
+// It reuses the vertex programs of internal/baselines/pregel — GraphX's
+// Pregel API computes the same functions — but with Spark's cost and
+// memory model.
+package graphx
+
+import (
+	"fmt"
+
+	"repro/internal/baselines/pregel"
+	"repro/internal/bitset"
+	"repro/internal/cluster"
+	"repro/internal/csr"
+	"repro/internal/sim"
+)
+
+// Profile holds the Spark/GraphX runtime constants.
+type Profile struct {
+	// JobOverhead is the per-superstep Spark scheduling latency (driver
+	// planning, task launch waves).
+	JobOverhead sim.Time
+	// CyclesPerEdge / CyclesPerVertex price the Scala-side work.
+	CyclesPerEdge   float64
+	CyclesPerVertex float64
+	Efficiency      float64
+	// ObjectOverhead multiplies raw bytes for resident RDDs; LineageRDDs
+	// counts how many vertex-RDD generations stay cached.
+	ObjectOverhead float64
+	LineageRDDs    int64
+}
+
+// Spark returns the paper-calibrated GraphX profile.
+func Spark() Profile {
+	return Profile{
+		JobOverhead:     900 * sim.Millisecond,
+		CyclesPerEdge:   6000,
+		CyclesPerVertex: 3000,
+		Efficiency:      0.6,
+		ObjectOverhead:  8.0,
+		LineageRDDs:     3,
+	}
+}
+
+// Engine binds the profile to a cluster.
+type Engine struct {
+	Cluster cluster.Spec
+	Profile Profile
+}
+
+// New returns an engine; it validates the cluster spec.
+func New(c cluster.Spec) (*Engine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{Cluster: c, Profile: Spark()}, nil
+}
+
+// Result reports a finished run.
+type Result[V any] struct {
+	Values       []V
+	Elapsed      sim.Time
+	Supersteps   int
+	ShuffleBytes int64
+}
+
+// Run executes prog (a Pregel vertex program) under GraphX's dataflow cost
+// model.
+func Run[V, M any](e *Engine, g *csr.Graph, prog pregel.Program[V, M]) (*Result[V], error) {
+	n := int(g.NumVertices())
+	w := int64(e.Cluster.Workers)
+
+	// Rough vertex replication across edge partitions: a vertex is shipped
+	// to every partition holding one of its edges, at most W.
+	var repSum float64
+	for v := 0; v < n; v++ {
+		d := float64(g.Degree(uint64(v)))
+		if d > float64(w) {
+			d = float64(w)
+		}
+		if d < 1 {
+			d = 1
+		}
+		repSum += d
+	}
+	replication := repSum / float64(n)
+
+	// Resident memory: edge RDD + LineageRDDs generations of the vertex
+	// RDD + the replicated triplet attributes, all at RDD object overhead.
+	valBytes := prog.ValueBytes()
+	raw := int64(g.NumEdges())*8 + e.Profile.LineageRDDs*int64(n)*(valBytes+8) +
+		int64(replication*float64(n))*(valBytes+8)
+	perWorker := int64(float64(raw) * e.Profile.ObjectOverhead / float64(w))
+	if err := e.Cluster.CheckMemory(perWorker, "GraphX RDDs"); err != nil {
+		return nil, err
+	}
+
+	values := make([]V, n)
+	active := bitset.New(n)
+	for v := 0; v < n; v++ {
+		val, act := prog.Init(uint32(v), g)
+		values[v] = val
+		if act {
+			active.Set(v)
+		}
+	}
+
+	inbox := make([][]M, n)
+	res := &Result[V]{}
+	var elapsed sim.Time
+	for {
+		if res.Supersteps > 100000 {
+			return nil, fmt.Errorf("graphx: did not converge in 100000 supersteps")
+		}
+		anyWork := active.Any()
+		if !anyWork {
+			for v := range inbox {
+				if len(inbox[v]) > 0 {
+					anyWork = true
+					break
+				}
+			}
+		}
+		if !anyWork {
+			break
+		}
+
+		next := make([][]M, n)
+		var cycles float64
+		var sent int64
+		var computed int64
+		nextActive := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if !active.Get(v) && len(inbox[v]) == 0 {
+				continue
+			}
+			vv := uint32(v)
+			send := func(dst uint32, m M) {
+				sent++
+				if len(next[dst]) > 0 {
+					if c, ok := prog.Combine(next[dst][len(next[dst])-1], m); ok {
+						next[dst][len(next[dst])-1] = c
+						return
+					}
+				}
+				next[dst] = append(next[dst], m)
+			}
+			val, act := prog.Compute(res.Supersteps, vv, values[v], inbox[v], g, send)
+			values[v] = val
+			if act {
+				nextActive.Set(v)
+			}
+			computed++
+			cycles += e.Profile.CyclesPerVertex + float64(g.Degree(uint64(v)))*e.Profile.CyclesPerEdge
+		}
+
+		// Three shuffles per job: attribute replication to edge partitions,
+		// message aggregation, and the vertex join.
+		shuffle := computed*int64(replication)*(valBytes+8) + // triplet build
+			sent*prog.MessageBytes() + // aggregateMessages
+			computed*(valBytes+8) // join back
+		elapsed += e.Cluster.Fixed(e.Profile.JobOverhead)
+		elapsed += e.Cluster.ComputeTime(cycles, e.Profile.Efficiency)
+		elapsed += e.Cluster.ShuffleTime(shuffle, 3)
+		res.ShuffleBytes += shuffle
+		res.Supersteps++
+		inbox = next
+		active = nextActive
+	}
+	res.Values = values
+	res.Elapsed = elapsed
+	return res, nil
+}

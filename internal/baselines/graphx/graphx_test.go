@@ -1,0 +1,92 @@
+package graphx
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/baselines/pregel"
+	"repro/internal/cluster"
+	"repro/internal/graphgen"
+	"repro/internal/hw"
+	"repro/internal/verify"
+)
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(cluster.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	want := verify.BFS(g, 0)
+	res, err := Run(testEngine(t), g, pregel.BFSProgram{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("vertex %d level = %d, want %d", v, res.Values[v], want[v])
+		}
+	}
+	if res.ShuffleBytes == 0 {
+		t.Error("no shuffle accounted")
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	want := verify.PageRank(g, 0.85, 5)
+	res, err := Run(testEngine(t), g, pregel.PRProgram{Damping: 0.85, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Abs(res.Values[v]-want[v]) > 1e-12 {
+			t.Fatalf("vertex %d rank = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestJobOverheadDominatesSmallGraphs(t *testing.T) {
+	// Deep, tiny graph: GraphX pays a job per level, so elapsed must be at
+	// least levels * JobOverhead — the per-iteration cost the paper's Fig. 6
+	// shows for GraphX on traversals.
+	g := graphgen.Path(50)
+	res, err := Run(testEngine(t), g, pregel.BFSProgram{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := Spark().JobOverhead * 49
+	if res.Elapsed < min {
+		t.Errorf("elapsed %v below job-overhead floor %v", res.Elapsed, min)
+	}
+}
+
+func TestOOMOnTinyCluster(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 12)
+	small := cluster.Paper()
+	small.MemoryPerWorker = 1 << 8
+	e, err := New(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(e, g, pregel.BFSProgram{Source: 0}); !errors.Is(err, hw.ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestGraphXHungrierThanPowerGraphProfile(t *testing.T) {
+	// GraphX's object overhead exceeds PowerGraph's 2.5x (paper: GraphX
+	// OOMs earlier).
+	if Spark().ObjectOverhead <= 2.5 {
+		t.Error("GraphX object overhead implausibly low")
+	}
+}

@@ -1,0 +1,215 @@
+// Package pregel implements a Bulk-Synchronous-Parallel vertex-centric
+// framework in the style of Google's Pregel: vertex programs run in
+// supersteps, exchanging messages that are delivered at the next superstep,
+// with optional sender-side combiners.
+//
+// Two of the paper's distributed baselines execute on it with different
+// runtime profiles: Apache Giraph (JVM object overhead, heavyweight
+// Hadoop-coordinated barriers) and Naiad (lean timely-dataflow coordination
+// but the largest in-memory state, which is why the paper finds it the
+// least scalable). Execution is functional — results are exact — while
+// compute, shuffle and barrier costs accrue against a cluster.Spec.
+package pregel
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/cluster"
+	"repro/internal/csr"
+	"repro/internal/sim"
+)
+
+// Program is a vertex program over value type V and message type M.
+// Compute runs for every vertex that is active or has incoming messages.
+type Program[V, M any] interface {
+	// Init returns a vertex's initial value and whether it starts active.
+	Init(v uint32, g *csr.Graph) (V, bool)
+	// Compute consumes the previous superstep's messages and returns the
+	// new value and whether the vertex stays active. send queues a message
+	// for delivery at the next superstep.
+	Compute(superstep int, v uint32, val V, msgs []M, g *csr.Graph, send func(dst uint32, m M)) (V, bool)
+	// Combine merges two messages for the same destination; ok=false means
+	// the program has no combiner and messages accumulate individually.
+	Combine(a, b M) (m M, ok bool)
+	// MessageBytes and ValueBytes size network and memory accounting.
+	MessageBytes() int64
+	ValueBytes() int64
+}
+
+// Profile captures one BSP runtime's cost characteristics.
+type Profile struct {
+	Name string
+	// Barrier is the per-superstep global coordination overhead.
+	Barrier sim.Time
+	// CyclesPerEdge / CyclesPerVertex / CyclesPerMessage price the compute.
+	CyclesPerEdge    float64
+	CyclesPerVertex  float64
+	CyclesPerMessage float64
+	// Efficiency in (0,1] is parallel efficiency across cores.
+	Efficiency float64
+	// ObjectOverhead multiplies raw graph bytes for resident memory (JVM
+	// boxing, framework metadata).
+	ObjectOverhead float64
+	// MessageOverhead multiplies raw message bytes for peak buffer memory.
+	MessageOverhead float64
+}
+
+// Giraph returns the Apache Giraph runtime profile: the paper finds it the
+// slowest of the distributed systems (Hadoop-style barriers, JVM objects).
+func Giraph() Profile {
+	return Profile{
+		Name:             "Giraph",
+		Barrier:          1200 * sim.Millisecond,
+		CyclesPerEdge:    9000,
+		CyclesPerVertex:  4000,
+		CyclesPerMessage: 14000,
+		Efficiency:       0.55,
+		ObjectOverhead:   6.0,
+		MessageOverhead:  8.0,
+	}
+}
+
+// Naiad returns the Naiad runtime profile: low coordination overhead and a
+// fast compiled core, but the whole dataflow's state and buffers stay
+// resident — the paper finds it the least scalable, failing with O.O.M.
+// where others still run (§7.1, §7.2).
+func Naiad() Profile {
+	return Profile{
+		Name:             "Naiad",
+		Barrier:          40 * sim.Millisecond,
+		CyclesPerEdge:    2500,
+		CyclesPerVertex:  1200,
+		CyclesPerMessage: 3500,
+		Efficiency:       0.7,
+		ObjectOverhead:   11.0,
+		MessageOverhead:  14.0,
+	}
+}
+
+// Engine binds a profile to a cluster.
+type Engine struct {
+	Cluster cluster.Spec
+	Profile Profile
+}
+
+// New returns an engine; it validates the cluster spec.
+func New(c cluster.Spec, p Profile) (*Engine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{Cluster: c, Profile: p}, nil
+}
+
+// Result reports a finished BSP run.
+type Result[V any] struct {
+	Values     []V
+	Elapsed    sim.Time
+	Supersteps int
+	// Messages counts sends before combining; NetworkBytes the shuffled
+	// volume (remote messages only).
+	Messages     int64
+	NetworkBytes int64
+}
+
+// Run executes prog over g on the engine's cluster until no vertex is
+// active and no messages are in flight. It returns hw.ErrOutOfMemory
+// (wrapped) if any worker's peak footprint exceeds its budget.
+func Run[V, M any](e *Engine, g *csr.Graph, prog Program[V, M]) (*Result[V], error) {
+	n := int(g.NumVertices())
+	w := e.Cluster.Workers
+	owner := func(v uint32) int { return int(v) % w }
+
+	// Static per-worker footprint: the hash-partitioned vertex values and
+	// edges, inflated by the runtime's object overhead.
+	rawPerWorker := (int64(n)*prog.ValueBytes() + int64(g.NumEdges())*8 + int64(n)*8) / int64(w)
+	static := int64(float64(rawPerWorker) * e.Profile.ObjectOverhead)
+	if err := e.Cluster.CheckMemory(static, e.Profile.Name+" graph partition"); err != nil {
+		return nil, err
+	}
+
+	values := make([]V, n)
+	active := bitset.New(n)
+	for v := 0; v < n; v++ {
+		val, act := prog.Init(uint32(v), g)
+		values[v] = val
+		if act {
+			active.Set(v)
+		}
+	}
+
+	inbox := make([][]M, n)
+	res := &Result[V]{}
+	var elapsed sim.Time
+	for {
+		if res.Supersteps > 100000 {
+			return nil, fmt.Errorf("pregel: %s did not converge in 100000 supersteps", e.Profile.Name)
+		}
+		// Anything to do this superstep?
+		anyWork := active.Any()
+		if !anyWork {
+			for v := range inbox {
+				if len(inbox[v]) > 0 {
+					anyWork = true
+					break
+				}
+			}
+		}
+		if !anyWork {
+			break
+		}
+
+		next := make([][]M, n)
+		var cycles float64
+		var sent, remote, msgsProcessed int64
+		nextActive := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if !active.Get(v) && len(inbox[v]) == 0 {
+				continue
+			}
+			vv := uint32(v)
+			send := func(dst uint32, m M) {
+				sent++
+				if owner(dst) != owner(vv) {
+					remote++
+				}
+				if len(next[dst]) > 0 {
+					if c, ok := prog.Combine(next[dst][len(next[dst])-1], m); ok {
+						next[dst][len(next[dst])-1] = c
+						return
+					}
+				}
+				next[dst] = append(next[dst], m)
+			}
+			val, act := prog.Compute(res.Supersteps, vv, values[v], inbox[v], g, send)
+			values[v] = val
+			if act {
+				nextActive.Set(v)
+			}
+			cycles += e.Profile.CyclesPerVertex + float64(g.Degree(uint64(v)))*e.Profile.CyclesPerEdge
+			msgsProcessed += int64(len(inbox[v]))
+		}
+		cycles += float64(msgsProcessed+sent) * e.Profile.CyclesPerMessage
+
+		// Peak per-worker message buffer this superstep.
+		msgBytes := sent * prog.MessageBytes()
+		peak := static + int64(float64(msgBytes)/float64(w)*e.Profile.MessageOverhead)
+		if err := e.Cluster.CheckMemory(peak, e.Profile.Name+" message buffers"); err != nil {
+			return nil, err
+		}
+
+		netBytes := remote * prog.MessageBytes()
+		elapsed += e.Cluster.Fixed(e.Profile.Barrier)
+		elapsed += e.Cluster.ComputeTime(cycles, e.Profile.Efficiency)
+		elapsed += e.Cluster.ShuffleTime(netBytes, 1)
+
+		res.Messages += sent
+		res.NetworkBytes += netBytes
+		res.Supersteps++
+		inbox = next
+		active = nextActive
+	}
+	res.Values = values
+	res.Elapsed = elapsed
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package pregel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graphgen"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/verify"
+)
+
+func testEngine(t *testing.T, p Profile) *Engine {
+	t.Helper()
+	e, err := New(cluster.Paper(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	want := verify.BFS(g, 0)
+	for _, prof := range []Profile{Giraph(), Naiad()} {
+		e := testEngine(t, prof)
+		res, err := Run(e, g, BFSProgram{Source: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if res.Values[v] != want[v] {
+				t.Fatalf("%s: vertex %d level = %d, want %d", prof.Name, v, res.Values[v], want[v])
+			}
+		}
+		if res.Supersteps < 2 || res.Messages == 0 || res.Elapsed <= 0 {
+			t.Errorf("%s: degenerate run %+v", prof.Name, res)
+		}
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	want := verify.PageRank(g, 0.85, 5)
+	e := testEngine(t, Giraph())
+	res, err := Run(e, g, PRProgram{Damping: 0.85, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Abs(res.Values[v]-want[v]) > 1e-12 {
+			t.Fatalf("vertex %d rank = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+	if res.Supersteps != 6 { // seed + 5 iterations
+		t.Errorf("supersteps = %d, want 6", res.Supersteps)
+	}
+}
+
+func TestSSSPMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 12)
+	want := verify.SSSP(g, 0, kernels.Weight)
+	e := testEngine(t, Naiad())
+	res, err := Run(e, g, SSSPProgram{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("vertex %d dist = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestCCMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 12)
+	want := verify.WCC(g)
+	e := testEngine(t, Giraph())
+	res, err := Run(e, g, CCProgram{Rev: g.Transpose()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("vertex %d label = %d, want %d", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestNaiadFasterButHungrier(t *testing.T) {
+	// The paper: Naiad is quick when it fits but the least scalable.
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	giraph, err := Run(testEngine(t, Giraph()), g, BFSProgram{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiad, err := Run(testEngine(t, Naiad()), g, BFSProgram{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naiad.Elapsed >= giraph.Elapsed {
+		t.Errorf("Naiad (%v) not faster than Giraph (%v)", naiad.Elapsed, giraph.Elapsed)
+	}
+	if Naiad().ObjectOverhead <= Giraph().ObjectOverhead {
+		t.Error("Naiad must have the larger memory footprint")
+	}
+}
+
+func TestOOMOnTinyCluster(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	small := cluster.Paper()
+	small.MemoryPerWorker = 1 << 10
+	e, err := New(small, Giraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(e, g, BFSProgram{Source: 0}); !errors.Is(err, hw.ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestCombinerKeepsOneMessagePerDest(t *testing.T) {
+	// On a star every spoke gets one combined message regardless of how
+	// the hub fans out. Reaching all spokes in 2 supersteps proves
+	// delivery works with combining.
+	g := graphgen.Star(100)
+	e := testEngine(t, Giraph())
+	res, err := Run(e, g, BFSProgram{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supersteps != 2 {
+		t.Errorf("supersteps = %d, want 2", res.Supersteps)
+	}
+	for v := 1; v < 100; v++ {
+		if res.Values[v] != 1 {
+			t.Fatalf("spoke %d level = %d", v, res.Values[v])
+		}
+	}
+}
+
+func TestInvalidClusterRejected(t *testing.T) {
+	if _, err := New(cluster.Spec{}, Giraph()); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}
+
+// uncombined strips a program's combiner, for the combiner ablation.
+type uncombined struct{ BFSProgram }
+
+func (u uncombined) Combine(a, b int16) (int16, bool) { return a, false }
+
+func TestCombinerAblation(t *testing.T) {
+	// Without the sender-side combiner, a skewed graph delivers one
+	// message per in-edge instead of one per vertex: more network bytes,
+	// more compute, same answer — the reason Pregel systems ship
+	// combiners at all.
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	with, err := Run(testEngine(t, Giraph()), g, BFSProgram{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(testEngine(t, Giraph()), g, uncombined{BFSProgram{Source: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range with.Values {
+		if with.Values[v] != without.Values[v] {
+			t.Fatalf("combiner changed vertex %d's level", v)
+		}
+	}
+	if without.Elapsed <= with.Elapsed {
+		t.Errorf("no combiner (%v) not slower than combiner (%v)", without.Elapsed, with.Elapsed)
+	}
+}

@@ -1,0 +1,184 @@
+package pregel
+
+import (
+	"math"
+
+	"repro/internal/csr"
+	"repro/internal/kernels"
+)
+
+// BFSProgram computes traversal levels from Source. Values are levels
+// (-1 = unvisited); messages propose levels, combined by minimum.
+type BFSProgram struct {
+	Source uint32
+}
+
+// Init implements Program.
+func (p BFSProgram) Init(v uint32, _ *csr.Graph) (int16, bool) {
+	if v == p.Source {
+		return 0, true
+	}
+	return -1, false
+}
+
+// Compute implements Program.
+func (p BFSProgram) Compute(ss int, v uint32, val int16, msgs []int16, g *csr.Graph, send func(uint32, int16)) (int16, bool) {
+	improved := false
+	if val == -1 {
+		for _, m := range msgs {
+			if val == -1 || m < val {
+				val = m
+			}
+		}
+		improved = val != -1
+	}
+	if (ss == 0 && v == p.Source) || improved {
+		for _, t := range g.Out(v) {
+			send(t, val+1)
+		}
+	}
+	return val, false
+}
+
+// Combine implements Program (minimum).
+func (p BFSProgram) Combine(a, b int16) (int16, bool) {
+	if a < b {
+		return a, true
+	}
+	return b, true
+}
+
+// MessageBytes implements Program.
+func (p BFSProgram) MessageBytes() int64 { return 2 }
+
+// ValueBytes implements Program.
+func (p BFSProgram) ValueBytes() int64 { return 2 }
+
+// PRProgram computes PageRank for a fixed iteration count with damping df,
+// matching verify.PageRank's formulation. Messages are rank contributions,
+// combined by sum. Superstep 0 seeds the uniform prior; supersteps 1..k
+// apply the update; the run ends after k+1 supersteps.
+type PRProgram struct {
+	Damping    float64
+	Iterations int
+}
+
+// Init implements Program.
+func (p PRProgram) Init(uint32, *csr.Graph) (float64, bool) { return 0, true }
+
+// Compute implements Program.
+func (p PRProgram) Compute(ss int, v uint32, val float64, msgs []float64, g *csr.Graph, send func(uint32, float64)) (float64, bool) {
+	n := float64(g.NumVertices())
+	if ss == 0 {
+		val = 1 / n
+	} else {
+		sum := 0.0
+		for _, m := range msgs {
+			sum += m
+		}
+		val = (1-p.Damping)/n + p.Damping*sum
+	}
+	if ss < p.Iterations {
+		if out := g.Out(v); len(out) > 0 {
+			c := val / float64(len(out))
+			for _, t := range out {
+				send(t, c)
+			}
+		}
+		return val, true
+	}
+	return val, false
+}
+
+// Combine implements Program (sum).
+func (p PRProgram) Combine(a, b float64) (float64, bool) { return a + b, true }
+
+// MessageBytes implements Program.
+func (p PRProgram) MessageBytes() int64 { return 8 }
+
+// ValueBytes implements Program.
+func (p PRProgram) ValueBytes() int64 { return 8 }
+
+// SSSPProgram computes shortest paths from Source with the repository's
+// deterministic edge weights (kernels.Weight). Messages propose distances,
+// combined by minimum.
+type SSSPProgram struct {
+	Source uint32
+}
+
+// Init implements Program.
+func (p SSSPProgram) Init(v uint32, _ *csr.Graph) (float64, bool) {
+	if v == p.Source {
+		return 0, true
+	}
+	return math.Inf(1), false
+}
+
+// Compute implements Program.
+func (p SSSPProgram) Compute(ss int, v uint32, val float64, msgs []float64, g *csr.Graph, send func(uint32, float64)) (float64, bool) {
+	best := val
+	for _, m := range msgs {
+		if m < best {
+			best = m
+		}
+	}
+	if (ss == 0 && v == p.Source) || best < val {
+		for _, t := range g.Out(v) {
+			send(t, best+float64(kernels.Weight(uint64(v), uint64(t))))
+		}
+	}
+	return best, false
+}
+
+// Combine implements Program (minimum).
+func (p SSSPProgram) Combine(a, b float64) (float64, bool) { return math.Min(a, b), true }
+
+// MessageBytes implements Program.
+func (p SSSPProgram) MessageBytes() int64 { return 8 }
+
+// ValueBytes implements Program.
+func (p SSSPProgram) ValueBytes() int64 { return 8 }
+
+// CCProgram computes weakly-connected components by min-label propagation
+// over both edge directions (the transpose view supplies in-edges).
+type CCProgram struct {
+	// Rev must be g.Transpose(); label floods need both directions to
+	// match weak connectivity on a directed graph.
+	Rev *csr.Graph
+}
+
+// Init implements Program.
+func (p CCProgram) Init(v uint32, _ *csr.Graph) (uint32, bool) { return v, true }
+
+// Compute implements Program.
+func (p CCProgram) Compute(ss int, v uint32, val uint32, msgs []uint32, g *csr.Graph, send func(uint32, uint32)) (uint32, bool) {
+	best := val
+	for _, m := range msgs {
+		if m < best {
+			best = m
+		}
+	}
+	if ss == 0 || best < val {
+		for _, t := range g.Out(v) {
+			send(t, best)
+		}
+		for _, t := range p.Rev.Out(v) {
+			send(t, best)
+		}
+	}
+	return best, false
+}
+
+// Combine implements Program (minimum).
+func (p CCProgram) Combine(a, b uint32) (uint32, bool) {
+	if a < b {
+		return a, true
+	}
+	return b, true
+}
+
+// MessageBytes implements Program.
+func (p CCProgram) MessageBytes() int64 { return 4 }
+
+// ValueBytes implements Program.
+func (p CCProgram) ValueBytes() int64 { return 4 }

@@ -1,0 +1,96 @@
+package xstream
+
+import (
+	"repro/internal/baselines/cpu"
+	"repro/internal/csr"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// GraphChi is the parallel-sliding-windows engine of Kyrola, Blelloch &
+// Guestrin (OSDI'12), the other out-of-core single-machine system the
+// paper's §8 discusses. Its two structural handicaps there: each interval's
+// shard must be *fully loaded* before computation starts (no streaming),
+// and disk I/O does not overlap with computation — so every iteration pays
+// load + compute + write serially, shard by shard.
+type GraphChi struct {
+	WS cpu.Workstation
+	// StreamRate is the storage bandwidth (bytes/second); GraphChi always
+	// runs out of core.
+	StreamRate float64
+	// Shards is the number of intervals the vertex range is split into
+	// (each shard's vertex data must fit in memory).
+	Shards int
+}
+
+// NewGraphChi returns the engine over the given storage bandwidth.
+func NewGraphChi(ws cpu.Workstation, rate float64, shards int) *GraphChi {
+	if shards < 1 {
+		shards = 1
+	}
+	return &GraphChi{WS: ws, StreamRate: rate, Shards: shards}
+}
+
+// Cost constants. The per-edge compute is cheap (sequential shard order);
+// the pain is serialized I/O and the per-shard load barrier.
+const (
+	graphchiEdgeBytes  = 12 // edge with in-shard value
+	graphchiEdgeCycles = 10
+	graphchiEfficiency = 0.75
+	graphchiShardSetup = 2 * sim.Millisecond
+)
+
+// Name identifies the engine.
+func (gc *GraphChi) Name() string { return "GraphChi" }
+
+// iteration prices one full pass: for each of the Shards intervals, load
+// the shard + its sliding windows (about 2x the interval's edges), compute,
+// and write updated edge values back — all serialized.
+func (gc *GraphChi) iteration(edges int64) sim.Time {
+	perShardEdges := edges / int64(gc.Shards)
+	var t sim.Time
+	for s := 0; s < gc.Shards; s++ {
+		loadBytes := 2 * perShardEdges * graphchiEdgeBytes // shard + windows
+		writeBytes := perShardEdges * graphchiEdgeBytes
+		io := sim.ByteTime(loadBytes+writeBytes, gc.StreamRate)
+		compute := gc.WS.Time(float64(perShardEdges)*graphchiEdgeCycles,
+			perShardEdges*graphchiEdgeBytes, graphchiEfficiency)
+		// No overlap: I/O then compute, plus the shard switch barrier.
+		t += io + compute + gc.WS.Fixed(graphchiShardSetup)
+	}
+	return t
+}
+
+// BFS traverses from src; like X-Stream, every level is a full pass.
+func (gc *GraphChi) BFS(g, rev *csr.Graph, src uint32) (*cpu.BFSResult, error) {
+	if err := gc.WS.CheckMemory(int64(g.NumVertices())*16/int64(gc.Shards), "GraphChi interval"); err != nil {
+		return nil, err
+	}
+	lv := verify.BFS(g, src)
+	depth := 0
+	for _, l := range lv {
+		if int(l) > depth {
+			depth = int(l)
+		}
+	}
+	levels := depth + 1
+	res := &cpu.BFSResult{Levels: lv, Depth: levels}
+	for i := 0; i < levels; i++ {
+		res.Elapsed += gc.iteration(int64(g.NumEdges()))
+		res.EdgesScanned += int64(g.NumEdges())
+	}
+	return res, nil
+}
+
+// PageRank runs fixed full passes.
+func (gc *GraphChi) PageRank(g, rev *csr.Graph, damping float64, iterations int) (*cpu.PRResult, error) {
+	if err := gc.WS.CheckMemory(int64(g.NumVertices())*16/int64(gc.Shards), "GraphChi interval"); err != nil {
+		return nil, err
+	}
+	ranks := verify.PageRank(g, damping, iterations)
+	var elapsed sim.Time
+	for i := 0; i < iterations; i++ {
+		elapsed += gc.iteration(int64(g.NumEdges()))
+	}
+	return &cpu.PRResult{Ranks: ranks, Elapsed: elapsed}, nil
+}

@@ -1,0 +1,122 @@
+// Package xstream implements the edge-centric scatter-shuffle-gather engine
+// of Roy, Mihailovic & Zwaenepoel (SOSP'13), the streaming design the
+// paper's §8 contrasts GTS against. Every scatter phase streams the entire
+// edge list sequentially — even when almost no vertex is active — so
+// traversal algorithms on high-diameter graphs run one full-edge sweep per
+// level and "do not finish in a reasonable amount of time". GTS's
+// page-level hybrid of sequential and random access exists precisely to
+// avoid this.
+package xstream
+
+import (
+	"repro/internal/baselines/cpu"
+	"repro/internal/csr"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// XStream binds the engine to a host and an optional storage stream rate.
+type XStream struct {
+	WS cpu.Workstation
+	// StreamRate is the sequential storage bandwidth for out-of-core runs
+	// (bytes/second); 0 means the edge list streams from main memory.
+	StreamRate float64
+}
+
+// New returns an in-memory engine; NewOutOfCore one streaming from disk.
+func New(ws cpu.Workstation) *XStream { return &XStream{WS: ws} }
+
+// NewOutOfCore returns an engine streaming edges at rate bytes/second.
+func NewOutOfCore(ws cpu.Workstation, rate float64) *XStream {
+	return &XStream{WS: ws, StreamRate: rate}
+}
+
+// Cost constants.
+const (
+	xstreamEdgeBytes    = 8  // on-stream edge record
+	xstreamUpdateBytes  = 8  // scatter output record
+	xstreamEdgeCycles   = 7  // sequential streaming is cheap per edge
+	xstreamUpdateCycles = 12 // shuffle bucketing + gather apply
+	xstreamEfficiency   = 0.8
+	xstreamPhaseSync    = 100 * sim.Microsecond
+)
+
+// Name identifies the engine.
+func (x *XStream) Name() string { return "X-Stream" }
+
+// iteration prices one scatter-shuffle-gather pass: the whole edge list
+// streams in, updates stream out and back in.
+func (x *XStream) iteration(edges, updates int64) sim.Time {
+	readBytes := edges * xstreamEdgeBytes
+	updateBytes := 2 * updates * xstreamUpdateBytes // write then read back
+	cycles := float64(edges)*xstreamEdgeCycles + float64(updates)*xstreamUpdateCycles
+	t := x.WS.Time(cycles, readBytes+updateBytes, xstreamEfficiency)
+	if x.StreamRate > 0 {
+		if st := sim.ByteTime(readBytes+updateBytes, x.StreamRate); st > t {
+			t = st
+		}
+	}
+	return t + 3*x.WS.Fixed(xstreamPhaseSync)
+}
+
+// BFS traverses from src. Every level scans the full edge list; only
+// frontier sources emit updates.
+func (x *XStream) BFS(g, rev *csr.Graph, src uint32) (*cpu.BFSResult, error) {
+	if x.StreamRate == 0 {
+		if err := x.WS.CheckMemory(g.Bytes()+int64(g.NumVertices())*8, "X-Stream edge list"); err != nil {
+			return nil, err
+		}
+	} else if err := x.WS.CheckMemory(int64(g.NumVertices())*16, "X-Stream vertex state"); err != nil {
+		return nil, err
+	}
+	n := int(g.NumVertices())
+	lv := make([]int16, n)
+	for i := range lv {
+		lv[i] = -1
+	}
+	lv[src] = 0
+	res := &cpu.BFSResult{}
+	var elapsed sim.Time
+	for level := int16(0); ; level++ {
+		var updates int64
+		changed := false
+		// Scatter: stream every edge, emit an update when the source is
+		// on the frontier.
+		for v := 0; v < n; v++ {
+			if lv[v] != level {
+				continue
+			}
+			for _, t := range g.Out(uint32(v)) {
+				updates++
+				if lv[t] == -1 { // gather
+					lv[t] = level + 1
+					changed = true
+				}
+			}
+		}
+		res.EdgesScanned += int64(g.NumEdges()) // full sweep regardless
+		elapsed += x.iteration(int64(g.NumEdges()), updates)
+		res.Depth++
+		if !changed {
+			break
+		}
+	}
+	res.Levels = lv
+	res.Elapsed = elapsed
+	return res, nil
+}
+
+// PageRank runs fixed iterations; every edge emits an update each pass.
+func (x *XStream) PageRank(g, rev *csr.Graph, damping float64, iterations int) (*cpu.PRResult, error) {
+	if x.StreamRate == 0 {
+		if err := x.WS.CheckMemory(g.Bytes()+int64(g.NumVertices())*16, "X-Stream edge list"); err != nil {
+			return nil, err
+		}
+	}
+	ranks := verify.PageRank(g, damping, iterations)
+	var elapsed sim.Time
+	for it := 0; it < iterations; it++ {
+		elapsed += x.iteration(int64(g.NumEdges()), int64(g.NumEdges()))
+	}
+	return &cpu.PRResult{Ranks: ranks, Elapsed: elapsed}, nil
+}

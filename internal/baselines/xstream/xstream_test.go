@@ -1,0 +1,144 @@
+package xstream
+
+import (
+	"testing"
+
+	"repro/internal/baselines/cpu"
+	"repro/internal/graphgen"
+	"repro/internal/verify"
+)
+
+func TestBFSMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	rev := g.Transpose()
+	want := verify.BFS(g, 0)
+	res, err := New(cpu.Paper()).BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Levels[v] != want[v] {
+			t.Fatalf("vertex %d level = %d, want %d", v, res.Levels[v], want[v])
+		}
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	want := verify.PageRank(g, 0.85, 3)
+	res, err := New(cpu.Paper()).PageRank(g, g.Transpose(), 0.85, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if res.Ranks[v] != want[v] {
+			t.Fatalf("vertex %d rank mismatch", v)
+		}
+	}
+}
+
+func TestFullSweepPerLevel(t *testing.T) {
+	// The defining pathology: every BFS level streams ALL edges.
+	g := graphgen.Path(500)
+	res, err := New(cpu.Paper()).BFS(g, g.Transpose(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScans := int64(res.Depth) * int64(g.NumEdges())
+	if res.EdgesScanned != wantScans {
+		t.Errorf("EdgesScanned = %d, want %d (full sweep per level)", res.EdgesScanned, wantScans)
+	}
+}
+
+func TestHighDiameterCatastrophicVsShallow(t *testing.T) {
+	// A deep path costs vastly more per reached vertex than a shallow
+	// star of the same edge count — the §8 argument for GTS's page-level
+	// random access.
+	n := 2000
+	deep, err := New(cpu.Paper()).BFS(graphgen.Path(n), graphgen.Path(n).Transpose(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star := graphgen.Star(n)
+	shallow, err := New(cpu.Paper()).BFS(star, star.Transpose(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Elapsed < 100*shallow.Elapsed {
+		t.Errorf("deep (%v) not >> shallow (%v)", deep.Elapsed, shallow.Elapsed)
+	}
+}
+
+func TestOutOfCoreBoundByStreamRate(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	rev := g.Transpose()
+	fast, err := New(cpu.Paper()).PageRank(g, rev, 0.85, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewOutOfCore(cpu.Paper(), 50e6).PageRank(g, rev, 0.85, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Elapsed <= fast.Elapsed {
+		t.Errorf("out-of-core (%v) not slower than in-memory (%v)", slow.Elapsed, fast.Elapsed)
+	}
+}
+
+func TestGraphChiMatchesReference(t *testing.T) {
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	rev := g.Transpose()
+	gc := NewGraphChi(cpu.Paper(), 5e9, 4)
+	bfs, err := gc.BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := verify.BFS(g, 0)
+	for v := range want {
+		if bfs.Levels[v] != want[v] {
+			t.Fatalf("vertex %d level mismatch", v)
+		}
+	}
+	pr, err := gc.PageRank(g, rev, 0.85, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPR := verify.PageRank(g, 0.85, 3)
+	for v := range wantPR {
+		if pr.Ranks[v] != wantPR[v] {
+			t.Fatalf("vertex %d rank mismatch", v)
+		}
+	}
+}
+
+func TestGraphChiSlowerThanXStream(t *testing.T) {
+	// Paper §8: GraphChi "shows a worse performance than X-Stream, due to
+	// requiring fully loading (not streaming) a shard file and no
+	// overlapping between disk I/O and computation."
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 11)
+	rev := g.Transpose()
+	ws := cpu.Paper()
+	xs, err := NewOutOfCore(ws, 5e9).PageRank(g, rev, 0.85, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := NewGraphChi(ws, 5e9, 4).PageRank(g, rev, 0.85, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.Elapsed <= xs.Elapsed {
+		t.Errorf("GraphChi (%v) not slower than X-Stream (%v)", gc.Elapsed, xs.Elapsed)
+	}
+}
+
+func TestGraphChiShardFloor(t *testing.T) {
+	gc := NewGraphChi(cpu.Paper(), 5e9, 0)
+	if gc.Shards != 1 {
+		t.Errorf("Shards = %d, want floor 1", gc.Shards)
+	}
+}

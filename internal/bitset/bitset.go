@@ -1,0 +1,83 @@
+// Package bitset provides a dense bit vector used for the GTS framework's
+// nextPIDSet page sets (paper §3.3) and for the baseline engines' vertex
+// frontiers.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-size bit vector. The zero value is unusable; call New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a set over n bits, all clear.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len reports the set's capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports bit i.
+func (s *Set) Get(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count reports the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Or merges other into s (s |= other). Both sets must have equal length.
+func (s *Set) Or(other *Set) {
+	if other.n != s.n {
+		panic("bitset: length mismatch in Or")
+	}
+	for i, w := range other.words {
+		s.words[i] |= w
+	}
+}
+
+// ForEach calls fn with each set bit's index in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}

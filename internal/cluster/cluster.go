@@ -1,0 +1,107 @@
+// Package cluster models the distributed testbed the paper runs GraphX,
+// Giraph, PowerGraph and Naiad on (§7.1): one master and 30 slave nodes,
+// each with two 8-core Xeons and 64 GB of memory, connected by Infiniband
+// QDR (40 Gbps). The distributed baseline engines execute functionally
+// in-process and charge their compute, shuffle and coordination work
+// against this model; exceeding a worker's memory budget yields the same
+// O.O.M. outcome the paper's figures tabulate.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Spec describes a homogeneous worker cluster.
+type Spec struct {
+	// Workers is the number of slave nodes.
+	Workers int
+	// CoresPerWorker is the physical core count per node.
+	CoresPerWorker int
+	// MemoryPerWorker is the usable heap per node in bytes (the paper
+	// configures 60 GB executors on 64 GB nodes).
+	MemoryPerWorker int64
+	// CyclesPerSec is per-core model-cycle throughput.
+	CyclesPerSec float64
+	// NetBandwidth is each node's NIC bandwidth in bytes/second.
+	NetBandwidth float64
+	// NetLatency is the per-round message latency.
+	NetLatency sim.Time
+	// TimeScale divides fixed per-superstep costs (barriers, job-launch
+	// overheads) for scaled-down runs; Scale sets it. Zero means 1.
+	TimeScale int64
+}
+
+// Paper returns the paper's 30-slave Infiniband cluster.
+func Paper() Spec {
+	return Spec{
+		Workers:         30,
+		CoresPerWorker:  16,
+		MemoryPerWorker: 60 << 30,
+		CyclesPerSec:    5e9,
+		NetBandwidth:    5e9, // 40 Gbps QDR
+		NetLatency:      30 * sim.Microsecond,
+	}
+}
+
+// Scale returns a copy with every memory capacity divided by factor,
+// matching the dataset down-scaling (bandwidths and core counts stay).
+func (s Spec) Scale(factor int64) Spec {
+	if factor <= 0 {
+		panic(fmt.Sprintf("cluster: scale factor %d must be positive", factor))
+	}
+	s.MemoryPerWorker /= factor
+	s.NetLatency /= sim.Time(factor)
+	s.TimeScale = factor
+	return s
+}
+
+// Fixed scales a fixed per-superstep cost (a barrier, a job launch) for
+// scaled-down runs, so extrapolating proxy times by the scale factor does
+// not multiply costs that are constant in reality.
+func (s Spec) Fixed(t sim.Time) sim.Time {
+	if s.TimeScale > 1 {
+		return t / sim.Time(s.TimeScale)
+	}
+	return t
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Workers < 1 || s.CoresPerWorker < 1 || s.MemoryPerWorker <= 0 ||
+		s.CyclesPerSec <= 0 || s.NetBandwidth <= 0 {
+		return fmt.Errorf("cluster: invalid spec %+v", s)
+	}
+	return nil
+}
+
+// TotalCores reports the cluster-wide core count.
+func (s Spec) TotalCores() int { return s.Workers * s.CoresPerWorker }
+
+// ComputeTime reports how long `cycles` of perfectly parallel work take
+// across the cluster, degraded by a parallel efficiency in (0,1].
+func (s Spec) ComputeTime(cycles, efficiency float64) sim.Time {
+	if efficiency <= 0 || efficiency > 1 {
+		efficiency = 1
+	}
+	return sim.Seconds(cycles / (float64(s.TotalCores()) * s.CyclesPerSec * efficiency))
+}
+
+// ShuffleTime reports an all-to-all exchange of `bytes` total: every node
+// sends and receives its share concurrently, plus per-round latency.
+func (s Spec) ShuffleTime(bytes int64, rounds int) sim.Time {
+	perNode := float64(bytes) / float64(s.Workers)
+	return sim.ByteTime(int64(perNode), s.NetBandwidth) + sim.Time(rounds)*s.NetLatency
+}
+
+// CheckMemory reports hw.ErrOutOfMemory when a worker's peak usage exceeds
+// its budget. what names the allocation for the error message.
+func (s Spec) CheckMemory(perWorkerBytes int64, what string) error {
+	if perWorkerBytes > s.MemoryPerWorker {
+		return fmt.Errorf("%w: %s needs %d bytes/worker, budget %d",
+			hw.ErrOutOfMemory, what, perWorkerBytes, s.MemoryPerWorker)
+	}
+	return nil
+}

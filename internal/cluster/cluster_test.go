@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestPaperSpec(t *testing.T) {
+	s := Paper()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers != 30 || s.TotalCores() != 480 {
+		t.Errorf("cluster = %d workers / %d cores, want 30/480", s.Workers, s.TotalCores())
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	s := Paper()
+	// 480 cores * 5e9 cycles/s = 2.4e12 cycles/s at efficiency 1.
+	if got := s.ComputeTime(2.4e12, 1); got != sim.Second {
+		t.Errorf("ComputeTime = %v, want 1s", got)
+	}
+	// Half efficiency doubles it.
+	if got := s.ComputeTime(2.4e12, 0.5); got != 2*sim.Second {
+		t.Errorf("ComputeTime at 0.5 = %v, want 2s", got)
+	}
+	// Out-of-range efficiency clamps to 1.
+	if got := s.ComputeTime(2.4e12, 7); got != sim.Second {
+		t.Errorf("clamped ComputeTime = %v", got)
+	}
+}
+
+func TestShuffleTime(t *testing.T) {
+	s := Paper()
+	// 150 GB all-to-all over 30 nodes at 5 GB/s each: 1 s + latency.
+	got := s.ShuffleTime(150e9, 1)
+	want := sim.Second + s.NetLatency
+	if got != want {
+		t.Errorf("ShuffleTime = %v, want %v", got, want)
+	}
+}
+
+func TestCheckMemory(t *testing.T) {
+	s := Paper()
+	if err := s.CheckMemory(s.MemoryPerWorker, "fits"); err != nil {
+		t.Errorf("exact fit rejected: %v", err)
+	}
+	err := s.CheckMemory(s.MemoryPerWorker+1, "overflows")
+	if !errors.Is(err, hw.ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Paper().Scale(1 << 10)
+	if s.MemoryPerWorker != (60<<30)/1024 {
+		t.Errorf("memory = %d", s.MemoryPerWorker)
+	}
+	if s.NetBandwidth != 5e9 {
+		t.Error("bandwidth must not scale")
+	}
+}
+
+func TestFixedCostScaling(t *testing.T) {
+	s := Paper()
+	if got := s.Fixed(sim.Second); got != sim.Second {
+		t.Errorf("unscaled Fixed = %v", got)
+	}
+	scaled := s.Scale(1000)
+	if got := scaled.Fixed(sim.Second); got != sim.Millisecond {
+		t.Errorf("scaled Fixed = %v, want 1ms", got)
+	}
+	if scaled.NetLatency != Paper().NetLatency/1000 {
+		t.Errorf("latency = %v", scaled.NetLatency)
+	}
+}
+
+func TestScalePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Paper().Scale(0)
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Workers: 1, CoresPerWorker: 0, MemoryPerWorker: 1, CyclesPerSec: 1, NetBandwidth: 1},
+		{Workers: 1, CoresPerWorker: 1, MemoryPerWorker: 0, CyclesPerSec: 1, NetBandwidth: 1},
+		{Workers: 1, CoresPerWorker: 1, MemoryPerWorker: 1, CyclesPerSec: 0, NetBandwidth: 1},
+		{Workers: 1, CoresPerWorker: 1, MemoryPerWorker: 1, CyclesPerSec: 1, NetBandwidth: 0},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package core implements the GTS framework of the paper's §3-§4: it
+// streams slotted-page topology from main memory or SSDs to (simulated)
+// GPUs over asynchronous streams, runs page kernels against device-resident
+// attribute data, and orchestrates level-by-level traversal for BFS-like
+// algorithms or full scans for PageRank-like ones (Algorithm 1).
+//
+// Multi-GPU execution follows the paper's two schemes: Strategy-P
+// (replicated attribute data, partitioned topology, peer-to-peer merge,
+// §4.1) and Strategy-S (partitioned attribute data, broadcast topology,
+// §4.2). Spare device memory becomes an LRU topology-page cache (§3.3), and
+// a main-memory buffer pool front-ends the SSD array (bufferPIDMap).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/slottedpage"
+	"repro/internal/trace"
+)
+
+// Strategy selects the multi-GPU scheme (paper §4).
+type Strategy int
+
+// Strategies.
+const (
+	// StrategyP copies the same attribute data to all GPUs and a different
+	// part of the topology to each: high performance, WA must fit one GPU.
+	StrategyP Strategy = iota
+	// StrategyS copies a different attribute chunk to each GPU and the
+	// same topology to all: scales WA across GPUs at some performance cost.
+	StrategyS
+)
+
+// String names the strategy as the paper does.
+func (s Strategy) String() string {
+	if s == StrategyS {
+		return "Strategy-S"
+	}
+	return "Strategy-P"
+}
+
+// CacheDisabled turns the device-memory page cache off when assigned to
+// Options.CacheBytes.
+const CacheDisabled int64 = -1
+
+// ErrWontFit reports that the run cannot be configured within device
+// memory; the message says which strategy or resource was exceeded.
+var ErrWontFit = errors.New("core: working set exceeds device memory")
+
+// Options configure an engine run.
+type Options struct {
+	// Strategy selects the multi-GPU scheme. Default StrategyP.
+	Strategy Strategy
+	// Streams is the number of asynchronous GPU streams per GPU, 1-32
+	// (paper §3.2). Default 32.
+	Streams int
+	// Technique selects the micro-level parallel scheme (paper §6.2).
+	// Default EdgeCentric (the paper's default, VWC).
+	Technique kernels.Technique
+	// Source is the start vertex for BFS-like kernels.
+	Source uint64
+	// CacheBytes bounds the per-GPU topology page cache: 0 (the default)
+	// uses all free device memory as the paper's §3.3 does, CacheDisabled
+	// turns caching off, and a positive value sets the exact byte budget.
+	CacheBytes int64
+	// MMBufBytes bounds the main-memory page buffer when streaming from
+	// storage; 0 defaults to 20% of the topology (the paper's RMAT31/32
+	// setting). Ignored when the machine has no storage (fully in-memory).
+	MMBufBytes int64
+	// Prefetch enables a read-ahead process for storage-backed runs: it
+	// fetches the superstep's pages into the main-memory buffer in page-ID
+	// order ahead of the GPU streams, turning the devices' access pattern
+	// sequential (which spinning disks in particular reward). The paper's
+	// Algorithm 1 fetches on demand (line 23); this is an extension.
+	Prefetch bool
+	// Trace, when non-nil, records per-stream spans for Figure 4.
+	Trace *trace.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.Streams == 0 {
+		o.Streams = 32
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Streams < 1 || o.Streams > 32 {
+		return fmt.Errorf("core: %d streams out of range [1,32]", o.Streams)
+	}
+	return nil
+}
+
+// Report summarizes a finished run.
+type Report struct {
+	// State is the merged final attribute state; decode it with the
+	// kernel's accessor (e.g. (*kernels.BFS).Levels).
+	State kernels.State
+	// Elapsed is the virtual wall-clock time of the run.
+	Elapsed sim.Time
+	// Levels counts traversal levels (BFS-like) or iterations
+	// (PageRank-like).
+	Levels int32
+	// PagesStreamed counts page copies into GPUs (cache hits excluded).
+	PagesStreamed int64
+	// CacheHits counts pages served from the device-memory page cache.
+	CacheHits int64
+	// BytesToGPU is total host-to-device traffic.
+	BytesToGPU int64
+	// EdgesTraversed counts adjacency entries the kernels scanned.
+	EdgesTraversed int64
+	// Updates counts attribute writes.
+	Updates int64
+	// CacheHitRate is the device page-cache hit fraction (Fig. 11).
+	CacheHitRate float64
+	// BufferHitRate is the main-memory buffer hit fraction.
+	BufferHitRate float64
+	// TransferTime is summed service time of streaming page copies and
+	// KernelTime summed kernel execution — their ratio is Table 1.
+	TransferTime sim.Time
+	KernelTime   sim.Time
+	// StorageBytes is total bytes fetched from SSDs/HDDs.
+	StorageBytes int64
+	// WABytes is the device-resident attribute footprint (Table 4).
+	WABytes int64
+	// MTEPS is millions of traversed edges per second of elapsed time.
+	MTEPS float64
+	// LevelPages and LevelBytes record, per traversal level (BFS-like) or
+	// iteration (PageRank-like), how many pages and bytes streamed to the
+	// GPUs — the per-level quantities Eq. 2 consumes.
+	LevelPages []int64
+	LevelBytes []int64
+}
+
+// Engine runs kernels over one graph on one machine specification. Each Run
+// builds a fresh simulation, so runs are independent and deterministic.
+type Engine struct {
+	spec  hw.MachineSpec
+	graph *slottedpage.Graph
+	opts  Options
+}
+
+// New validates the configuration and returns an engine.
+func New(spec hw.MachineSpec, graph *slottedpage.Graph, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if graph.NumPages() == 0 {
+		return nil, fmt.Errorf("core: graph has no pages")
+	}
+	return &Engine{spec: spec, graph: graph, opts: opts}, nil
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *slottedpage.Graph { return e.graph }
+
+// ceilDiv is integer division rounding up.
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// expandLPRun adds every page of the LP run starting at pid (kernels mark
+// only a large vertex's first page — its home RID).
+func (e *Engine) expandLPRun(set pidSet, pid slottedpage.PageID) {
+	owner := e.graph.RVT(pid).StartVID
+	for p := pid; int(p) < e.graph.NumPages() &&
+		e.graph.Kind(p) == slottedpage.LargePage &&
+		e.graph.RVT(p).StartVID == owner; p++ {
+		set.Set(int(p))
+	}
+}

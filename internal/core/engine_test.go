@@ -1,0 +1,745 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/csr"
+	"repro/internal/graphgen"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/slottedpage"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+// testConfig keeps pages small so even tiny graphs span many pages.
+func testConfig() slottedpage.Config { return slottedpage.ScaledConfig(2, 2, 4096) }
+
+func buildPages(t *testing.T, g *csr.Graph) *slottedpage.Graph {
+	t.Helper()
+	sp, err := slottedpage.Build(g, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// rmatGraph returns a moderately sized skewed test graph.
+func rmatGraph(t *testing.T) *csr.Graph {
+	t.Helper()
+	d, _ := graphgen.ByName("RMAT27")
+	return d.MustGenerate(27 - 11) // scale 11: 2048 vertices, ~32k edges
+}
+
+func newEngine(t *testing.T, g *slottedpage.Graph, opts Options, gpus, ssds int) *Engine {
+	t.Helper()
+	e, err := New(hw.Workstation(gpus, ssds), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustRun(t *testing.T, e *Engine, k kernels.Kernel) *Report {
+	t.Helper()
+	rep, err := e.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// configurations spans the strategy x GPU-count x storage matrix all
+// correctness tests run under.
+type config struct {
+	name     string
+	strategy Strategy
+	gpus     int
+	ssds     int
+}
+
+func configurations() []config {
+	return []config{
+		{"P-1gpu-mem", StrategyP, 1, 0},
+		{"P-2gpu-mem", StrategyP, 2, 0},
+		{"S-2gpu-mem", StrategyS, 2, 0},
+		{"P-1gpu-ssd", StrategyP, 1, 1},
+		{"P-2gpu-2ssd", StrategyP, 2, 2},
+		{"S-2gpu-2ssd", StrategyS, 2, 2},
+	}
+}
+
+func TestBFSMatchesReferenceAcrossConfigs(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	want := verify.BFS(g, 0)
+	for _, cfg := range configurations() {
+		t.Run(cfg.name, func(t *testing.T) {
+			e := newEngine(t, sp, Options{Strategy: cfg.strategy, Source: 0}, cfg.gpus, cfg.ssds)
+			k := kernels.NewBFS(sp)
+			rep := mustRun(t, e, k)
+			got := k.Levels(rep.State)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("vertex %d level = %d, want %d", v, got[v], want[v])
+				}
+			}
+			if rep.Elapsed <= 0 {
+				t.Error("no virtual time elapsed")
+			}
+		})
+	}
+}
+
+func TestPageRankMatchesReferenceAcrossConfigs(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	want := verify.PageRank(g, 0.85, 5)
+	for _, cfg := range configurations() {
+		t.Run(cfg.name, func(t *testing.T) {
+			e := newEngine(t, sp, Options{Strategy: cfg.strategy}, cfg.gpus, cfg.ssds)
+			k := kernels.NewPageRank(sp, 0.85, 5)
+			rep := mustRun(t, e, k)
+			got := k.Ranks(rep.State)
+			for v := range want {
+				if math.Abs(float64(got[v])-want[v]) > 1e-4*math.Max(want[v], 1e-9)+1e-7 {
+					t.Fatalf("vertex %d rank = %v, want %v", v, got[v], want[v])
+				}
+			}
+			if rep.Levels != 5 {
+				t.Errorf("iterations = %d, want 5", rep.Levels)
+			}
+		})
+	}
+}
+
+func TestSSSPMatchesReferenceAcrossConfigs(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	want := verify.SSSP(g, 0, kernels.Weight)
+	for _, cfg := range configurations() {
+		t.Run(cfg.name, func(t *testing.T) {
+			e := newEngine(t, sp, Options{Strategy: cfg.strategy, Source: 0}, cfg.gpus, cfg.ssds)
+			k := kernels.NewSSSP(sp)
+			rep := mustRun(t, e, k)
+			got := k.Distances(rep.State)
+			for v := range want {
+				if math.IsInf(want[v], 1) {
+					if got[v] != float32(math.MaxFloat32) {
+						t.Fatalf("vertex %d reachable (%v), want unreachable", v, got[v])
+					}
+					continue
+				}
+				if float64(got[v]) != want[v] {
+					t.Fatalf("vertex %d dist = %v, want %v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestCCMatchesReferenceAcrossConfigs(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	want := verify.WCC(g)
+	for _, cfg := range configurations() {
+		t.Run(cfg.name, func(t *testing.T) {
+			e := newEngine(t, sp, Options{Strategy: cfg.strategy}, cfg.gpus, cfg.ssds)
+			k := kernels.NewCC(sp)
+			rep := mustRun(t, e, k)
+			got := k.Components(rep.State)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("vertex %d component = %d, want %d", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestBCMatchesReferenceAcrossConfigs(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	want := verify.BC(g, 0)
+	for _, cfg := range configurations() {
+		t.Run(cfg.name, func(t *testing.T) {
+			e := newEngine(t, sp, Options{Strategy: cfg.strategy, Source: 0}, cfg.gpus, cfg.ssds)
+			k := kernels.NewBC(sp)
+			rep := mustRun(t, e, k)
+			got := k.Centrality(rep.State, 0)
+			for v := range want {
+				if math.Abs(got[v]-want[v]) > 1e-6*math.Max(want[v], 1)+1e-9 {
+					t.Fatalf("vertex %d bc = %v, want %v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestBFSOnStructuredGraphs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *csr.Graph
+		src  uint64
+	}{
+		{"path", graphgen.Path(500), 0},
+		{"cycle", graphgen.Cycle(300), 7},
+		{"star", graphgen.Star(400), 0},
+		{"grid", graphgen.Grid(20, 25), 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := buildPages(t, tc.g)
+			want := verify.BFS(tc.g, uint32(tc.src))
+			e := newEngine(t, sp, Options{Source: tc.src}, 1, 0)
+			k := kernels.NewBFS(sp)
+			rep := mustRun(t, e, k)
+			got := k.Levels(rep.State)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("vertex %d level = %d, want %d", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestTechniquesAllCorrect(t *testing.T) {
+	// Micro-level technique affects only time, never results (§6.2).
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	want := verify.BFS(g, 0)
+	for _, tech := range []kernels.Technique{kernels.EdgeCentric, kernels.VertexCentric, kernels.Hybrid} {
+		e := newEngine(t, sp, Options{Source: 0, Technique: tech}, 1, 0)
+		k := kernels.NewBFS(sp)
+		rep := mustRun(t, e, k)
+		got := k.Levels(rep.State)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%v: vertex %d level = %d, want %d", tech, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestDeterministicElapsed(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	e := newEngine(t, sp, Options{Source: 0}, 2, 2)
+	k := kernels.NewBFS(sp)
+	a := mustRun(t, e, k)
+	b := mustRun(t, e, k)
+	if a.Elapsed != b.Elapsed || a.PagesStreamed != b.PagesStreamed {
+		t.Errorf("nondeterministic: %v/%d vs %v/%d", a.Elapsed, a.PagesStreamed, b.Elapsed, b.PagesStreamed)
+	}
+}
+
+func TestStrategyPWontFitSuggestsS(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	// Scale device memory down so a full CC WA replica does not fit but
+	// half (Strategy-S with 2 GPUs) does.
+	spec := hw.Workstation(2, 0)
+	waBytes := int64(g.NumVertices()) * 8 // CC keeps prev+next labels
+	bufBytes := int64(4) * (2 * 4096)     // 4 streams, SPBuf+LPBuf, no RA
+	for i := range spec.GPUs {
+		spec.GPUs[i].DeviceMemory = waBytes*3/4 + bufBytes // full WA won't fit; half will
+	}
+	eP, err := New(spec, sp, Options{Strategy: StrategyP, Streams: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eP.Run(kernels.NewCC(sp)); !errors.Is(err, ErrWontFit) {
+		t.Fatalf("Strategy-P err = %v, want ErrWontFit", err)
+	}
+	eS, err := New(spec, sp, Options{Strategy: StrategyS, Streams: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := verify.WCC(g)
+	k := kernels.NewCC(sp)
+	rep, err := eS.Run(k)
+	if err != nil {
+		t.Fatalf("Strategy-S failed: %v", err)
+	}
+	got := k.Components(rep.State)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d component mismatch", v)
+		}
+	}
+}
+
+func TestCachingReducesStreaming(t *testing.T) {
+	// BFS revisits pages across levels; with a cache covering the whole
+	// graph, repeat visits must be hits.
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	k := kernels.NewBFS(sp)
+
+	noCache := mustRun(t, newEngine(t, sp, Options{Source: 0, CacheBytes: CacheDisabled}, 1, 0), k)
+	bigCache := mustRun(t, newEngine(t, sp, Options{Source: 0, CacheBytes: 0}, 1, 0), k)
+	if noCache.CacheHits != 0 {
+		t.Errorf("cache disabled but %d hits", noCache.CacheHits)
+	}
+	if bigCache.CacheHits == 0 {
+		t.Error("full cache produced no hits")
+	}
+	if bigCache.PagesStreamed >= noCache.PagesStreamed {
+		t.Errorf("caching did not reduce streaming: %d vs %d", bigCache.PagesStreamed, noCache.PagesStreamed)
+	}
+	if bigCache.Elapsed >= noCache.Elapsed {
+		t.Errorf("caching did not reduce time: %v vs %v", bigCache.Elapsed, noCache.Elapsed)
+	}
+}
+
+func TestMoreStreamsNotSlower(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	k := kernels.NewPageRank(sp, 0.85, 3)
+	t1 := mustRun(t, newEngine(t, sp, Options{Streams: 1}, 1, 0), k).Elapsed
+	t16 := mustRun(t, newEngine(t, sp, Options{Streams: 16}, 1, 0), k).Elapsed
+	if t16 > t1 {
+		t.Errorf("16 streams (%v) slower than 1 (%v)", t16, t1)
+	}
+}
+
+func TestStorageHierarchyOrdering(t *testing.T) {
+	// In-memory < SSD < HDD elapsed time (Fig. 9's storage-type axis).
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	mk := func(spec hw.MachineSpec) *Report {
+		e, err := New(spec, sp, Options{CacheBytes: CacheDisabled, MMBufBytes: int64(sp.Config().PageSize)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustRun(t, e, kernels.NewPageRank(sp, 0.85, 3))
+	}
+	mem := mk(hw.Workstation(1, 0))
+	ssd := mk(hw.Workstation(1, 1))
+	hdd := mk(hw.WorkstationHDD(1, 1))
+	if !(mem.Elapsed < ssd.Elapsed && ssd.Elapsed < hdd.Elapsed) {
+		t.Errorf("ordering violated: mem %v, ssd %v, hdd %v", mem.Elapsed, ssd.Elapsed, hdd.Elapsed)
+	}
+	if mem.StorageBytes != 0 || ssd.StorageBytes == 0 {
+		t.Errorf("storage bytes: mem %d, ssd %d", mem.StorageBytes, ssd.StorageBytes)
+	}
+}
+
+func TestTwoSSDsFasterThanOne(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	mk := func(ssds int) *Report {
+		e, err := New(hw.Workstation(1, ssds), sp, Options{CacheBytes: CacheDisabled, MMBufBytes: int64(sp.Config().PageSize)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustRun(t, e, kernels.NewPageRank(sp, 0.85, 3))
+	}
+	one, two := mk(1), mk(2)
+	if two.Elapsed >= one.Elapsed {
+		t.Errorf("2 SSDs (%v) not faster than 1 (%v)", two.Elapsed, one.Elapsed)
+	}
+}
+
+func TestPageRankRAStreamsWithPages(t *testing.T) {
+	// PageRank streams 4 bytes of prevPR per vertex along with each page;
+	// BytesToGPU must exceed pure topology traffic.
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	rep := mustRun(t, newEngine(t, sp, Options{CacheBytes: CacheDisabled}, 1, 0), kernels.NewPageRank(sp, 0.85, 1))
+	topo := int64(rep.PagesStreamed) * int64(sp.Config().PageSize)
+	if rep.BytesToGPU <= topo {
+		t.Errorf("BytesToGPU %d does not include RA beyond topology %d", rep.BytesToGPU, topo)
+	}
+}
+
+func TestTraceRecordsSpans(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	rec := trace.New()
+	e := newEngine(t, sp, Options{Trace: rec, Streams: 4}, 1, 0)
+	mustRun(t, e, kernels.NewPageRank(sp, 0.85, 1))
+	if rec.Total(trace.Kernel) == 0 || rec.Total(trace.CopyPage) == 0 {
+		t.Error("trace missing kernel or copy spans")
+	}
+}
+
+func TestReportMetricsSane(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	rep := mustRun(t, newEngine(t, sp, Options{Source: 0}, 1, 0), kernels.NewBFS(sp))
+	if rep.MTEPS <= 0 {
+		t.Error("MTEPS not positive")
+	}
+	if rep.WABytes != int64(g.NumVertices())*2 {
+		t.Errorf("WABytes = %d", rep.WABytes)
+	}
+	if rep.KernelTime <= 0 || rep.TransferTime <= 0 {
+		t.Error("missing kernel/transfer accounting")
+	}
+	if rep.EdgesTraversed == 0 {
+		t.Error("no edges traversed")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	if _, err := New(hw.Workstation(1, 0), sp, Options{Streams: 64}); err == nil {
+		t.Error("64 streams accepted")
+	}
+	if _, err := New(hw.MachineSpec{}, sp, Options{}); err == nil {
+		t.Error("empty machine accepted")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if StrategyP.String() != "Strategy-P" || StrategyS.String() != "Strategy-S" {
+		t.Error("Strategy.String wrong")
+	}
+}
+
+func TestRWRMatchesReferenceAcrossConfigs(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	want := verify.RWR(g, 3, 0.15, 5)
+	for _, cfg := range configurations() {
+		t.Run(cfg.name, func(t *testing.T) {
+			e := newEngine(t, sp, Options{Strategy: cfg.strategy, Source: 3}, cfg.gpus, cfg.ssds)
+			k := kernels.NewRWR(sp, 0.15, 5)
+			rep := mustRun(t, e, k)
+			got := k.Scores(rep.State)
+			for v := range want {
+				if math.Abs(float64(got[v])-want[v]) > 1e-4*math.Max(want[v], 1e-9)+1e-7 {
+					t.Fatalf("vertex %d score = %v, want %v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestDegreeDistMatchesGraph(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	for _, cfg := range configurations()[:3] { // in-memory configs suffice
+		t.Run(cfg.name, func(t *testing.T) {
+			e := newEngine(t, sp, Options{Strategy: cfg.strategy}, cfg.gpus, cfg.ssds)
+			k := kernels.NewDegreeDist(sp)
+			rep := mustRun(t, e, k)
+			got := k.Degrees(rep.State)
+			for v := uint64(0); v < g.NumVertices(); v++ {
+				if int(got[v]) != g.Degree(v) {
+					t.Fatalf("vertex %d degree = %d, want %d", v, got[v], g.Degree(v))
+				}
+			}
+			h := k.Histogram(rep.State)
+			var sum int64
+			for _, c := range h {
+				sum += c
+			}
+			if sum != int64(g.NumVertices()) {
+				t.Errorf("histogram sums to %d", sum)
+			}
+		})
+	}
+}
+
+func TestKCoreMatchesReferenceAcrossConfigs(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	for _, kk := range []int{2, 8} {
+		want := verify.KCore(g, kk)
+		for _, cfg := range configurations()[:3] {
+			e := newEngine(t, sp, Options{Strategy: cfg.strategy}, cfg.gpus, cfg.ssds)
+			kern := kernels.NewKCore(sp, kk)
+			rep := mustRun(t, e, kern)
+			got := kern.InCore(rep.State)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s k=%d: vertex %d in-core = %v, want %v", cfg.name, kk, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestLevelStatsRecorded(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	rep := mustRun(t, newEngine(t, sp, Options{Source: 0}, 1, 0), kernels.NewBFS(sp))
+	if int32(len(rep.LevelPages)) != rep.Levels || len(rep.LevelBytes) != len(rep.LevelPages) {
+		t.Fatalf("level stats %d/%d vs %d levels", len(rep.LevelPages), len(rep.LevelBytes), rep.Levels)
+	}
+	var pages, bytes int64
+	for i := range rep.LevelPages {
+		pages += rep.LevelPages[i]
+		bytes += rep.LevelBytes[i]
+	}
+	if pages != rep.PagesStreamed {
+		t.Errorf("level pages sum %d != total %d", pages, rep.PagesStreamed)
+	}
+	if bytes != rep.BytesToGPU-rep.WABytes { // WA upload precedes level 0
+		t.Errorf("level bytes sum %d != streamed %d", bytes, rep.BytesToGPU-rep.WABytes)
+	}
+}
+
+func TestEngineMatchesReferenceOnRandomGraphs(t *testing.T) {
+	// Property: for random skewed graphs, the engine's BFS equals the
+	// reference under a randomly drawn configuration.
+	r := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 8; iter++ {
+		n := 200 + r.Intn(800)
+		var edges []csr.Edge
+		for i := 0; i < n*6; i++ {
+			src := uint32(r.Intn(n))
+			if r.Intn(10) == 0 {
+				src = uint32(r.Intn(5)) // hubs
+			}
+			edges = append(edges, csr.Edge{Src: src, Dst: uint32(r.Intn(n))})
+		}
+		g := csr.MustFromEdges(n, edges)
+		sp := buildPages(t, g)
+		src := uint64(r.Intn(n))
+		strat := Strategy(r.Intn(2))
+		gpus := 1 + r.Intn(2)
+		want := verify.BFS(g, uint32(src))
+		e := newEngine(t, sp, Options{Strategy: strat, Source: src, Streams: 1 + r.Intn(32)}, gpus, r.Intn(2))
+		k := kernels.NewBFS(sp)
+		rep := mustRun(t, e, k)
+		got := k.Levels(rep.State)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("iter %d (%v, %d gpus): vertex %d = %d, want %d", iter, strat, gpus, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSSSPOnRandomGraphsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for iter := 0; iter < 5; iter++ {
+		n := 100 + r.Intn(400)
+		var edges []csr.Edge
+		for i := 0; i < n*5; i++ {
+			edges = append(edges, csr.Edge{Src: uint32(r.Intn(n)), Dst: uint32(r.Intn(n))})
+		}
+		g := csr.MustFromEdges(n, edges)
+		sp := buildPages(t, g)
+		src := uint32(r.Intn(n))
+		want := verify.SSSP(g, src, kernels.Weight)
+		e := newEngine(t, sp, Options{Source: uint64(src), Strategy: Strategy(r.Intn(2))}, 1+r.Intn(2), 0)
+		k := kernels.NewSSSP(sp)
+		rep := mustRun(t, e, k)
+		got := k.Distances(rep.State)
+		for v := range want {
+			if math.IsInf(want[v], 1) {
+				if got[v] != float32(math.MaxFloat32) {
+					t.Fatalf("iter %d: vertex %d reachable, want not", iter, v)
+				}
+				continue
+			}
+			if float64(got[v]) != want[v] {
+				t.Fatalf("iter %d: vertex %d dist %v, want %v", iter, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestIsolatedVerticesDontPerturbBFS(t *testing.T) {
+	// Metamorphic: appending isolated vertices must not change the levels
+	// of existing ones.
+	base := rmatGraph(t)
+	spBase := buildPages(t, base)
+	kBase := kernels.NewBFS(spBase)
+	repBase := mustRun(t, newEngine(t, spBase, Options{Source: 0}, 1, 0), kBase)
+
+	bigger := csr.MustFromEdges(int(base.NumVertices())+500, base.Edges())
+	spBig := buildPages(t, bigger)
+	kBig := kernels.NewBFS(spBig)
+	repBig := mustRun(t, newEngine(t, spBig, Options{Source: 0}, 1, 0), kBig)
+
+	a, b := kBase.Levels(repBase.State), kBig.Levels(repBig.State)
+	for v := 0; v < int(base.NumVertices()); v++ {
+		if a[v] != b[v] {
+			t.Fatalf("vertex %d level changed %d -> %d after padding", v, a[v], b[v])
+		}
+	}
+	for v := int(base.NumVertices()); v < len(b); v++ {
+		if b[v] != -1 {
+			t.Fatalf("isolated vertex %d reached (level %d)", v, b[v])
+		}
+	}
+}
+
+func TestPrefetchCorrectAndHelpsOnHDD(t *testing.T) {
+	// With a single stream, on-demand fetches serialize against copies and
+	// kernels; the prefetcher overlaps storage I/O with them. (With many
+	// streams the engine already overlaps I/O via concurrency, and
+	// prefetching is a wash — which the ablation experiment shows.)
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	want := verify.PageRank(g, 0.85, 3)
+	mk := func(prefetch bool) *Report {
+		e, err := New(hw.WorkstationHDD(1, 2), sp, Options{
+			CacheBytes: CacheDisabled,
+			MMBufBytes: int64(sp.Config().PageSize) * 8,
+			Streams:    1,
+			Prefetch:   prefetch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := kernels.NewPageRank(sp, 0.85, 3)
+		rep := mustRun(t, e, k)
+		got := k.Ranks(rep.State)
+		for v := range want {
+			if math.Abs(float64(got[v])-want[v]) > 1e-4*math.Max(want[v], 1e-9)+1e-7 {
+				t.Fatalf("prefetch=%v: vertex %d rank mismatch", prefetch, v)
+			}
+		}
+		return rep
+	}
+	demand := mk(false)
+	ahead := mk(true)
+	if ahead.Elapsed >= demand.Elapsed {
+		t.Errorf("prefetch (%v) not faster than on-demand (%v) on HDDs", ahead.Elapsed, demand.Elapsed)
+	}
+}
+
+func TestRadiusConsistentAcrossConfigs(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	var baseline []int32
+	for _, cfg := range configurations()[:3] {
+		t.Run(cfg.name, func(t *testing.T) {
+			e := newEngine(t, sp, Options{Strategy: cfg.strategy}, cfg.gpus, cfg.ssds)
+			k := kernels.NewRadius(sp, 8, 64)
+			rep := mustRun(t, e, k)
+			radii := k.Radii(rep.State)
+			if baseline == nil {
+				baseline = append([]int32(nil), radii...)
+				return
+			}
+			for v := range baseline {
+				if radii[v] != baseline[v] {
+					t.Fatalf("vertex %d radius %d differs from baseline %d", v, radii[v], baseline[v])
+				}
+			}
+		})
+	}
+}
+
+func TestRadiusBoundedByEccentricity(t *testing.T) {
+	// The sketch can stop growing early (bit collisions) but never grows
+	// after the true out-eccentricity.
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	k := kernels.NewRadius(sp, 8, 64)
+	rep := mustRun(t, newEngine(t, sp, Options{}, 1, 0), k)
+	radii := k.Radii(rep.State)
+	for v := uint32(0); v < 64; v++ {
+		lv := verify.BFS(g, v)
+		ecc := int32(0)
+		for _, l := range lv {
+			if int32(l) > ecc {
+				ecc = int32(l)
+			}
+		}
+		if radii[v] > ecc {
+			t.Fatalf("vertex %d radius %d exceeds eccentricity %d", v, radii[v], ecc)
+		}
+	}
+}
+
+func TestRadiusNeighborhoodEstimates(t *testing.T) {
+	// Star: the hub reaches everything, spokes only themselves.
+	star := graphgen.Star(512)
+	sp := buildPages(t, star)
+	k := kernels.NewRadius(sp, 16, 8)
+	rep := mustRun(t, newEngine(t, sp, Options{}, 1, 0), k)
+	hub := k.NeighborhoodEstimate(rep.State, 0)
+	spoke := k.NeighborhoodEstimate(rep.State, 1)
+	if hub < 128 || hub > 2048 {
+		t.Errorf("hub estimate %v far from 512", hub)
+	}
+	if spoke > 8 {
+		t.Errorf("spoke estimate %v far from 1", spoke)
+	}
+	if hub < 10*spoke {
+		t.Errorf("hub (%v) not clearly above spoke (%v)", hub, spoke)
+	}
+	// Cycle: every vertex reaches the same set, so estimates coincide.
+	cyc := graphgen.Cycle(256)
+	spc := buildPages(t, cyc)
+	kc := kernels.NewRadius(spc, 8, 512)
+	repc := mustRun(t, newEngine(t, spc, Options{}, 1, 0), kc)
+	first := kc.NeighborhoodEstimate(repc.State, 0)
+	for v := uint64(1); v < 256; v++ {
+		if got := kc.NeighborhoodEstimate(repc.State, v); got != first {
+			t.Fatalf("cycle vertex %d estimate %v != %v", v, got, first)
+		}
+	}
+	if d := kc.EffectiveDiameter(repc.State, 1.0); d < 1 {
+		t.Errorf("effective diameter = %d", d)
+	}
+}
+
+func TestNeighborhoodMatchesCappedBFS(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	full := verify.BFS(g, 0)
+	for _, hops := range []int{1, 2, 3} {
+		for _, cfg := range configurations()[:3] {
+			e := newEngine(t, sp, Options{Strategy: cfg.strategy, Source: 0}, cfg.gpus, cfg.ssds)
+			k := kernels.NewNeighborhood(sp, hops)
+			rep := mustRun(t, e, k)
+			got := k.Members(rep.State)
+			for v := range full {
+				want := full[v]
+				if int(want) > hops {
+					want = -1
+				}
+				if got[v] != want {
+					t.Fatalf("%s hops=%d: vertex %d = %d, want %d", cfg.name, hops, v, got[v], want)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborhoodStreamsFewerPagesThanBFS(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	bfs := mustRun(t, newEngine(t, sp, Options{Source: 0, CacheBytes: CacheDisabled}, 1, 0), kernels.NewBFS(sp))
+	ball := mustRun(t, newEngine(t, sp, Options{Source: 0, CacheBytes: CacheDisabled}, 1, 0), kernels.NewNeighborhood(sp, 1))
+	if ball.PagesStreamed >= bfs.PagesStreamed {
+		t.Errorf("1-hop ball streamed %d pages, full BFS %d", ball.PagesStreamed, bfs.PagesStreamed)
+	}
+}
+
+func TestCrossEdgesMatchesDirectCount(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	pivot := g.NumVertices() / 3
+	side := func(v uint64) bool { return v < pivot }
+	var want int64
+	for v := uint64(0); v < g.NumVertices(); v++ {
+		vs := side(v)
+		g.Neighbors(v, func(d uint64) {
+			if side(d) != vs {
+				want++
+			}
+		})
+	}
+	for _, cfg := range configurations()[:3] {
+		e := newEngine(t, sp, Options{Strategy: cfg.strategy}, cfg.gpus, cfg.ssds)
+		k := kernels.NewCrossEdges(sp, side)
+		rep := mustRun(t, e, k)
+		if got := k.Total(rep.State); got != want {
+			t.Fatalf("%s: cross edges = %d, want %d", cfg.name, got, want)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/slottedpage"
+	"repro/internal/trace"
+)
+
+// pidSet is a set of page IDs (the paper's nextPIDSet).
+type pidSet = *bitset.Set
+
+// run carries one execution's mutable context.
+type run struct {
+	eng     *Engine
+	k       kernels.Kernel
+	env     *sim.Env
+	machine *hw.Machine
+
+	// states holds one replica per GPU under Strategy-P, or a single
+	// shared state under Strategy-S.
+	states []kernels.State
+	// owned[i] is GPU i's attribute ownership range [lo, hi).
+	owned [][2]uint64
+
+	caches   []*hw.BufferPool // per-GPU page caches; nil = disabled
+	buffer   *hw.BufferPool   // main-memory page buffer (bufferPIDMap)
+	inMemory bool             // whole graph resident in main memory
+	inflight map[slottedpage.PageID]*sim.Signal
+
+	perGPUWA    int64
+	raPerV      int64
+	waPerVertex int64
+	levels      int32
+
+	// phaseConsumed counts pages processed in the current phase, which
+	// throttles the prefetcher's lead.
+	phaseConsumed int64
+
+	// Accumulators for the report.
+	levelPages     []int64
+	levelBytes     []int64
+	pagesStreamed  int64
+	cacheHits      int64
+	bytesToGPU     int64
+	edgesTraversed int64
+	levelUpdates   int64
+	updates        int64
+	transferTime   sim.Time
+}
+
+// Run executes kernel k to completion and reports timing and metrics.
+func (e *Engine) Run(k kernels.Kernel) (*Report, error) {
+	r := &run{eng: e, k: k, env: sim.NewEnv(), inflight: map[slottedpage.PageID]*sim.Signal{}}
+	m, err := hw.NewMachine(r.env, e.spec, int64(e.graph.Config().PageSize))
+	if err != nil {
+		return nil, err
+	}
+	r.machine = m
+	if err := r.setup(); err != nil {
+		return nil, err
+	}
+
+	var runErr error
+	r.env.Process("gts-framework", func(p *sim.Proc) {
+		runErr = r.framework(p)
+	})
+	elapsed, err := r.env.Run()
+	if err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return r.report(elapsed), nil
+}
+
+// setup performs Algorithm 1's initialization: allocate WABuf, the
+// streaming buffers and the page cache in each GPU's device memory, create
+// the attribute states, and size the main-memory buffer.
+func (r *run) setup() error {
+	e, k, m := r.eng, r.k, r.machine
+	nGPU := len(m.GPUs)
+	nV := e.graph.NumVertices()
+	pageSize := int64(e.graph.Config().PageSize)
+
+	proto := k.NewState()
+	k.Init(proto, e.opts.Source)
+	waBytes := proto.WABytes()
+	r.raPerV = k.RAPerVertex()
+	if nV > 0 {
+		r.waPerVertex = waBytes / int64(nV)
+	}
+
+	switch e.opts.Strategy {
+	case StrategyP:
+		r.perGPUWA = waBytes
+		r.states = []kernels.State{proto}
+		for i := 1; i < nGPU; i++ {
+			r.states = append(r.states, proto.Clone())
+		}
+		for i := 0; i < nGPU; i++ {
+			r.owned = append(r.owned, [2]uint64{0, nV})
+		}
+	case StrategyS:
+		r.perGPUWA = ceilDiv(waBytes, int64(nGPU))
+		r.states = []kernels.State{proto}
+		chunk := (nV + uint64(nGPU) - 1) / uint64(nGPU)
+		for i := 0; i < nGPU; i++ {
+			lo := uint64(i) * chunk
+			hi := lo + chunk
+			if lo > nV {
+				lo = nV
+			}
+			if hi > nV {
+				hi = nV
+			}
+			r.owned = append(r.owned, [2]uint64{lo, hi})
+		}
+	}
+
+	// Streaming buffers: SPBuf + LPBuf per stream plus an RABuf sized for
+	// the densest page's subvector.
+	raBuf := int64(e.graph.Config().MaxSlotsPerPage()) * r.raPerV
+	bufBytes := int64(e.opts.Streams) * (2*pageSize + raBuf)
+	for _, g := range m.GPUs {
+		if err := g.Alloc(r.perGPUWA + bufBytes); err != nil {
+			hint := "use Strategy-S to spread WA across GPUs or add GPUs"
+			if e.opts.Strategy == StrategyS {
+				hint = "the graph's WA exceeds the machine's total device memory"
+			}
+			return fmt.Errorf("%w: WA %d + buffers %d on %s (%s): %v",
+				ErrWontFit, r.perGPUWA, bufBytes, g.Spec.Name, hint, err)
+		}
+	}
+
+	// Page cache in the remaining device memory (paper §3.3).
+	r.caches = make([]*hw.BufferPool, nGPU)
+	for i, g := range m.GPUs {
+		budget := e.opts.CacheBytes
+		if budget < 0 { // CacheDisabled
+			continue
+		}
+		if budget == 0 || budget > g.MemFree() {
+			budget = g.MemFree()
+		}
+		pages := budget / pageSize
+		if pages > 0 {
+			if err := g.Alloc(pages * pageSize); err != nil {
+				return err
+			}
+			r.caches[i] = hw.NewBufferPool(int(pages))
+		}
+	}
+
+	// Main-memory buffer: everything resident when there is no storage;
+	// otherwise a bounded pool front-ending the SSD/HDD array.
+	if m.Storage == nil {
+		r.inMemory = true
+		if err := m.Host.Alloc(e.graph.TopologyBytes()); err != nil {
+			return fmt.Errorf("core: graph does not fit in main memory and no storage is configured: %w", err)
+		}
+		r.buffer = hw.NewBufferPool(0)
+		for pid := 0; pid < e.graph.NumPages(); pid++ {
+			r.buffer.Insert(uint64(pid))
+		}
+	} else {
+		mmBytes := e.opts.MMBufBytes
+		if mmBytes == 0 {
+			mmBytes = e.graph.TopologyBytes() / 5 // the paper's 20% buffer
+		}
+		pages := mmBytes / pageSize
+		if pages < 1 {
+			pages = 1
+		}
+		if err := m.Host.Alloc(pages * pageSize); err != nil {
+			return err
+		}
+		r.buffer = hw.NewBufferPool(int(pages))
+	}
+	return nil
+}
+
+// framework is Algorithm 1's repeat-until loop, run as the controlling CPU
+// thread.
+func (r *run) framework(p *sim.Proc) error {
+	e, k := r.eng, r.k
+	g := e.graph
+	nGPU := len(r.machine.GPUs)
+	numPages := g.NumPages()
+
+	// Step 1 (Fig. 5): upload WA chunks to every GPU concurrently.
+	r.parallelGPUs(p, func(p *sim.Proc, i int) {
+		t0 := r.env.Now()
+		r.machine.GPUs[i].CopyChunkIn(p, r.perGPUWA)
+		r.bytesToGPU += r.perGPUWA
+		e.opts.Trace.Add(trace.Span{GPU: i, Stream: -1, Kind: trace.CopyWA, Page: -1, Start: t0, End: r.env.Now()})
+	})
+
+	bfsLike := k.Class() == kernels.BFSLike
+	next := bitset.New(numPages)
+	if bfsLike {
+		home := g.HomeOf(e.opts.Source)
+		next.Set(int(home.PID))
+		if g.Kind(home.PID) == slottedpage.LargePage {
+			r.eng.expandLPRun(next, home.PID)
+		}
+	} else {
+		for pid := 0; pid < numPages; pid++ {
+			next.Set(pid)
+		}
+	}
+
+	backKernel, wantBackward := k.(kernels.BackwardKernel)
+	var levelSets []pidSet // forward per-level page sets, for the backward sweep
+
+	var level int32
+	for {
+		if level > 32000 {
+			return fmt.Errorf("core: traversal exceeded 32000 levels (level vectors are int16)")
+		}
+		k.BeginLevel(r.states, level)
+		locals := make([]pidSet, nGPU)
+		for i := range locals {
+			locals[i] = bitset.New(numPages)
+		}
+		beforePages, beforeBytes := r.pagesStreamed, r.bytesToGPU
+		anyActive := r.superstep(p, next, level, locals, false)
+		r.levelPages = append(r.levelPages, r.pagesStreamed-beforePages)
+		r.levelBytes = append(r.levelBytes, r.bytesToGPU-beforeBytes)
+		r.sync(p, level, bfsLike)
+
+		if bfsLike {
+			if wantBackward {
+				levelSets = append(levelSets, next.Clone())
+			}
+			merged := bitset.New(numPages)
+			for _, l := range locals {
+				merged.Or(l)
+			}
+			// Expand LP runs: kernels mark a large vertex's first page.
+			merged.ForEach(func(pid int) {
+				if g.Kind(slottedpage.PageID(pid)) == slottedpage.LargePage {
+					r.eng.expandLPRun(merged, slottedpage.PageID(pid))
+				}
+			})
+			next = merged
+			level++
+			if !next.Any() {
+				break
+			}
+		} else {
+			level++
+			if !k.EndIteration(r.states, anyActive) {
+				break
+			}
+			// Per-iteration WA sync: the updated vector streams back so
+			// the host can feed it as next iteration's RA (Eq. 1's 2|WA|).
+			r.copyWAOut(p)
+			next = bitset.New(numPages)
+			for pid := 0; pid < numPages; pid++ {
+				next.Set(pid)
+			}
+		}
+	}
+
+	// Backward sweep (Betweenness Centrality): replay recorded levels in
+	// reverse, deepest first.
+	if wantBackward {
+		backKernel.BeginBackward(r.states, level-1)
+		for l := len(levelSets) - 1; l >= 0; l-- {
+			k.BeginLevel(r.states, int32(l))
+			locals := make([]pidSet, nGPU)
+			for i := range locals {
+				locals[i] = bitset.New(numPages)
+			}
+			r.superstep(p, levelSets[l], int32(l), locals, true)
+			r.sync(p, int32(l), true)
+		}
+	}
+
+	// Final WA copy-back (data synchronization, Fig. 2 step 3).
+	r.copyWAOut(p)
+	r.levels = level
+	return nil
+}
+
+// parallelGPUs runs fn once per GPU concurrently and joins.
+func (r *run) parallelGPUs(p *sim.Proc, fn func(p *sim.Proc, i int)) {
+	grp := sim.NewGroup(r.env)
+	grp.Add(len(r.machine.GPUs))
+	for i := range r.machine.GPUs {
+		i := i
+		r.env.Process(fmt.Sprintf("gpu%d", i), func(p *sim.Proc) {
+			fn(p, i)
+			grp.Done()
+		})
+	}
+	grp.Wait(p)
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/slottedpage"
+	"repro/internal/trace"
+)
+
+// superstep streams the page set to the GPUs and runs the kernels against
+// it: all small pages first, then all large pages, to avoid switching
+// between the two kernel variants (paper §3.2). It reports whether any
+// kernel changed state.
+func (r *run) superstep(p *sim.Proc, set pidSet, level int32, locals []pidSet, backward bool) bool {
+	g := r.eng.graph
+	var sps, lps []slottedpage.PageID
+	set.ForEach(func(pid int) {
+		if g.Kind(slottedpage.PageID(pid)) == slottedpage.SmallPage {
+			sps = append(sps, slottedpage.PageID(pid))
+		} else {
+			lps = append(lps, slottedpage.PageID(pid))
+		}
+	})
+	r.levelUpdates = 0
+	active := false
+	for _, pages := range [][]slottedpage.PageID{sps, lps} {
+		if len(pages) == 0 {
+			continue
+		}
+		if r.phase(p, pages, level, locals, backward) {
+			active = true
+		}
+	}
+	return active
+}
+
+// phase fans one page list out to every GPU's streams and joins. Under
+// Strategy-P with multiple GPUs, page j goes to GPU h(j) = j mod N (§4.1);
+// under Strategy-S every page goes to every GPU (§4.2).
+func (r *run) phase(p *sim.Proc, pages []slottedpage.PageID, level int32, locals []pidSet, backward bool) bool {
+	nGPU := len(r.machine.GPUs)
+	active := false
+	grp := sim.NewGroup(r.env)
+	r.phaseConsumed = 0
+	if r.eng.opts.Prefetch && !r.inMemory {
+		grp.Add(1)
+		r.env.Process("prefetcher", func(p *sim.Proc) {
+			r.prefetch(p, pages)
+			grp.Done()
+		})
+	}
+	for i := 0; i < nGPU; i++ {
+		mine := pages
+		if r.eng.opts.Strategy == StrategyP && nGPU > 1 {
+			mine = nil
+			for _, pid := range pages {
+				if int(pid)%nGPU == i {
+					mine = append(mine, pid)
+				}
+			}
+		}
+		streams := r.eng.opts.Streams
+		if streams > len(mine) {
+			streams = len(mine)
+		}
+		for s := 0; s < streams; s++ {
+			i, s, mine := i, s, mine
+			grp.Add(1)
+			r.env.Process(fmt.Sprintf("gpu%d/stream%d", i, s), func(p *sim.Proc) {
+				for idx := s; idx < len(mine); idx += r.eng.opts.Streams {
+					if r.page(p, i, s, mine[idx], level, locals[i], backward) {
+						active = true
+					}
+				}
+				grp.Done()
+			})
+		}
+	}
+	grp.Wait(p)
+	return active
+}
+
+// page handles one page on one GPU stream: the cache / main-memory-buffer /
+// storage decision chain of Algorithm 1 lines 16-26, the streaming copy,
+// and the kernel call.
+func (r *run) page(p *sim.Proc, gpuIdx, stream int, pid slottedpage.PageID, level int32, local pidSet, backward bool) bool {
+	e, g := r.eng, r.eng.graph
+	gpu := r.machine.GPUs[gpuIdx]
+	pageSize := int64(g.Config().PageSize)
+	_, count := g.VertexRange(pid)
+	raBytes := int64(count) * r.raPerV
+
+	cache := r.caches[gpuIdx]
+	if cache != nil && cache.Contains(uint64(pid)) {
+		// Algorithm 1 line 16: the page is already in device memory.
+		r.cacheHits++
+		if raBytes > 0 {
+			r.streamCopy(p, gpu, gpuIdx, stream, pid, raBytes)
+		}
+	} else {
+		if r.inMemory {
+			r.buffer.Contains(uint64(pid)) // counts the MMBuf hit
+		} else {
+			r.fetch(p, pid, gpuIdx, stream)
+		}
+		r.streamCopy(p, gpu, gpuIdx, stream, pid, pageSize+raBytes)
+		r.pagesStreamed++
+		if cache != nil {
+			cache.Insert(uint64(pid))
+		}
+	}
+
+	// Execute the kernel: the functional work runs now (mutating attribute
+	// state), and its reported cycle count occupies the simulated SM pool.
+	args := kernels.Args{
+		Graph:    g,
+		PID:      pid,
+		Page:     g.Page(pid),
+		State:    r.stateFor(gpuIdx),
+		Level:    level,
+		OwnedLo:  r.owned[gpuIdx][0],
+		OwnedHi:  r.owned[gpuIdx][1],
+		Tech:     e.opts.Technique,
+		NextPIDs: local,
+	}
+	var res kernels.Result
+	isLP := g.Kind(pid) == slottedpage.LargePage
+	if backward {
+		bk := r.k.(kernels.BackwardKernel)
+		if isLP {
+			res = bk.RunLPBack(&args)
+		} else {
+			res = bk.RunSPBack(&args)
+		}
+	} else if isLP {
+		res = r.k.RunLP(&args)
+	} else {
+		res = r.k.RunSP(&args)
+	}
+	t0 := r.env.Now()
+	gpu.LaunchKernel(p, res.Cycles, nil)
+	e.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.Kernel, Page: int64(pid), Start: t0, End: r.env.Now()})
+	r.edgesTraversed += res.Edges
+	r.updates += res.Updates
+	r.levelUpdates += res.Updates
+	r.phaseConsumed++
+	return res.Active
+}
+
+// prefetch reads the phase's pages into the main-memory buffer in page-ID
+// order, staying a bounded window ahead of the GPU streams so it cannot
+// evict pages before they are consumed.
+func (r *run) prefetch(p *sim.Proc, pages []slottedpage.PageID) {
+	window := int64(r.buffer.Capacity() / 2)
+	if window < 8 {
+		window = 8
+	}
+	pause := r.eng.spec.PCIe.Latency + sim.ByteTime(int64(r.eng.graph.Config().PageSize), r.eng.spec.PCIe.StreamRate)
+	if pause <= 0 {
+		pause = sim.Microsecond
+	}
+	for i, pid := range pages {
+		for int64(i) > r.phaseConsumed+window {
+			p.Delay(pause)
+		}
+		r.fetch(p, pid, -1, -1)
+	}
+}
+
+// streamCopy moves n bytes to the GPU in streaming mode, recording trace
+// and transfer accounting.
+func (r *run) streamCopy(p *sim.Proc, gpu *hw.GPU, gpuIdx, stream int, pid slottedpage.PageID, n int64) {
+	t0 := r.env.Now()
+	gpu.CopyStreamIn(p, n)
+	r.eng.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.CopyPage, Page: int64(pid), Start: t0, End: r.env.Now()})
+	r.bytesToGPU += n
+	r.transferTime += r.eng.spec.PCIe.Latency + sim.ByteTime(n, r.eng.spec.PCIe.StreamRate)
+}
+
+// fetch ensures pid is resident in the main-memory buffer, reading it from
+// the storage array on a miss. Concurrent requests for the same page (all
+// GPUs want it under Strategy-S) coalesce onto one storage read.
+func (r *run) fetch(p *sim.Proc, pid slottedpage.PageID, gpuIdx, stream int) {
+	if r.buffer.Contains(uint64(pid)) {
+		return
+	}
+	if sig, ok := r.inflight[pid]; ok {
+		sig.Wait(p)
+		return
+	}
+	sig := sim.NewSignal(r.env)
+	r.inflight[pid] = sig
+	t0 := r.env.Now()
+	r.machine.Storage.ReadPage(p, uint64(pid))
+	r.eng.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.StorageIO, Page: int64(pid), Start: t0, End: r.env.Now()})
+	r.buffer.Insert(uint64(pid))
+	delete(r.inflight, pid)
+	sig.Fire()
+}
+
+// copyWAOut synchronizes attribute data back to the host: under Strategy-P
+// the replicas were already peer-merged into the master GPU, so only it
+// copies the full WA out (Fig. 5 step 4); under Strategy-S every GPU ships
+// its disjoint chunk concurrently.
+func (r *run) copyWAOut(p *sim.Proc) {
+	if r.eng.opts.Strategy == StrategyP {
+		t0 := r.env.Now()
+		r.machine.GPUs[0].CopyOut(p, r.perGPUWA)
+		r.eng.opts.Trace.Add(trace.Span{GPU: 0, Stream: -1, Kind: trace.Sync, Page: -1, Start: t0, End: r.env.Now()})
+		return
+	}
+	r.parallelGPUs(p, func(p *sim.Proc, i int) {
+		t0 := r.env.Now()
+		r.machine.GPUs[i].CopyOut(p, r.perGPUWA)
+		r.eng.opts.Trace.Add(trace.Span{GPU: i, Stream: -1, Kind: trace.Sync, Page: -1, Start: t0, End: r.env.Now()})
+	})
+}
+
+// stateFor returns the attribute state GPU i operates on.
+func (r *run) stateFor(i int) kernels.State {
+	if r.eng.opts.Strategy == StrategyP {
+		return r.states[i]
+	}
+	return r.states[0]
+}
+
+// sync performs the end-of-superstep attribute synchronization across GPUs
+// (Fig. 5 steps 3-4). With one GPU there is nothing to merge; full-scan
+// iteration sync to the host is handled by the framework loop.
+func (r *run) sync(p *sim.Proc, level int32, bfsLike bool) {
+	nGPU := len(r.machine.GPUs)
+	if nGPU < 2 {
+		return
+	}
+	switch r.eng.opts.Strategy {
+	case StrategyP:
+		// Peer-to-peer merge into the master GPU. Full-scan algorithms
+		// move the whole WA; traversal algorithms move only the entries
+		// they touched, which is why the paper's Eq. 2 has no sync term.
+		bytes := r.perGPUWA
+		if bfsLike {
+			bytes = r.levelUpdates * r.waPerVertex
+		}
+		for i := 1; i < nGPU; i++ {
+			t0 := r.env.Now()
+			r.machine.GPUs[i].CopyPeer(p, r.machine.GPUs[0], bytes)
+			r.eng.opts.Trace.Add(trace.Span{GPU: i, Stream: -1, Kind: trace.Sync, Page: -1, Start: t0, End: r.env.Now()})
+		}
+		r.k.MergeStates(r.states)
+	case StrategyS:
+		// WA chunks are disjoint; each GPU ships its local nextPIDSet (a
+		// page-count bit vector) back to the host for the global merge.
+		if bfsLike {
+			small := int64(r.eng.graph.NumPages()/8 + 1)
+			r.parallelGPUs(p, func(p *sim.Proc, i int) {
+				r.machine.GPUs[i].CopyOut(p, small)
+			})
+		}
+	}
+}
+
+// report assembles the final Report.
+func (r *run) report(elapsed sim.Time) *Report {
+	var kernelTime sim.Time
+	for _, g := range r.machine.GPUs {
+		kernelTime += g.Stats().KernelTime
+	}
+	var hits, misses int64
+	for _, c := range r.caches {
+		if c != nil {
+			hits += c.Hits()
+			misses += c.Misses()
+		}
+	}
+	cacheRate := 0.0
+	if hits+misses > 0 {
+		cacheRate = float64(hits) / float64(hits+misses)
+	}
+	var storageBytes int64
+	if r.machine.Storage != nil {
+		storageBytes = r.machine.Storage.BytesRead()
+	}
+	rep := &Report{
+		State:          r.states[0],
+		Elapsed:        elapsed,
+		Levels:         r.levels,
+		PagesStreamed:  r.pagesStreamed,
+		CacheHits:      r.cacheHits,
+		BytesToGPU:     r.bytesToGPU,
+		EdgesTraversed: r.edgesTraversed,
+		Updates:        r.updates,
+		CacheHitRate:   cacheRate,
+		BufferHitRate:  r.buffer.HitRate(),
+		TransferTime:   r.transferTime,
+		KernelTime:     kernelTime,
+		StorageBytes:   storageBytes,
+		WABytes:        r.states[0].WABytes(),
+		LevelPages:     r.levelPages,
+		LevelBytes:     r.levelBytes,
+	}
+	if elapsed > 0 {
+		rep.MTEPS = float64(r.edgesTraversed) / elapsed.Seconds() / 1e6
+	}
+	return rep
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	gts "repro"
+	"repro/internal/baselines/cpu"
+	"repro/internal/baselines/gas"
+	gpubase "repro/internal/baselines/gpu"
+	"repro/internal/baselines/graphx"
+	"repro/internal/baselines/pregel"
+	"repro/internal/baselines/xstream"
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/slottedpage"
+	"repro/internal/verify"
+)
+
+// TestEveryEngineAgreesOnBFS pins all fourteen engines in the repository —
+// GTS plus the thirteen baselines — to identical BFS levels on one graph.
+// Each engine is separately verified against internal/verify in its own
+// package; this cross-check additionally catches harness-level divergence
+// (wrong source, wrong graph view).
+func TestEveryEngineAgreesOnBFS(t *testing.T) {
+	r := testRunner()
+	g, err := r.csrOf("RMAT27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := r.revOf("RMAT27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := verify.BFS(g, 0)
+	check := func(name string, got []int16) {
+		t.Helper()
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: vertex %d level = %d, want %d", name, v, got[v], want[v])
+			}
+		}
+	}
+
+	// GTS.
+	sp, err := slottedpage.Build(g, slottedpage.ScaledConfig(2, 2, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := gts.NewSystem(sp, gts.Config{GPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("GTS", res.Levels)
+
+	// Distributed engines.
+	cl := cluster.Paper()
+	for _, prof := range []pregel.Profile{pregel.Giraph(), pregel.Naiad()} {
+		eng, err := pregel.New(cl, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := pregel.Run(eng, g, pregel.BFSProgram{Source: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(prof.Name, out.Values)
+	}
+	gx, err := graphx.New(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gxOut, err := graphx.Run(gx, g, pregel.BFSProgram{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("GraphX", gxOut.Values)
+	pg, err := gas.New(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgOut, err := gas.Run(pg, g, rev, gas.BFSProgram{Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("PowerGraph", pgOut.Values)
+
+	// CPU engines.
+	ws := cpu.Paper()
+	for _, eng := range []cpu.Engine{cpu.NewLigra(ws), cpu.NewLigraPlus(ws), cpu.NewGalois(ws), cpu.NewMTGL(ws)} {
+		out, err := eng.BFS(g, rev, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(eng.Name(), out.Levels)
+	}
+
+	// GPU engines.
+	totem := gpubase.NewTOTEM(2, hw.TitanX(), ws)
+	tOut, err := totem.BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("TOTEM", tOut.Levels)
+	cOut, err := gpubase.NewCuSha(1, hw.TitanX()).BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("CuSha", cOut.Levels)
+	mOut, err := gpubase.NewMapGraph(1, hw.TitanX()).BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("MapGraph", mOut.Levels)
+
+	// Streaming engines.
+	xOut, err := xstream.New(ws).BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("X-Stream", xOut.Levels)
+	gcOut, err := xstream.NewGraphChi(ws, 5e9, 4).BFS(g, rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("GraphChi", gcOut.Levels)
+}
+
+// TestEveryEngineAgreesOnPageRank does the same for the full-scan class
+// (engines that implement PageRank), within floating-point tolerance.
+func TestEveryEngineAgreesOnPageRank(t *testing.T) {
+	r := testRunner()
+	g, err := r.csrOf("RMAT27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := r.revOf("RMAT27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 4
+	want := verify.PageRank(g, 0.85, iters)
+	check := func(name string, got []float64, tol float64) {
+		t.Helper()
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > tol {
+				t.Fatalf("%s: vertex %d rank = %v, want %v", name, v, got[v], want[v])
+			}
+		}
+	}
+	toF64 := func(in []float32) []float64 {
+		out := make([]float64, len(in))
+		for i, x := range in {
+			out[i] = float64(x)
+		}
+		return out
+	}
+
+	sp, err := slottedpage.Build(g, slottedpage.ScaledConfig(2, 2, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := gts.NewSystem(sp, gts.Config{GPUs: 2, Strategy: gts.StrategyS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.PageRank(0.85, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("GTS", toF64(res.Ranks), 1e-4)
+
+	cl := cluster.Paper()
+	eng, err := pregel.New(cl, pregel.Giraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOut, err := pregel.Run(eng, g, pregel.PRProgram{Damping: 0.85, Iterations: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("Giraph", pOut.Values, 1e-12)
+
+	pg, err := gas.New(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := gas.PRProgram{Damping: 0.85, Sweeps: iters, NumVertices: float64(g.NumVertices())}
+	gOut, err := gas.Run(pg, g, rev, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("PowerGraph", gOut.Values, 1e-12)
+
+	ws := cpu.Paper()
+	for _, e := range []cpu.Engine{cpu.NewLigra(ws), cpu.NewGalois(ws), cpu.NewMTGL(ws)} {
+		out, err := e.PageRank(g, rev, 0.85, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(e.Name(), out.Ranks, 1e-12)
+	}
+}

@@ -1,0 +1,439 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/baselines/cpu"
+	"repro/internal/baselines/gas"
+	gpubase "repro/internal/baselines/gpu"
+	"repro/internal/baselines/graphx"
+	"repro/internal/baselines/pregel"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// fmtOutcome renders an elapsed time extrapolated to paper scale, or the
+// figure's O.O.M. label when the engine ran out of memory. Other errors
+// propagate.
+func fmtOutcome(elapsed sim.Time, err error, factor int64) (string, error) {
+	if err != nil {
+		if errors.Is(err, hw.ErrOutOfMemory) || errors.Is(err, hw.ErrOutOfDeviceMemory) || errors.Is(err, core.ErrWontFit) {
+			return oom, nil
+		}
+		return "", err
+	}
+	return fmtTime(extrapolate(elapsed, factor)), nil
+}
+
+// scaledCluster returns the paper's 30-node cluster scaled to a dataset.
+func (r *Runner) scaledCluster(name string) cluster.Spec {
+	return cluster.Paper().Scale(r.factor(name))
+}
+
+// distributedCell runs one engine/algorithm/dataset combination of Fig. 6.
+func (r *Runner) distributedCell(engine, algo, ds string) (sim.Time, error) {
+	g, err := r.csrOf(ds)
+	if err != nil {
+		return 0, err
+	}
+	cl := r.scaledCluster(ds)
+	switch engine {
+	case "Giraph", "Naiad":
+		prof := pregel.Giraph()
+		if engine == "Naiad" {
+			prof = pregel.Naiad()
+		}
+		eng, err := pregel.New(cl, prof)
+		if err != nil {
+			return 0, err
+		}
+		switch algo {
+		case "BFS":
+			res, err := pregel.Run(eng, g, pregel.BFSProgram{Source: 0})
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		case "PageRank":
+			res, err := pregel.Run(eng, g, pregel.PRProgram{Damping: 0.85, Iterations: r.opts.PRIterations})
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		case "SSSP":
+			res, err := pregel.Run(eng, g, pregel.SSSPProgram{Source: 0})
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		case "CC":
+			rev, err := r.revOf(ds)
+			if err != nil {
+				return 0, err
+			}
+			res, err := pregel.Run(eng, g, pregel.CCProgram{Rev: rev})
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		}
+	case "GraphX":
+		eng, err := graphx.New(cl)
+		if err != nil {
+			return 0, err
+		}
+		switch algo {
+		case "BFS":
+			res, err := graphx.Run(eng, g, pregel.BFSProgram{Source: 0})
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		case "PageRank":
+			res, err := graphx.Run(eng, g, pregel.PRProgram{Damping: 0.85, Iterations: r.opts.PRIterations})
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		case "SSSP":
+			res, err := graphx.Run(eng, g, pregel.SSSPProgram{Source: 0})
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		case "CC":
+			rev, err := r.revOf(ds)
+			if err != nil {
+				return 0, err
+			}
+			res, err := graphx.Run(eng, g, pregel.CCProgram{Rev: rev})
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		}
+	case "PowerGraph":
+		eng, err := gas.New(cl)
+		if err != nil {
+			return 0, err
+		}
+		rev, err := r.revOf(ds)
+		if err != nil {
+			return 0, err
+		}
+		switch algo {
+		case "BFS":
+			res, err := gas.Run(eng, g, rev, gas.BFSProgram{Source: 0})
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		case "PageRank":
+			prog := gas.PRProgram{Damping: 0.85, Sweeps: r.opts.PRIterations, NumVertices: float64(g.NumVertices())}
+			res, err := gas.Run(eng, g, rev, prog)
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		case "SSSP":
+			res, err := gas.Run(eng, g, rev, gas.SSSPProgram{Source: 0})
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		case "CC":
+			u := g.Undirected()
+			res, err := gas.Run(eng, u, u, gas.CCProgram{})
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: unknown distributed cell %s/%s", engine, algo)
+}
+
+// fig6 reproduces Figure 6: GTS against the distributed systems for BFS
+// and PageRank across all datasets, extrapolated to paper scale, with
+// O.O.M. entries where an engine's memory model overflows.
+func (r *Runner) fig6() (*Table, error) {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "GTS vs distributed methods, extrapolated elapsed time (paper Fig. 6)",
+		Header: []string{"data", "algo", "GraphX", "Giraph", "PowerGraph", "Naiad", "GTS"},
+	}
+	datasets := []string{"Twitter", "UK2007", "YahooWeb", "RMAT28", "RMAT29", "RMAT30", "RMAT31", "RMAT32"}
+	for _, ds := range datasets {
+		factor := r.factor(ds)
+		for _, algo := range []string{"BFS", "PageRank"} {
+			row := []string{ds, algo}
+			for _, engine := range []string{"GraphX", "Giraph", "PowerGraph", "Naiad"} {
+				el, err := r.distributedCell(engine, algo, ds)
+				cell, err := fmtOutcome(el, err, factor)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", engine, algo, ds, err)
+				}
+				row = append(row, cell)
+			}
+			m, err := r.gtsRun(ds, algo, r.gtsConfig(ds))
+			cell, err2 := fmtOutcome(m.Elapsed, err, factor)
+			if err2 != nil {
+				return nil, fmt.Errorf("GTS/%s/%s: %w", algo, ds, err2)
+			}
+			row = append(row, cell)
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: GTS beats every distributed engine by 10-100x; Giraph slowest, PowerGraph best distributed, Naiad least scalable; only GTS completes RMAT31-32",
+		fmt.Sprintf("proxy runs shrunk 2^%d with per-dataset hardware scaling; times extrapolated back by the same factor", r.opts.Shrink))
+	return t, nil
+}
+
+// fig7 reproduces Figure 7: GTS against the shared-memory CPU systems.
+func (r *Runner) fig7() (*Table, error) {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "GTS vs CPU-based methods, extrapolated elapsed time (paper Fig. 7)",
+		Header: []string{"data", "algo", "MTGL", "Galois", "Ligra", "Ligra+", "GTS"},
+	}
+	datasets := []string{"Twitter", "UK2007", "YahooWeb", "RMAT27", "RMAT28", "RMAT29", "RMAT30"}
+	for _, ds := range datasets {
+		factor := r.factor(ds)
+		g, err := r.csrOf(ds)
+		if err != nil {
+			return nil, err
+		}
+		rev, err := r.revOf(ds)
+		if err != nil {
+			return nil, err
+		}
+		ws := cpu.Paper().Scale(factor)
+		engines := []cpu.Engine{cpu.NewMTGL(ws), cpu.NewGalois(ws), cpu.NewLigra(ws), cpu.NewLigraPlus(ws)}
+		for _, algo := range []string{"BFS", "PageRank"} {
+			row := []string{ds, algo}
+			for _, eng := range engines {
+				var el sim.Time
+				var err error
+				if algo == "BFS" {
+					res, e := eng.BFS(g, rev, 0)
+					if e == nil {
+						el = res.Elapsed
+					}
+					err = e
+				} else {
+					res, e := eng.PageRank(g, rev, 0.85, r.opts.PRIterations)
+					if e == nil {
+						el = res.Elapsed
+					}
+					err = e
+				}
+				cell, err2 := fmtOutcome(el, err, factor)
+				if err2 != nil {
+					return nil, err2
+				}
+				row = append(row, cell)
+			}
+			m, err := r.gtsRun(ds, algo, r.gtsConfig(ds))
+			cell, err2 := fmtOutcome(m.Elapsed, err, factor)
+			if err2 != nil {
+				return nil, err2
+			}
+			row = append(row, cell)
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: Ligra/Galois edge GTS out on small-graph BFS; the CPU engines O.O.M. on the large graphs; GTS dominates PageRank throughout")
+	return t, nil
+}
+
+// fig8 reproduces Figure 8: GTS against the GPU-based systems.
+func (r *Runner) fig8() (*Table, error) {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "GTS vs GPU-based methods, extrapolated elapsed time (paper Fig. 8)",
+		Header: []string{"data", "algo", "MapGraph", "CuSha", "TOTEM", "GTS"},
+	}
+	datasets := []string{"Twitter", "UK2007", "YahooWeb", "RMAT27", "RMAT28", "RMAT29", "RMAT30"}
+	for _, ds := range datasets {
+		factor := r.factor(ds)
+		g, err := r.csrOf(ds)
+		if err != nil {
+			return nil, err
+		}
+		rev, err := r.revOf(ds)
+		if err != nil {
+			return nil, err
+		}
+		dev := hw.TitanX()
+		dev.DeviceMemory /= factor
+		host := cpu.Paper().Scale(factor)
+		mapgraph := gpubase.NewMapGraph(1, dev)
+		mapgraph.OverheadScale = factor
+		cusha := gpubase.NewCuSha(1, dev)
+		cusha.OverheadScale = factor
+		totem := gpubase.NewTOTEM(2, dev, host)
+		for _, algo := range []string{"BFS", "PageRank"} {
+			row := []string{ds, algo}
+			cells := []func() (sim.Time, error){
+				func() (sim.Time, error) {
+					if algo == "BFS" {
+						res, err := mapgraph.BFS(g, rev, 0)
+						if err != nil {
+							return 0, err
+						}
+						return res.Elapsed, nil
+					}
+					res, err := mapgraph.PageRank(g, rev, 0.85, r.opts.PRIterations)
+					if err != nil {
+						return 0, err
+					}
+					return res.Elapsed, nil
+				},
+				func() (sim.Time, error) {
+					if algo == "BFS" {
+						res, err := cusha.BFS(g, rev, 0)
+						if err != nil {
+							return 0, err
+						}
+						return res.Elapsed, nil
+					}
+					res, err := cusha.PageRank(g, rev, 0.85, r.opts.PRIterations)
+					if err != nil {
+						return 0, err
+					}
+					return res.Elapsed, nil
+				},
+				func() (sim.Time, error) {
+					if algo == "BFS" {
+						res, err := totem.BFS(g, rev, 0)
+						if err != nil {
+							return 0, err
+						}
+						return res.Elapsed, nil
+					}
+					res, err := totem.PageRank(g, rev, 0.85, r.opts.PRIterations)
+					if err != nil {
+						return 0, err
+					}
+					return res.Elapsed, nil
+				},
+			}
+			for _, run := range cells {
+				el, err := run()
+				cell, err2 := fmtOutcome(el, err, factor)
+				if err2 != nil {
+					return nil, err2
+				}
+				row = append(row, cell)
+			}
+			m, err := r.gtsRun(ds, algo, r.gtsConfig(ds))
+			cell, err2 := fmtOutcome(m.Elapsed, err, factor)
+			if err2 != nil {
+				return nil, err2
+			}
+			row = append(row, cell)
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: MapGraph fits almost nothing, CuSha only Twitter BFS; TOTEM competitive on small PageRank, GTS wins BFS throughout and large graphs everywhere")
+	return t, nil
+}
+
+// fig13 reproduces Figure 13: SSSP and CC across the distributed engines
+// plus TOTEM and GTS, and BC between TOTEM and GTS.
+func (r *Runner) fig13() (*Table, error) {
+	t := &Table{
+		ID:     "fig13",
+		Title:  "Additional algorithms: SSSP, CC, BC (paper Fig. 13)",
+		Header: []string{"algo", "data", "GraphX", "Giraph", "PowerGraph", "TOTEM", "GTS"},
+	}
+	for _, algo := range []string{"SSSP", "CC"} {
+		for _, ds := range []string{"Twitter", "RMAT28"} {
+			factor := r.factor(ds)
+			row := []string{algo, ds}
+			for _, engine := range []string{"GraphX", "Giraph", "PowerGraph"} {
+				el, err := r.distributedCell(engine, algo, ds)
+				cell, err2 := fmtOutcome(el, err, factor)
+				if err2 != nil {
+					return nil, err2
+				}
+				row = append(row, cell)
+			}
+			el, err := r.totemCell(algo, ds)
+			cell, err2 := fmtOutcome(el, err, factor)
+			if err2 != nil {
+				return nil, err2
+			}
+			row = append(row, cell)
+			m, err := r.gtsRun(ds, algo, r.gtsConfig(ds))
+			cell, err2 = fmtOutcome(m.Elapsed, err, factor)
+			if err2 != nil {
+				return nil, err2
+			}
+			row = append(row, cell)
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	for _, ds := range []string{"Twitter", "RMAT27", "RMAT28"} {
+		factor := r.factor(ds)
+		row := []string{"BC", ds, "-", "-", "-"}
+		el, err := r.totemCell("BC", ds)
+		cell, err2 := fmtOutcome(el, err, factor)
+		if err2 != nil {
+			return nil, err2
+		}
+		row = append(row, cell)
+		m, err := r.gtsRun(ds, "BC", r.gtsConfig(ds))
+		cell, err2 = fmtOutcome(m.Elapsed, err, factor)
+		if err2 != nil {
+			return nil, err2
+		}
+		row = append(row, cell)
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: GTS clearly ahead on SSSP and CC; BC compared against TOTEM only (single-source mode)")
+	return t, nil
+}
+
+// totemCell runs TOTEM's extra algorithms for fig13.
+func (r *Runner) totemCell(algo, ds string) (sim.Time, error) {
+	g, err := r.csrOf(ds)
+	if err != nil {
+		return 0, err
+	}
+	rev, err := r.revOf(ds)
+	if err != nil {
+		return 0, err
+	}
+	dev := hw.TitanX()
+	dev.DeviceMemory /= r.factor(ds)
+	eng := gpubase.NewTOTEM(2, dev, cpu.Paper().Scale(r.factor(ds)))
+	switch algo {
+	case "SSSP":
+		res, err := eng.SSSP(g, rev, 0)
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed, nil
+	case "CC":
+		res, err := eng.CC(g, rev)
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed, nil
+	case "BC":
+		res, err := eng.BC(g, rev, 0)
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown TOTEM algorithm %q", algo)
+}

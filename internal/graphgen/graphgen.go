@@ -1,0 +1,220 @@
+// Package graphgen is the dataset registry for the experiment harness. It
+// reproduces the paper's Table 3 datasets as scaled-down proxies: the six
+// synthetic RMAT27-RMAT32 graphs and profile-matched stand-ins for the three
+// real graphs (Twitter, UK2007, YahooWeb), which are not redistributable.
+//
+// A proxy keeps the original's average degree and degree skew but shrinks
+// the vertex count by a power of two, so bandwidth/working-set ratios — the
+// quantities the paper's results depend on — are preserved.
+package graphgen
+
+import (
+	"fmt"
+
+	"repro/internal/csr"
+	"repro/internal/rmat"
+)
+
+// Dataset describes one graph in the registry together with the size the
+// paper used, for reporting alongside scaled measurements.
+type Dataset struct {
+	Name          string
+	PaperVertices uint64
+	PaperEdges    uint64
+	// scale is the RMAT scale of the full-size graph (exact for RMATxx,
+	// nearest power of two for the real-graph proxies).
+	scale      int
+	edgeFactor int
+	a, b, c, d float64
+	// pathFrac, when positive, threads a directed path through this
+	// fraction of the vertices to inflate the graph's diameter — YahooWeb
+	// is a high-diameter web graph, which RMAT alone cannot mimic.
+	pathFrac float64
+}
+
+// registry lists the paper's nine datasets. RMAT parameters for the real
+// graphs approximate their published degree skew: Twitter is extremely
+// skewed (celebrity hubs), UK2007 is a host-local web crawl, YahooWeb is
+// sparse (avg degree ~4.7) with a large diameter.
+var registry = []Dataset{
+	{Name: "RMAT26", PaperVertices: 64 << 20, PaperEdges: 1024 << 20, scale: 26, edgeFactor: 16, a: 0.57, b: 0.19, c: 0.19, d: 0.05},
+	{Name: "RMAT27", PaperVertices: 128 << 20, PaperEdges: 2048 << 20, scale: 27, edgeFactor: 16, a: 0.57, b: 0.19, c: 0.19, d: 0.05},
+	{Name: "RMAT28", PaperVertices: 256 << 20, PaperEdges: 4096 << 20, scale: 28, edgeFactor: 16, a: 0.57, b: 0.19, c: 0.19, d: 0.05},
+	{Name: "RMAT29", PaperVertices: 512 << 20, PaperEdges: 8192 << 20, scale: 29, edgeFactor: 16, a: 0.57, b: 0.19, c: 0.19, d: 0.05},
+	{Name: "RMAT30", PaperVertices: 1 << 30, PaperEdges: 16 << 30, scale: 30, edgeFactor: 16, a: 0.57, b: 0.19, c: 0.19, d: 0.05},
+	{Name: "RMAT31", PaperVertices: 2 << 30, PaperEdges: 32 << 30, scale: 31, edgeFactor: 16, a: 0.57, b: 0.19, c: 0.19, d: 0.05},
+	{Name: "RMAT32", PaperVertices: 4 << 30, PaperEdges: 64 << 30, scale: 32, edgeFactor: 16, a: 0.57, b: 0.19, c: 0.19, d: 0.05},
+	{Name: "Twitter", PaperVertices: 42e6, PaperEdges: 1468e6, scale: 25, edgeFactor: 35, a: 0.62, b: 0.18, c: 0.17, d: 0.03},
+	{Name: "UK2007", PaperVertices: 106e6, PaperEdges: 3739e6, scale: 27, edgeFactor: 35, a: 0.48, b: 0.21, c: 0.21, d: 0.10},
+	{Name: "YahooWeb", PaperVertices: 1414e6, PaperEdges: 6636e6, scale: 30, edgeFactor: 4, a: 0.63, b: 0.17, c: 0.17, d: 0.03, pathFrac: 0.10},
+}
+
+// ByName looks a dataset up; the boolean reports whether it exists.
+func ByName(name string) (Dataset, bool) {
+	for _, d := range registry {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}
+
+// All returns the registry in paper order.
+func All() []Dataset {
+	out := make([]Dataset, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Synthetic returns only the RMATxx datasets.
+func Synthetic() []Dataset {
+	var out []Dataset
+	for _, d := range registry {
+		if d.pathFrac == 0 && d.edgeFactor == 16 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Real returns only the real-graph proxies.
+func Real() []Dataset {
+	var out []Dataset
+	for _, d := range All() {
+		if d.Name == "Twitter" || d.Name == "UK2007" || d.Name == "YahooWeb" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ProxyScale reports the RMAT scale used when shrinking by 2^shrink.
+func (d Dataset) ProxyScale(shrink int) int {
+	s := d.scale - shrink
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+// ScaleFactor reports PaperVertices / proxy vertices — the down-scaling the
+// harness applies, recorded in EXPERIMENTS.md.
+func (d Dataset) ScaleFactor(shrink int) float64 {
+	return float64(d.PaperVertices) / float64(uint64(1)<<d.ProxyScale(shrink))
+}
+
+// Generate materializes the proxy graph shrunk by 2^shrink (shrink 0 is the
+// paper-size graph; callers on one machine want shrink >= 8).
+func (d Dataset) Generate(shrink int) (*csr.Graph, error) {
+	p := rmat.Params{
+		Scale:      d.ProxyScale(shrink),
+		EdgeFactor: d.edgeFactor,
+		A:          d.a, B: d.b, C: d.c, D: d.d,
+		Noise: 0.1,
+		Seed:  seedFor(d.Name),
+	}
+	edges, err := rmat.Edges(p)
+	if err != nil {
+		return nil, fmt.Errorf("graphgen: %s: %w", d.Name, err)
+	}
+	n := p.NumVertices()
+	if d.pathFrac > 0 {
+		// Thread a path through the first pathFrac of the vertex range to
+		// raise the diameter (YahooWeb's BFS behaviour depends on it).
+		span := int(float64(n) * d.pathFrac)
+		for i := 0; i+1 < span; i++ {
+			edges = append(edges, csr.Edge{Src: uint32(i), Dst: uint32(i + 1)})
+		}
+	}
+	return csr.FromEdges(n, edges)
+}
+
+// MustGenerate is Generate, panicking on error.
+func (d Dataset) MustGenerate(shrink int) *csr.Graph {
+	g, err := d.Generate(shrink)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// seedFor gives every dataset a stable distinct seed.
+func seedFor(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h = (h ^ int64(c)) * 16777619
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+// Density generates the paper's Figure 14 sweep: an RMAT28-proxy at the
+// given scale whose vertex:edge density is 1:edgeFactor.
+func Density(scale, edgeFactor int) (*csr.Graph, error) {
+	p := rmat.Default(scale)
+	p.EdgeFactor = edgeFactor
+	p.Seed = 280 + int64(edgeFactor)
+	return rmat.Generate(p)
+}
+
+// The constructors below build tiny deterministic graphs for algorithm
+// tests and documentation examples.
+
+// Path returns the directed path 0 -> 1 -> ... -> n-1.
+func Path(n int) *csr.Graph {
+	edges := make([]csr.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, csr.Edge{Src: uint32(i), Dst: uint32(i + 1)})
+	}
+	return csr.MustFromEdges(n, edges)
+}
+
+// Cycle returns the directed cycle over n vertices.
+func Cycle(n int) *csr.Graph {
+	edges := make([]csr.Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, csr.Edge{Src: uint32(i), Dst: uint32((i + 1) % n)})
+	}
+	return csr.MustFromEdges(n, edges)
+}
+
+// Star returns a hub (vertex 0) pointing at n-1 spokes.
+func Star(n int) *csr.Graph {
+	edges := make([]csr.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, csr.Edge{Src: 0, Dst: uint32(i)})
+	}
+	return csr.MustFromEdges(n, edges)
+}
+
+// Complete returns the complete directed graph (no self loops).
+func Complete(n int) *csr.Graph {
+	var edges []csr.Edge
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				edges = append(edges, csr.Edge{Src: uint32(i), Dst: uint32(j)})
+			}
+		}
+	}
+	return csr.MustFromEdges(n, edges)
+}
+
+// Grid returns a rows x cols grid with right and down edges.
+func Grid(rows, cols int) *csr.Graph {
+	var edges []csr.Edge
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, csr.Edge{Src: id(r, c), Dst: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, csr.Edge{Src: id(r, c), Dst: id(r+1, c)})
+			}
+		}
+	}
+	return csr.MustFromEdges(rows*cols, edges)
+}

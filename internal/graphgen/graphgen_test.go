@@ -1,0 +1,133 @@
+package graphgen
+
+import "testing"
+
+func TestRegistryComplete(t *testing.T) {
+	names := []string{"RMAT26", "RMAT27", "RMAT28", "RMAT29", "RMAT30", "RMAT31", "RMAT32", "Twitter", "UK2007", "YahooWeb"}
+	if len(All()) != len(names) {
+		t.Fatalf("registry has %d datasets, want %d", len(All()), len(names))
+	}
+	for _, n := range names {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("dataset %s missing", n)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown dataset found")
+	}
+	if len(Synthetic()) != 7 {
+		t.Errorf("Synthetic() = %d, want 7", len(Synthetic()))
+	}
+	if len(Real()) != 3 {
+		t.Errorf("Real() = %d, want 3", len(Real()))
+	}
+}
+
+func TestProxyScaleAndFactor(t *testing.T) {
+	d, _ := ByName("RMAT30")
+	if got := d.ProxyScale(12); got != 18 {
+		t.Errorf("ProxyScale(12) = %d, want 18", got)
+	}
+	if got := d.ScaleFactor(12); got != float64(1<<12) {
+		t.Errorf("ScaleFactor(12) = %v, want 4096", got)
+	}
+	// Shrinking below scale 4 clamps.
+	if got := d.ProxyScale(100); got != 4 {
+		t.Errorf("ProxyScale(100) = %d, want 4", got)
+	}
+}
+
+func TestGenerateProxies(t *testing.T) {
+	for _, d := range All() {
+		g, err := d.Generate(d.scale - 10) // everything at scale 10
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if g.NumVertices() != 1<<10 {
+			t.Errorf("%s: V = %d, want 1024", d.Name, g.NumVertices())
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("%s: no edges", d.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d, _ := ByName("Twitter")
+	a := d.MustGenerate(15)
+	b := d.MustGenerate(15)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("nondeterministic generation")
+	}
+	for v := uint64(0); v < a.NumVertices(); v++ {
+		if a.Degree(v) != b.Degree(v) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+	}
+}
+
+func TestYahooWebHasHighDiameterPath(t *testing.T) {
+	d, _ := ByName("YahooWeb")
+	g := d.MustGenerate(d.scale - 10)
+	// The threaded path guarantees i -> i+1 for the first 10% of vertices.
+	span := int(float64(g.NumVertices()) * 0.10)
+	for i := 0; i+1 < span; i++ {
+		found := false
+		g.Neighbors(uint64(i), func(dst uint64) {
+			if dst == uint64(i+1) {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("path edge %d -> %d missing", i, i+1)
+		}
+	}
+}
+
+func TestDensitySweep(t *testing.T) {
+	for _, ef := range []int{4, 8, 16, 32} {
+		g, err := Density(8, ef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.AvgDegree(); got != float64(ef) {
+			t.Errorf("density 1:%d avg degree = %v", ef, got)
+		}
+	}
+}
+
+func TestTinyConstructors(t *testing.T) {
+	p := Path(5)
+	if p.NumEdges() != 4 || p.Degree(4) != 0 || p.Degree(0) != 1 {
+		t.Error("Path malformed")
+	}
+	c := Cycle(5)
+	if c.NumEdges() != 5 || c.Degree(4) != 1 {
+		t.Error("Cycle malformed")
+	}
+	s := Star(5)
+	if s.Degree(0) != 4 || s.Degree(1) != 0 {
+		t.Error("Star malformed")
+	}
+	k := Complete(4)
+	if k.NumEdges() != 12 {
+		t.Error("Complete malformed")
+	}
+	g := Grid(3, 4)
+	if g.NumVertices() != 12 || g.NumEdges() != uint64(3*3+2*4) {
+		t.Errorf("Grid V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestRealProxiesKeepDegreeProfile(t *testing.T) {
+	tw, _ := ByName("Twitter")
+	ya, _ := ByName("YahooWeb")
+	gt := tw.MustGenerate(tw.scale - 12)
+	gy := ya.MustGenerate(ya.scale - 12)
+	if gt.AvgDegree() < 30 {
+		t.Errorf("Twitter proxy avg degree %.1f, want ~35", gt.AvgDegree())
+	}
+	if gy.AvgDegree() > 6 {
+		t.Errorf("YahooWeb proxy avg degree %.1f, want ~4-5", gy.AvgDegree())
+	}
+}

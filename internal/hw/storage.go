@@ -1,0 +1,100 @@
+package hw
+
+import (
+	"repro/internal/sim"
+)
+
+// Device is one secondary-storage device bound to a simulation environment.
+// Reads serialize on the device queue. A read that continues from where the
+// previous one ended proceeds at the sequential rate; otherwise at the
+// random rate — the distinction that makes HDDs collapse under page-level
+// random access (paper Fig. 9).
+type Device struct {
+	Spec  StorageSpec
+	Index int
+
+	env       *sim.Env
+	queue     *sim.Resource
+	lastEnd   int64 // byte offset where the previous read ended
+	bytesRead int64
+	reads     int64
+	seqReads  int64
+}
+
+// NewDevice binds a storage spec to env.
+func NewDevice(env *sim.Env, spec StorageSpec, index int) *Device {
+	return &Device{Spec: spec, Index: index, env: env, queue: sim.NewResource(env, 1), lastEnd: -1}
+}
+
+// Read fetches n bytes at byte offset off, blocking p for queueing plus
+// service time.
+func (d *Device) Read(p *sim.Proc, off, n int64) {
+	d.queue.Acquire(p)
+	rate := d.Spec.RandRead
+	if off == d.lastEnd {
+		rate = d.Spec.SeqRead
+		d.seqReads++
+	}
+	p.Delay(d.Spec.Latency + sim.ByteTime(n, rate))
+	d.lastEnd = off + n
+	d.bytesRead += n
+	d.reads++
+	d.queue.Release()
+}
+
+// BytesRead reports cumulative bytes served.
+func (d *Device) BytesRead() int64 { return d.bytesRead }
+
+// Reads reports total and sequential request counts.
+func (d *Device) Reads() (total, sequential int64) { return d.reads, d.seqReads }
+
+// Array stripes pages across devices with the paper's hash g(j): page j
+// lives on device j mod N (§4.1), so streaming reads fan out over all
+// spindles.
+type Array struct {
+	Devices []*Device
+	// pageSize fixes each page's on-device layout for offset computation.
+	pageSize int64
+}
+
+// NewArray builds an array over the given specs.
+func NewArray(env *sim.Env, specs []StorageSpec, pageSize int64) *Array {
+	a := &Array{pageSize: pageSize}
+	for i, s := range specs {
+		a.Devices = append(a.Devices, NewDevice(env, s, i))
+	}
+	return a
+}
+
+// DeviceFor returns g(pid): the device holding page pid.
+func (a *Array) DeviceFor(pid uint64) *Device {
+	return a.Devices[pid%uint64(len(a.Devices))]
+}
+
+// ReadPage fetches page pid, blocking p. Pages are laid out in pid order on
+// each device, so a scan over consecutive pids is sequential per device.
+func (a *Array) ReadPage(p *sim.Proc, pid uint64) {
+	n := uint64(len(a.Devices))
+	d := a.Devices[pid%n]
+	off := int64(pid/n) * a.pageSize
+	d.Read(p, off, a.pageSize)
+}
+
+// AggregateSeqRate reports the combined sequential bandwidth, the bound the
+// paper's §7.5 back-of-envelope checks use.
+func (a *Array) AggregateSeqRate() float64 {
+	var r float64
+	for _, d := range a.Devices {
+		r += d.Spec.SeqRead
+	}
+	return r
+}
+
+// BytesRead reports cumulative bytes served across all devices.
+func (a *Array) BytesRead() int64 {
+	var n int64
+	for _, d := range a.Devices {
+		n += d.BytesRead()
+	}
+	return n
+}

@@ -1,0 +1,238 @@
+package kernels
+
+import "repro/internal/slottedpage"
+
+// BC implements single-source betweenness centrality (Brandes) as the paper
+// evaluates it in Appendix D ("the single node mode"): a forward
+// level-synchronous traversal counting shortest paths (sigma), then a
+// backward sweep over the recorded levels accumulating dependencies
+// (delta). Both phases are BFS-like: only pages holding the level's
+// vertices stream.
+type BC struct {
+	g    *slottedpage.Graph
+	cost costParams
+}
+
+// NewBC returns a betweenness-centrality kernel over g.
+func NewBC(g *slottedpage.Graph) *BC {
+	return &BC{g: g, cost: costParams{laneCycles: 55, slotCycles: 15}}
+}
+
+type bcState struct {
+	dist  []int16
+	sigma []float64
+	delta []float64
+	// Snapshots taken at BeginLevel allow the additive sigma/delta merges
+	// Strategy-P needs: replicas start a level identical, so the merged
+	// value is snapshot + sum of per-replica deltas.
+	snapSigma []float64
+	snapDelta []float64
+}
+
+func (s *bcState) WABytes() int64 { return int64(len(s.dist)) * (2 + 8 + 8) }
+func (s *bcState) RABytes() int64 { return 0 }
+func (s *bcState) Clone() State {
+	c := &bcState{
+		dist:      append([]int16(nil), s.dist...),
+		sigma:     append([]float64(nil), s.sigma...),
+		delta:     append([]float64(nil), s.delta...),
+		snapSigma: append([]float64(nil), s.snapSigma...),
+		snapDelta: append([]float64(nil), s.snapDelta...),
+	}
+	return c
+}
+
+// Name implements Kernel.
+func (k *BC) Name() string { return "BC" }
+
+// Class implements Kernel.
+func (k *BC) Class() Class { return BFSLike }
+
+// RAPerVertex implements Kernel.
+func (k *BC) RAPerVertex() int64 { return 0 }
+
+// NewState implements Kernel.
+func (k *BC) NewState() State {
+	n := k.g.NumVertices()
+	return &bcState{
+		dist:  make([]int16, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+	}
+}
+
+// Init implements Kernel.
+func (k *BC) Init(st State, source uint64) {
+	s := st.(*bcState)
+	for i := range s.dist {
+		s.dist[i] = unvisited
+		s.sigma[i] = 0
+		s.delta[i] = 0
+	}
+	s.dist[source] = 0
+	s.sigma[source] = 1
+}
+
+// BeginLevel implements Kernel: with multiple replicas, snapshot the
+// additive vectors so MergeStates can sum per-replica contributions.
+func (k *BC) BeginLevel(sts []State, _ int32) {
+	if len(sts) < 2 {
+		return
+	}
+	for _, st := range sts {
+		s := st.(*bcState)
+		s.snapSigma = append(s.snapSigma[:0], s.sigma...)
+		s.snapDelta = append(s.snapDelta[:0], s.delta...)
+	}
+}
+
+// BeginBackward implements BackwardKernel (snapshots are refreshed per
+// level by BeginLevel; nothing else to prepare).
+func (k *BC) BeginBackward([]State, int32) {}
+
+// RunSP is the forward kernel: discover neighbors and accumulate shortest-
+// path counts across frontier edges.
+func (k *BC) RunSP(a *Args) Result {
+	s := a.State.(*bcState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	level := int16(a.Level)
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		if s.dist[vid] != level {
+			continue
+		}
+		adj := pg.Adj(slot)
+		lanes.add(adj.Len())
+		k.forward(a, s, vid, adj, level, &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	return res
+}
+
+// RunLP is the forward kernel for a large vertex's page-local adjacency.
+func (k *BC) RunLP(a *Args) Result {
+	s := a.State.(*bcState)
+	vid, _ := a.Page.Slot(0)
+	var lanes laneAcc
+	var res Result
+	if s.dist[vid] == int16(a.Level) {
+		adj := a.Page.Adj(0)
+		lanes.add(adj.Len())
+		k.forward(a, s, vid, adj, int16(a.Level), &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	return res
+}
+
+func (k *BC) forward(a *Args, s *bcState, vid uint64, adj slottedpage.AdjView, level int16, res *Result) {
+	for i := 0; i < adj.Len(); i++ {
+		rid := adj.At(i)
+		nvid := k.g.VIDOf(rid)
+		if !a.owns(nvid) {
+			continue
+		}
+		if s.dist[nvid] == unvisited {
+			s.dist[nvid] = level + 1
+			a.NextPIDs.Set(int(rid.PID))
+			res.Active = true
+		}
+		if s.dist[nvid] == level+1 {
+			s.sigma[nvid] += s.sigma[vid]
+			res.Updates++
+		}
+	}
+}
+
+// RunSPBack is the backward kernel: vertices at the current level pull
+// dependencies from their successors one level deeper (Brandes'
+// delta(v) = sum over successors w of sigma(v)/sigma(w) * (1 + delta(w))).
+func (k *BC) RunSPBack(a *Args) Result {
+	s := a.State.(*bcState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	level := int16(a.Level)
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		if s.dist[vid] != level || !a.owns(vid) {
+			continue
+		}
+		adj := pg.Adj(slot)
+		lanes.add(adj.Len())
+		k.backward(s, vid, adj, level, &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	return res
+}
+
+// RunLPBack is the backward kernel for a large vertex's page-local
+// adjacency.
+func (k *BC) RunLPBack(a *Args) Result {
+	s := a.State.(*bcState)
+	vid, _ := a.Page.Slot(0)
+	var lanes laneAcc
+	var res Result
+	if s.dist[vid] == int16(a.Level) && a.owns(vid) {
+		adj := a.Page.Adj(0)
+		lanes.add(adj.Len())
+		k.backward(s, vid, adj, int16(a.Level), &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	return res
+}
+
+func (k *BC) backward(s *bcState, vid uint64, adj slottedpage.AdjView, level int16, res *Result) {
+	for i := 0; i < adj.Len(); i++ {
+		nvid := k.g.VIDOf(adj.At(i))
+		if s.dist[nvid] == level+1 && s.sigma[nvid] > 0 {
+			s.delta[vid] += s.sigma[vid] / s.sigma[nvid] * (1 + s.delta[nvid])
+			res.Updates++
+			res.Active = true
+		}
+	}
+}
+
+// MergeStates implements Kernel: distances merge by minimum; sigma and
+// delta merge additively relative to the BeginLevel snapshots.
+func (k *BC) MergeStates(sts []State) {
+	if len(sts) < 2 {
+		return
+	}
+	base := sts[0].(*bcState)
+	for _, other := range sts[1:] {
+		o := other.(*bcState)
+		for v := range base.dist {
+			if o.dist[v] != unvisited && (base.dist[v] == unvisited || o.dist[v] < base.dist[v]) {
+				base.dist[v] = o.dist[v]
+			}
+			base.sigma[v] += o.sigma[v] - o.snapSigma[v]
+			base.delta[v] += o.delta[v] - o.snapDelta[v]
+		}
+	}
+	for _, other := range sts[1:] {
+		o := other.(*bcState)
+		copy(o.dist, base.dist)
+		copy(o.sigma, base.sigma)
+		copy(o.delta, base.delta)
+	}
+}
+
+// EndIteration implements Kernel.
+func (k *BC) EndIteration([]State, bool) bool { return false }
+
+// Centrality exposes the dependency scores; the source's own score is zero
+// by definition.
+func (k *BC) Centrality(st State, source uint64) []float64 {
+	s := st.(*bcState)
+	out := append([]float64(nil), s.delta...)
+	out[source] = 0
+	return out
+}

@@ -1,0 +1,143 @@
+package kernels
+
+import "repro/internal/slottedpage"
+
+// BFS implements the paper's K_BFS_SP and K_BFS_LP kernels (Algorithms 2
+// and 3): level-synchronous breadth-first search whose only attribute
+// vector is LV, the per-vertex traversal level.
+type BFS struct {
+	g    *slottedpage.Graph
+	cost costParams
+}
+
+// NewBFS returns a BFS kernel over g.
+func NewBFS(g *slottedpage.Graph) *BFS {
+	return &BFS{g: g, cost: costParams{laneCycles: 40, slotCycles: 10}}
+}
+
+// unvisited marks a vertex not yet reached (the paper's NULL level).
+const unvisited = -1
+
+type bfsState struct {
+	lv []int16
+}
+
+func (s *bfsState) WABytes() int64 { return int64(len(s.lv)) * 2 }
+func (s *bfsState) RABytes() int64 { return 0 }
+func (s *bfsState) Clone() State {
+	c := &bfsState{lv: make([]int16, len(s.lv))}
+	copy(c.lv, s.lv)
+	return c
+}
+
+// Name implements Kernel.
+func (k *BFS) Name() string { return "BFS" }
+
+// Class implements Kernel: BFS streams only frontier pages.
+func (k *BFS) Class() Class { return BFSLike }
+
+// RAPerVertex implements Kernel: BFS has no read-only attribute vector.
+func (k *BFS) RAPerVertex() int64 { return 0 }
+
+// NewState implements Kernel.
+func (k *BFS) NewState() State {
+	return &bfsState{lv: make([]int16, k.g.NumVertices())}
+}
+
+// Init implements Kernel: all levels NULL except the source at 0.
+func (k *BFS) Init(st State, source uint64) {
+	s := st.(*bfsState)
+	for i := range s.lv {
+		s.lv[i] = unvisited
+	}
+	s.lv[source] = 0
+}
+
+// BeginLevel implements Kernel (no per-level preparation).
+func (k *BFS) BeginLevel([]State, int32) {}
+
+// RunSP implements K_BFS_SP (Algorithm 2): each warp takes one slot; if the
+// vertex is on the current frontier its adjacency expands, discovering
+// unvisited neighbors and marking their pages in the local nextPIDSet.
+func (k *BFS) RunSP(a *Args) Result {
+	s := a.State.(*bfsState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	level := int16(a.Level)
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		if s.lv[vid] != level {
+			continue
+		}
+		adj := pg.Adj(slot)
+		lanes.add(adj.Len())
+		k.expand(a, s, adj, level, &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	return res
+}
+
+// RunLP implements K_BFS_LP (Algorithm 3): the page holds one frontier
+// vertex's partial adjacency, expanded by many warps together.
+func (k *BFS) RunLP(a *Args) Result {
+	s := a.State.(*bfsState)
+	vid, _ := a.Page.Slot(0)
+	var res Result
+	var lanes laneAcc
+	if s.lv[vid] == int16(a.Level) {
+		adj := a.Page.Adj(0)
+		lanes.add(adj.Len())
+		k.expand(a, s, adj, int16(a.Level), &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	return res
+}
+
+// expand is the expand_warp device routine: visit every adjacency entry,
+// set LV and the next page set for undiscovered neighbors.
+func (k *BFS) expand(a *Args, s *bfsState, adj slottedpage.AdjView, level int16, res *Result) {
+	for i := 0; i < adj.Len(); i++ {
+		rid := adj.At(i)
+		nvid := k.g.VIDOf(rid)
+		if !a.owns(nvid) {
+			continue
+		}
+		if s.lv[nvid] == unvisited {
+			s.lv[nvid] = level + 1
+			a.NextPIDs.Set(int(rid.PID))
+			res.Updates++
+			res.Active = true
+		}
+	}
+}
+
+// MergeStates implements Kernel: levels merge by minimum (an earlier
+// discovery wins; unvisited is the identity).
+func (k *BFS) MergeStates(sts []State) {
+	if len(sts) < 2 {
+		return
+	}
+	base := sts[0].(*bfsState)
+	for _, other := range sts[1:] {
+		o := other.(*bfsState)
+		for v, l := range o.lv {
+			if l != unvisited && (base.lv[v] == unvisited || l < base.lv[v]) {
+				base.lv[v] = l
+			}
+		}
+	}
+	for _, other := range sts[1:] {
+		copy(other.(*bfsState).lv, base.lv)
+	}
+}
+
+// EndIteration implements Kernel: BFS terminates on an empty nextPIDSet,
+// not by iteration count.
+func (k *BFS) EndIteration([]State, bool) bool { return false }
+
+// Levels exposes the result vector of a finished run.
+func (k *BFS) Levels(st State) []int16 { return st.(*bfsState).lv }

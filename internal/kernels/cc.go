@@ -1,0 +1,145 @@
+package kernels
+
+import "repro/internal/slottedpage"
+
+// CC implements connected components (weakly connected, since the slotted
+// page stores out-edges) by iterative label propagation, a PageRank-like
+// full-scan algorithm in the paper's taxonomy: every iteration streams the
+// whole topology and propagates the minimum component label across each
+// edge in both directions until a fixpoint.
+//
+// The state keeps previous and next label vectors (8 bytes/vertex), the
+// footprint the paper's Table 4 reports for CC.
+type CC struct {
+	g    *slottedpage.Graph
+	cost costParams
+}
+
+// NewCC returns a connected-components kernel over g.
+func NewCC(g *slottedpage.Graph) *CC {
+	return &CC{g: g, cost: costParams{laneCycles: 110, slotCycles: 50}}
+}
+
+type ccState struct {
+	prev []uint32
+	next []uint32
+}
+
+func (s *ccState) WABytes() int64 { return int64(len(s.prev)) * 8 }
+func (s *ccState) RABytes() int64 { return 0 }
+func (s *ccState) Clone() State {
+	c := &ccState{prev: make([]uint32, len(s.prev)), next: make([]uint32, len(s.next))}
+	copy(c.prev, s.prev)
+	copy(c.next, s.next)
+	return c
+}
+
+// Name implements Kernel.
+func (k *CC) Name() string { return "CC" }
+
+// Class implements Kernel.
+func (k *CC) Class() Class { return PageRankLike }
+
+// RAPerVertex implements Kernel.
+func (k *CC) RAPerVertex() int64 { return 0 }
+
+// NewState implements Kernel.
+func (k *CC) NewState() State {
+	n := k.g.NumVertices()
+	return &ccState{prev: make([]uint32, n), next: make([]uint32, n)}
+}
+
+// Init implements Kernel: every vertex starts in its own component.
+func (k *CC) Init(st State, _ uint64) {
+	s := st.(*ccState)
+	for i := range s.prev {
+		s.prev[i] = uint32(i)
+		s.next[i] = uint32(i)
+	}
+}
+
+// BeginLevel implements Kernel.
+func (k *CC) BeginLevel([]State, int32) {}
+
+// RunSP propagates labels across each edge in both directions: the
+// neighbor inherits the vertex's label and vice versa, whichever is
+// smaller.
+func (k *CC) RunSP(a *Args) Result {
+	s := a.State.(*ccState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		adj := pg.Adj(slot)
+		lanes.add(adj.Len())
+		k.propagate(a, s, vid, adj, &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	return res
+}
+
+// RunLP propagates labels for one large vertex's page-local adjacency.
+func (k *CC) RunLP(a *Args) Result {
+	s := a.State.(*ccState)
+	vid, _ := a.Page.Slot(0)
+	adj := a.Page.Adj(0)
+	var lanes laneAcc
+	lanes.add(adj.Len())
+	var res Result
+	k.propagate(a, s, vid, adj, &res)
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	return res
+}
+
+func (k *CC) propagate(a *Args, s *ccState, vid uint64, adj slottedpage.AdjView, res *Result) {
+	cv := s.prev[vid]
+	for i := 0; i < adj.Len(); i++ {
+		nvid := k.g.VIDOf(adj.At(i))
+		if a.owns(nvid) && cv < s.next[nvid] {
+			s.next[nvid] = cv
+			res.Updates++
+			res.Active = true
+		}
+		if cn := s.prev[nvid]; a.owns(vid) && cn < s.next[vid] {
+			s.next[vid] = cn
+			res.Updates++
+			res.Active = true
+		}
+	}
+}
+
+// MergeStates implements Kernel: labels merge by minimum.
+func (k *CC) MergeStates(sts []State) {
+	if len(sts) < 2 {
+		return
+	}
+	base := sts[0].(*ccState)
+	for _, other := range sts[1:] {
+		o := other.(*ccState)
+		for v, c := range o.next {
+			if c < base.next[v] {
+				base.next[v] = c
+			}
+		}
+	}
+	for _, other := range sts[1:] {
+		copy(other.(*ccState).next, base.next)
+	}
+}
+
+// EndIteration implements Kernel: next becomes prev; the fixpoint is
+// reached when an iteration applies no update.
+func (k *CC) EndIteration(sts []State, active bool) bool {
+	for _, st := range sts {
+		s := st.(*ccState)
+		copy(s.prev, s.next)
+	}
+	return active
+}
+
+// Components exposes the final label vector.
+func (k *CC) Components(st State) []uint32 { return st.(*ccState).prev }

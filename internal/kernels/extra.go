@@ -1,0 +1,464 @@
+package kernels
+
+import "repro/internal/slottedpage"
+
+// This file implements the further algorithms the paper's §3.3 lists in its
+// two classes beyond the evaluated five: Random Walk with Restart and
+// degree distribution (PageRank-like full scans) and K-core decomposition
+// (iterative full scans).
+
+// RWR implements Random Walk with Restart: PageRank's iteration with the
+// teleport mass concentrated on a single query vertex. It reuses the
+// K_PR-style scatter kernels; only the restart vector differs.
+type RWR struct {
+	g          *slottedpage.Graph
+	restart    float64
+	iterations int32
+	lpDeg      map[uint64]int
+	cost       costParams
+}
+
+// NewRWR returns an RWR kernel with restart probability c (typically 0.15)
+// running the given iteration count.
+func NewRWR(g *slottedpage.Graph, c float64, iterations int) *RWR {
+	return &RWR{
+		g:          g,
+		restart:    c,
+		iterations: int32(iterations),
+		lpDeg:      lpDegrees(g),
+		cost:       costParams{laneCycles: 160, slotCycles: 50},
+	}
+}
+
+type rwrState struct {
+	prev   []float32
+	next   []float32
+	source uint64
+	iter   int32
+}
+
+func (s *rwrState) WABytes() int64 { return int64(len(s.next)) * 4 }
+func (s *rwrState) RABytes() int64 { return int64(len(s.prev)) * 4 }
+func (s *rwrState) Clone() State {
+	c := &rwrState{
+		prev:   append([]float32(nil), s.prev...),
+		next:   append([]float32(nil), s.next...),
+		source: s.source,
+		iter:   s.iter,
+	}
+	return c
+}
+
+// restartMass is the teleport value of vertex v for a walk restarting at
+// src.
+func (k *RWR) restartMass(v, src uint64) float32 {
+	if v == src {
+		return float32(k.restart)
+	}
+	return 0
+}
+
+// Name implements Kernel.
+func (k *RWR) Name() string { return "RWR" }
+
+// Class implements Kernel.
+func (k *RWR) Class() Class { return PageRankLike }
+
+// RAPerVertex implements Kernel.
+func (k *RWR) RAPerVertex() int64 { return 4 }
+
+// NewState implements Kernel.
+func (k *RWR) NewState() State {
+	n := k.g.NumVertices()
+	return &rwrState{prev: make([]float32, n), next: make([]float32, n)}
+}
+
+// Init implements Kernel: all mass starts at the query vertex.
+func (k *RWR) Init(st State, source uint64) {
+	s := st.(*rwrState)
+	s.source = source
+	for i := range s.prev {
+		s.prev[i] = 0
+		s.next[i] = k.restartMass(uint64(i), source)
+	}
+	s.prev[source] = 1
+	s.iter = 0
+}
+
+// BeginLevel implements Kernel.
+func (k *RWR) BeginLevel([]State, int32) {}
+
+// RunSP scatters (1-c) * prev[v]/deg(v) along out-edges.
+func (k *RWR) RunSP(a *Args) Result {
+	s := a.State.(*rwrState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	walk := float32(1 - k.restart)
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		adj := pg.Adj(slot)
+		d := adj.Len()
+		lanes.add(d)
+		if d == 0 || s.prev[vid] == 0 {
+			continue
+		}
+		contrib := walk * s.prev[vid] / float32(d)
+		for i := 0; i < d; i++ {
+			nvid := k.g.VIDOf(adj.At(i))
+			if !a.owns(nvid) {
+				continue
+			}
+			s.next[nvid] += contrib
+			res.Updates++
+		}
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	res.Active = true
+	return res
+}
+
+// RunLP scatters one large vertex's page-local portion.
+func (k *RWR) RunLP(a *Args) Result {
+	s := a.State.(*rwrState)
+	vid, _ := a.Page.Slot(0)
+	adj := a.Page.Adj(0)
+	var lanes laneAcc
+	lanes.add(adj.Len())
+	var res Result
+	if s.prev[vid] != 0 {
+		contrib := float32(1-k.restart) * s.prev[vid] / float32(k.lpDeg[vid])
+		for i := 0; i < adj.Len(); i++ {
+			nvid := k.g.VIDOf(adj.At(i))
+			if !a.owns(nvid) {
+				continue
+			}
+			s.next[nvid] += contrib
+			res.Updates++
+		}
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	res.Active = true
+	return res
+}
+
+// MergeStates implements Kernel: base-relative additive merge, like
+// PageRank's.
+func (k *RWR) MergeStates(sts []State) {
+	if len(sts) < 2 {
+		return
+	}
+	merged := sts[0].(*rwrState)
+	for _, other := range sts[1:] {
+		o := other.(*rwrState)
+		for v := range merged.next {
+			merged.next[v] += o.next[v] - k.restartMass(uint64(v), o.source)
+		}
+	}
+	for _, other := range sts[1:] {
+		copy(other.(*rwrState).next, merged.next)
+	}
+}
+
+// EndIteration implements Kernel.
+func (k *RWR) EndIteration(sts []State, _ bool) bool {
+	for _, st := range sts {
+		s := st.(*rwrState)
+		copy(s.prev, s.next)
+		for i := range s.next {
+			s.next[i] = k.restartMass(uint64(i), s.source)
+		}
+		s.iter++
+	}
+	return sts[0].(*rwrState).iter < k.iterations
+}
+
+// Scores exposes the final proximity vector.
+func (k *RWR) Scores(st State) []float32 { return st.(*rwrState).prev }
+
+// DegreeDist computes per-vertex out-degrees in one full scan — the
+// simplest PageRank-like algorithm the paper lists. Degrees come straight
+// from the records' ADJLIST_SZ fields (summed across an LP run).
+type DegreeDist struct {
+	g    *slottedpage.Graph
+	cost costParams
+}
+
+// NewDegreeDist returns the kernel.
+func NewDegreeDist(g *slottedpage.Graph) *DegreeDist {
+	return &DegreeDist{g: g, cost: costParams{laneCycles: 0, slotCycles: 15}}
+}
+
+type degState struct {
+	deg []int32
+}
+
+func (s *degState) WABytes() int64 { return int64(len(s.deg)) * 4 }
+func (s *degState) RABytes() int64 { return 0 }
+func (s *degState) Clone() State {
+	return &degState{deg: append([]int32(nil), s.deg...)}
+}
+
+// Name implements Kernel.
+func (k *DegreeDist) Name() string { return "DegreeDist" }
+
+// Class implements Kernel.
+func (k *DegreeDist) Class() Class { return PageRankLike }
+
+// RAPerVertex implements Kernel.
+func (k *DegreeDist) RAPerVertex() int64 { return 0 }
+
+// NewState implements Kernel.
+func (k *DegreeDist) NewState() State {
+	return &degState{deg: make([]int32, k.g.NumVertices())}
+}
+
+// Init implements Kernel.
+func (k *DegreeDist) Init(st State, _ uint64) {
+	s := st.(*degState)
+	for i := range s.deg {
+		s.deg[i] = 0
+	}
+}
+
+// BeginLevel implements Kernel.
+func (k *DegreeDist) BeginLevel([]State, int32) {}
+
+// RunSP records each slot's ADJLIST_SZ.
+func (k *DegreeDist) RunSP(a *Args) Result {
+	s := a.State.(*degState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var res Result
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		if !a.owns(vid) {
+			continue
+		}
+		s.deg[vid] = int32(pg.Adj(slot).Len())
+		res.Updates++
+	}
+	var lanes laneAcc
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	res.Active = true
+	return res
+}
+
+// RunLP accumulates an LP run's page-local counts.
+func (k *DegreeDist) RunLP(a *Args) Result {
+	s := a.State.(*degState)
+	vid, _ := a.Page.Slot(0)
+	var res Result
+	if a.owns(vid) {
+		s.deg[vid] += int32(a.Page.Adj(0).Len())
+		res.Updates++
+	}
+	var lanes laneAcc
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	res.Active = true
+	return res
+}
+
+// MergeStates implements Kernel: each replica touched disjoint pages, so
+// degrees merge by maximum (unwritten entries are zero)... except LP runs,
+// whose partial sums land on different replicas — so merge by sum over
+// large vertices and by max elsewhere.
+func (k *DegreeDist) MergeStates(sts []State) {
+	if len(sts) < 2 {
+		return
+	}
+	large := map[uint64]bool{}
+	for _, pid := range k.g.LPIDs() {
+		large[k.g.RVT(pid).StartVID] = true
+	}
+	base := sts[0].(*degState)
+	for _, other := range sts[1:] {
+		o := other.(*degState)
+		for v := range base.deg {
+			if large[uint64(v)] {
+				base.deg[v] += o.deg[v]
+			} else if o.deg[v] > base.deg[v] {
+				base.deg[v] = o.deg[v]
+			}
+		}
+	}
+	for _, other := range sts[1:] {
+		copy(other.(*degState).deg, base.deg)
+	}
+}
+
+// EndIteration implements Kernel: one scan suffices.
+func (k *DegreeDist) EndIteration([]State, bool) bool { return false }
+
+// Degrees exposes the per-vertex out-degrees.
+func (k *DegreeDist) Degrees(st State) []int32 { return st.(*degState).deg }
+
+// Histogram folds the degrees into counts[d] = #vertices of degree d.
+func (k *DegreeDist) Histogram(st State) []int64 {
+	s := st.(*degState)
+	max := int32(0)
+	for _, d := range s.deg {
+		if d > max {
+			max = d
+		}
+	}
+	h := make([]int64, max+1)
+	for _, d := range s.deg {
+		h[d]++
+	}
+	return h
+}
+
+// KCore computes the K-core membership of every vertex over the
+// *undirected* view of the graph: iteratively peel vertices with fewer
+// than K alive neighbors (counting both edge directions) until a fixpoint.
+// Each peel round is a full scan, making this PageRank-like.
+type KCore struct {
+	g    *slottedpage.Graph
+	K    int32
+	cost costParams
+}
+
+// NewKCore returns a K-core kernel for the given K.
+func NewKCore(g *slottedpage.Graph, k int) *KCore {
+	return &KCore{g: g, K: int32(k), cost: costParams{laneCycles: 60, slotCycles: 20}}
+}
+
+type kcoreState struct {
+	alive []bool
+	count []int32 // alive-neighbor counts accumulated this round
+}
+
+func (s *kcoreState) WABytes() int64 { return int64(len(s.alive)) * (1 + 4) }
+func (s *kcoreState) RABytes() int64 { return 0 }
+func (s *kcoreState) Clone() State {
+	return &kcoreState{
+		alive: append([]bool(nil), s.alive...),
+		count: append([]int32(nil), s.count...),
+	}
+}
+
+// Name implements Kernel.
+func (k *KCore) Name() string { return "KCore" }
+
+// Class implements Kernel.
+func (k *KCore) Class() Class { return PageRankLike }
+
+// RAPerVertex implements Kernel.
+func (k *KCore) RAPerVertex() int64 { return 0 }
+
+// NewState implements Kernel.
+func (k *KCore) NewState() State {
+	n := k.g.NumVertices()
+	return &kcoreState{alive: make([]bool, n), count: make([]int32, n)}
+}
+
+// Init implements Kernel.
+func (k *KCore) Init(st State, _ uint64) {
+	s := st.(*kcoreState)
+	for i := range s.alive {
+		s.alive[i] = true
+		s.count[i] = 0
+	}
+}
+
+// BeginLevel implements Kernel: reset this round's counts.
+func (k *KCore) BeginLevel(sts []State, _ int32) {
+	for _, st := range sts {
+		s := st.(*kcoreState)
+		for i := range s.count {
+			s.count[i] = 0
+		}
+	}
+}
+
+// RunSP counts alive neighbors across each edge in both directions.
+func (k *KCore) RunSP(a *Args) Result {
+	s := a.State.(*kcoreState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		adj := pg.Adj(slot)
+		lanes.add(adj.Len())
+		k.tally(a, s, vid, adj, &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	res.Active = true
+	return res
+}
+
+// RunLP counts one large vertex's page-local adjacency.
+func (k *KCore) RunLP(a *Args) Result {
+	s := a.State.(*kcoreState)
+	vid, _ := a.Page.Slot(0)
+	adj := a.Page.Adj(0)
+	var lanes laneAcc
+	lanes.add(adj.Len())
+	var res Result
+	k.tally(a, s, vid, adj, &res)
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	res.Active = true
+	return res
+}
+
+func (k *KCore) tally(a *Args, s *kcoreState, vid uint64, adj slottedpage.AdjView, res *Result) {
+	for i := 0; i < adj.Len(); i++ {
+		nvid := k.g.VIDOf(adj.At(i))
+		if s.alive[vid] && a.owns(nvid) {
+			s.count[nvid]++
+			res.Updates++
+		}
+		if s.alive[nvid] && a.owns(vid) {
+			s.count[vid]++
+			res.Updates++
+		}
+	}
+}
+
+// MergeStates implements Kernel: counts are additive per superstep (each
+// replica saw disjoint pages); alive flags are identical going in.
+func (k *KCore) MergeStates(sts []State) {
+	if len(sts) < 2 {
+		return
+	}
+	base := sts[0].(*kcoreState)
+	for _, other := range sts[1:] {
+		o := other.(*kcoreState)
+		for v := range base.count {
+			base.count[v] += o.count[v]
+		}
+	}
+	for _, other := range sts[1:] {
+		o := other.(*kcoreState)
+		copy(o.count, base.count)
+	}
+}
+
+// EndIteration implements Kernel: peel under-degree vertices; another
+// round runs if anything was peeled.
+func (k *KCore) EndIteration(sts []State, _ bool) bool {
+	peeled := false
+	base := sts[0].(*kcoreState)
+	for v := range base.alive {
+		if base.alive[v] && base.count[v] < k.K {
+			base.alive[v] = false
+			peeled = true
+		}
+	}
+	for _, st := range sts[1:] {
+		copy(st.(*kcoreState).alive, base.alive)
+	}
+	return peeled
+}
+
+// InCore exposes the membership vector: true means the vertex survives in
+// the K-core.
+func (k *KCore) InCore(st State) []bool { return st.(*kcoreState).alive }

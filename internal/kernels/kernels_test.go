@@ -1,0 +1,178 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graphgen"
+	"repro/internal/slottedpage"
+)
+
+func TestClassAndTechniqueStrings(t *testing.T) {
+	if BFSLike.String() != "BFS-like" || PageRankLike.String() != "PageRank-like" {
+		t.Error("Class strings wrong")
+	}
+	if EdgeCentric.String() != "edge-centric" || VertexCentric.String() != "vertex-centric" || Hybrid.String() != "hybrid" {
+		t.Error("Technique strings wrong")
+	}
+}
+
+func TestLaneAccEdgeCentric(t *testing.T) {
+	var l laneAcc
+	l.add(1)  // 1 edge, 32 lanes
+	l.add(33) // 33 edges, 64 lanes
+	if l.edges != 34 || l.ecLanes != 96 {
+		t.Fatalf("edges=%d ecLanes=%d", l.edges, l.ecLanes)
+	}
+	// eff = edges + 0.25*(lanes-edges) = 34 + 0.25*62 = 49.5
+	if got := l.effectiveLanes(EdgeCentric); got != 49.5 {
+		t.Errorf("effectiveLanes = %v, want 49.5", got)
+	}
+}
+
+func TestLaneAccVertexCentricWindows(t *testing.T) {
+	var l laneAcc
+	// 32 vertices of degree 1 plus one window with a degree-100 hub.
+	for i := 0; i < 32; i++ {
+		l.add(1)
+	}
+	l.add(100) // partial second window
+	// First window: 32*1 lanes; partial window flush: 32*100.
+	want := float64(132) + vertexCentricWaste*float64(32+3200-132)
+	if got := l.effectiveLanes(VertexCentric); got != want {
+		t.Errorf("effectiveLanes = %v, want %v", got, want)
+	}
+}
+
+func TestHybridPicksCheaper(t *testing.T) {
+	f := func(degs []uint8) bool {
+		var l laneAcc
+		for _, d := range degs {
+			l.add(int(d))
+		}
+		h := l.effectiveLanes(Hybrid)
+		e := l.effectiveLanes(EdgeCentric)
+		v := l.effectiveLanes(VertexCentric)
+		min := e
+		if v < min {
+			min = v
+		}
+		return h == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVertexCentricSuffersOnSkew(t *testing.T) {
+	// A window holding one hub and 31 leaves: vertex-centric stalls the
+	// whole warp on the hub; edge-centric does not.
+	var l laneAcc
+	l.add(1000)
+	for i := 0; i < 31; i++ {
+		l.add(1)
+	}
+	if l.effectiveLanes(VertexCentric) <= l.effectiveLanes(EdgeCentric) {
+		t.Error("vertex-centric not penalized on skewed window")
+	}
+}
+
+func TestEdgeCentricSuffersOnVerySparse(t *testing.T) {
+	// Uniform degree 2: edge-centric wastes 30/32 lanes per vertex;
+	// vertex-centric windows are perfectly balanced.
+	var l laneAcc
+	for i := 0; i < 64; i++ {
+		l.add(2)
+	}
+	if l.effectiveLanes(EdgeCentric) <= l.effectiveLanes(VertexCentric) {
+		t.Error("edge-centric not penalized on uniform sparse page")
+	}
+}
+
+func TestWeightDeterministicAndInRange(t *testing.T) {
+	f := func(u, v uint32) bool {
+		w := Weight(uint64(u), uint64(v))
+		return w == Weight(uint64(u), uint64(v)) && w >= 1 && w <= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Weight(1, 2) == Weight(2, 1) && Weight(3, 4) == Weight(4, 3) && Weight(5, 6) == Weight(6, 5) {
+		t.Error("weights suspiciously symmetric")
+	}
+}
+
+// buildTestGraph packs a small RMAT graph into pages for state-size tests.
+func buildTestGraph(t *testing.T) *slottedpage.Graph {
+	t.Helper()
+	d, _ := graphgen.ByName("RMAT27")
+	g := d.MustGenerate(27 - 10)
+	sp, err := slottedpage.Build(g, slottedpage.ScaledConfig(2, 2, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestWAFootprintsMatchTable4(t *testing.T) {
+	// Paper Table 4's per-vertex WA: BFS 2 B, PageRank 4 B, CC 8 B.
+	sp := buildTestGraph(t)
+	v := int64(sp.NumVertices())
+	cases := []struct {
+		k    Kernel
+		perV int64
+	}{
+		{NewBFS(sp), 2},
+		{NewPageRank(sp, 0.85, 10), 4},
+		{NewCC(sp), 8},
+	}
+	for _, tc := range cases {
+		if got := tc.k.NewState().WABytes(); got != v*tc.perV {
+			t.Errorf("%s WABytes = %d, want %d", tc.k.Name(), got, v*tc.perV)
+		}
+	}
+	// SSSP additionally keeps the activity vector (dist 4 B + level 4 B).
+	if got := NewSSSP(sp).NewState().WABytes(); got != v*8 {
+		t.Errorf("SSSP WABytes = %d, want %d", got, v*8)
+	}
+}
+
+func TestStateCloneIndependent(t *testing.T) {
+	sp := buildTestGraph(t)
+	for _, k := range []Kernel{NewBFS(sp), NewPageRank(sp, 0.85, 1), NewSSSP(sp), NewCC(sp), NewBC(sp)} {
+		st := k.NewState()
+		k.Init(st, 0)
+		clone := st.Clone()
+		k.Init(st, 1) // mutate original
+		// Re-initializing from a different source must not affect the clone.
+		if clone.WABytes() != st.WABytes() {
+			t.Errorf("%s: clone size changed", k.Name())
+		}
+	}
+}
+
+func TestKernelClassesAndRA(t *testing.T) {
+	sp := buildTestGraph(t)
+	if NewBFS(sp).Class() != BFSLike || NewSSSP(sp).Class() != BFSLike || NewBC(sp).Class() != BFSLike {
+		t.Error("traversal kernels must be BFS-like")
+	}
+	if NewPageRank(sp, 0.85, 1).Class() != PageRankLike || NewCC(sp).Class() != PageRankLike {
+		t.Error("full-scan kernels must be PageRank-like")
+	}
+	if NewPageRank(sp, 0.85, 1).RAPerVertex() != 4 {
+		t.Error("PageRank streams 4 bytes of prevPR per vertex")
+	}
+	if NewBFS(sp).RAPerVertex() != 0 {
+		t.Error("BFS has no RA vector")
+	}
+}
+
+func TestLPDegrees(t *testing.T) {
+	sp := buildTestGraph(t)
+	m := lpDegrees(sp)
+	for v, d := range m {
+		if got := sp.DegreeOf(v); got != d {
+			t.Errorf("LP vertex %d degree %d, want %d", v, d, got)
+		}
+	}
+}

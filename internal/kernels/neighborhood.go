@@ -1,0 +1,259 @@
+package kernels
+
+import "repro/internal/slottedpage"
+
+// Neighborhood computes the k-hop out-neighborhood of a source vertex —
+// the "neighborhood / egonet / induced subgraph" family of the paper's
+// §3.3 BFS-like class. It is a depth-capped traversal: levels beyond
+// MaxHops are not explored, so only the pages within the ball stream.
+type Neighborhood struct {
+	g       *slottedpage.Graph
+	maxHops int16
+	cost    costParams
+}
+
+// NewNeighborhood returns a k-hop neighborhood kernel.
+func NewNeighborhood(g *slottedpage.Graph, maxHops int) *Neighborhood {
+	return &Neighborhood{g: g, maxHops: int16(maxHops), cost: costParams{laneCycles: 40, slotCycles: 10}}
+}
+
+// Name implements Kernel.
+func (k *Neighborhood) Name() string { return "Neighborhood" }
+
+// Class implements Kernel.
+func (k *Neighborhood) Class() Class { return BFSLike }
+
+// RAPerVertex implements Kernel.
+func (k *Neighborhood) RAPerVertex() int64 { return 0 }
+
+// NewState implements Kernel (the state is BFS's level vector).
+func (k *Neighborhood) NewState() State {
+	return &bfsState{lv: make([]int16, k.g.NumVertices())}
+}
+
+// Init implements Kernel.
+func (k *Neighborhood) Init(st State, source uint64) {
+	s := st.(*bfsState)
+	for i := range s.lv {
+		s.lv[i] = unvisited
+	}
+	s.lv[source] = 0
+}
+
+// BeginLevel implements Kernel.
+func (k *Neighborhood) BeginLevel([]State, int32) {}
+
+// RunSP expands frontier vertices but stops proposing pages once the next
+// level would exceed the hop cap.
+func (k *Neighborhood) RunSP(a *Args) Result {
+	s := a.State.(*bfsState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	level := int16(a.Level)
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		if s.lv[vid] != level {
+			continue
+		}
+		adj := pg.Adj(slot)
+		lanes.add(adj.Len())
+		k.expand(a, s, adj, level, &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	return res
+}
+
+// RunLP expands one large frontier vertex's page-local adjacency.
+func (k *Neighborhood) RunLP(a *Args) Result {
+	s := a.State.(*bfsState)
+	vid, _ := a.Page.Slot(0)
+	var lanes laneAcc
+	var res Result
+	if s.lv[vid] == int16(a.Level) {
+		adj := a.Page.Adj(0)
+		lanes.add(adj.Len())
+		k.expand(a, s, adj, int16(a.Level), &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	return res
+}
+
+func (k *Neighborhood) expand(a *Args, s *bfsState, adj slottedpage.AdjView, level int16, res *Result) {
+	for i := 0; i < adj.Len(); i++ {
+		rid := adj.At(i)
+		nvid := k.g.VIDOf(rid)
+		if !a.owns(nvid) {
+			continue
+		}
+		if s.lv[nvid] == unvisited {
+			s.lv[nvid] = level + 1
+			res.Updates++
+			res.Active = true
+			if level+1 < k.maxHops {
+				// Only propose further expansion inside the ball.
+				a.NextPIDs.Set(int(rid.PID))
+			}
+		}
+	}
+}
+
+// MergeStates implements Kernel (minimum, as BFS).
+func (k *Neighborhood) MergeStates(sts []State) {
+	if len(sts) < 2 {
+		return
+	}
+	base := sts[0].(*bfsState)
+	for _, other := range sts[1:] {
+		o := other.(*bfsState)
+		for v, l := range o.lv {
+			if l != unvisited && (base.lv[v] == unvisited || l < base.lv[v]) {
+				base.lv[v] = l
+			}
+		}
+	}
+	for _, other := range sts[1:] {
+		copy(other.(*bfsState).lv, base.lv)
+	}
+}
+
+// EndIteration implements Kernel.
+func (k *Neighborhood) EndIteration([]State, bool) bool { return false }
+
+// Members exposes the vertices inside the ball with their hop distance
+// (-1 = outside).
+func (k *Neighborhood) Members(st State) []int16 { return st.(*bfsState).lv }
+
+// CrossEdges counts the edges crossing a bipartition of the vertices —
+// §3.3's "cross-edges" full-scan algorithm. Side is the partition
+// predicate (e.g. shard membership); the kernel scans every adjacency
+// entry once.
+type CrossEdges struct {
+	g    *slottedpage.Graph
+	side func(v uint64) bool
+	cost costParams
+}
+
+// NewCrossEdges returns a cross-edge counter for the given bipartition.
+func NewCrossEdges(g *slottedpage.Graph, side func(v uint64) bool) *CrossEdges {
+	return &CrossEdges{g: g, side: side, cost: costParams{laneCycles: 25, slotCycles: 10}}
+}
+
+type crossState struct {
+	// count holds per-vertex crossing-edge tallies so ownership splitting
+	// and replica merging stay trivial (sum at the end).
+	count []int64
+}
+
+func (s *crossState) WABytes() int64 { return int64(len(s.count)) * 8 }
+func (s *crossState) RABytes() int64 { return 0 }
+func (s *crossState) Clone() State {
+	return &crossState{count: append([]int64(nil), s.count...)}
+}
+
+// Name implements Kernel.
+func (k *CrossEdges) Name() string { return "CrossEdges" }
+
+// Class implements Kernel.
+func (k *CrossEdges) Class() Class { return PageRankLike }
+
+// RAPerVertex implements Kernel.
+func (k *CrossEdges) RAPerVertex() int64 { return 0 }
+
+// NewState implements Kernel.
+func (k *CrossEdges) NewState() State {
+	return &crossState{count: make([]int64, k.g.NumVertices())}
+}
+
+// Init implements Kernel.
+func (k *CrossEdges) Init(st State, _ uint64) {
+	s := st.(*crossState)
+	for i := range s.count {
+		s.count[i] = 0
+	}
+}
+
+// BeginLevel implements Kernel.
+func (k *CrossEdges) BeginLevel([]State, int32) {}
+
+// RunSP tallies crossing edges for the page's vertices.
+func (k *CrossEdges) RunSP(a *Args) Result {
+	s := a.State.(*crossState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		adj := pg.Adj(slot)
+		lanes.add(adj.Len())
+		k.tally(a, s, vid, adj, &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	res.Active = true
+	return res
+}
+
+// RunLP tallies one large vertex's page-local adjacency.
+func (k *CrossEdges) RunLP(a *Args) Result {
+	s := a.State.(*crossState)
+	vid, _ := a.Page.Slot(0)
+	adj := a.Page.Adj(0)
+	var lanes laneAcc
+	lanes.add(adj.Len())
+	var res Result
+	k.tally(a, s, vid, adj, &res)
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	res.Active = true
+	return res
+}
+
+func (k *CrossEdges) tally(a *Args, s *crossState, vid uint64, adj slottedpage.AdjView, res *Result) {
+	if !a.owns(vid) {
+		return
+	}
+	vs := k.side(vid)
+	for i := 0; i < adj.Len(); i++ {
+		if k.side(k.g.VIDOf(adj.At(i))) != vs {
+			s.count[vid]++
+			res.Updates++
+		}
+	}
+}
+
+// MergeStates implements Kernel: per-vertex tallies are written by exactly
+// one replica (the one that processed the vertex's pages), merged by sum
+// (LP runs may split across replicas).
+func (k *CrossEdges) MergeStates(sts []State) {
+	if len(sts) < 2 {
+		return
+	}
+	base := sts[0].(*crossState)
+	for _, other := range sts[1:] {
+		o := other.(*crossState)
+		for v := range base.count {
+			base.count[v] += o.count[v]
+		}
+	}
+	for _, other := range sts[1:] {
+		copy(other.(*crossState).count, base.count)
+	}
+}
+
+// EndIteration implements Kernel: one scan suffices.
+func (k *CrossEdges) EndIteration([]State, bool) bool { return false }
+
+// Total reports the crossing-edge count.
+func (k *CrossEdges) Total(st State) int64 {
+	s := st.(*crossState)
+	var sum int64
+	for _, c := range s.count {
+		sum += c
+	}
+	return sum
+}

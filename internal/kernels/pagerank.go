@@ -1,0 +1,178 @@
+package kernels
+
+import "repro/internal/slottedpage"
+
+// PageRank implements the paper's K_PR_SP and K_PR_LP kernels (Algorithms 4
+// and 5). Per the paper's split, nextPR is the read/write attribute vector
+// kept in device memory (WA) and prevPR is the read-only vector streamed
+// page-by-page alongside topology (RA). Both are float32, matching Table 4's
+// 4 bytes/vertex WA footprint.
+type PageRank struct {
+	g          *slottedpage.Graph
+	damping    float64
+	iterations int32
+	lpDeg      map[uint64]int
+	cost       costParams
+}
+
+// NewPageRank returns a PageRank kernel running the given iteration count
+// with damping factor df (the paper uses 10 iterations, df = 0.85).
+func NewPageRank(g *slottedpage.Graph, df float64, iterations int) *PageRank {
+	return &PageRank{
+		g:          g,
+		damping:    df,
+		iterations: int32(iterations),
+		lpDeg:      lpDegrees(g),
+		cost:       costParams{laneCycles: 160, slotCycles: 50},
+	}
+}
+
+type prState struct {
+	prevPR []float32 // RA: streamed per page
+	nextPR []float32 // WA: device-resident, atomically accumulated
+	base   float32   // (1-df)/|V|, nextPR's per-iteration reset value
+	iter   int32
+}
+
+func (s *prState) WABytes() int64 { return int64(len(s.nextPR)) * 4 }
+func (s *prState) RABytes() int64 { return int64(len(s.prevPR)) * 4 }
+func (s *prState) Clone() State {
+	c := &prState{
+		prevPR: make([]float32, len(s.prevPR)),
+		nextPR: make([]float32, len(s.nextPR)),
+		base:   s.base,
+		iter:   s.iter,
+	}
+	copy(c.prevPR, s.prevPR)
+	copy(c.nextPR, s.nextPR)
+	return c
+}
+
+// Name implements Kernel.
+func (k *PageRank) Name() string { return "PageRank" }
+
+// Class implements Kernel: PageRank scans the whole topology per iteration.
+func (k *PageRank) Class() Class { return PageRankLike }
+
+// RAPerVertex implements Kernel: 4 bytes of prevPR accompany each vertex.
+func (k *PageRank) RAPerVertex() int64 { return 4 }
+
+// NewState implements Kernel.
+func (k *PageRank) NewState() State {
+	n := k.g.NumVertices()
+	return &prState{
+		prevPR: make([]float32, n),
+		nextPR: make([]float32, n),
+		base:   float32((1 - k.damping) / float64(n)),
+	}
+}
+
+// Init implements Kernel: uniform prior, nextPR primed with the teleport
+// term (Appendix B.2).
+func (k *PageRank) Init(st State, _ uint64) {
+	s := st.(*prState)
+	uniform := float32(1 / float64(len(s.prevPR)))
+	for i := range s.prevPR {
+		s.prevPR[i] = uniform
+		s.nextPR[i] = s.base
+	}
+	s.iter = 0
+}
+
+// BeginLevel implements Kernel (no per-iteration preparation).
+func (k *PageRank) BeginLevel([]State, int32) {}
+
+// RunSP implements K_PR_SP (Algorithm 4): each frontier-free full scan; a
+// warp takes one slot and atomically adds df*prevPR[v]/deg(v) to every
+// out-neighbor's nextPR.
+func (k *PageRank) RunSP(a *Args) Result {
+	s := a.State.(*prState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	df := float32(k.damping)
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		adj := pg.Adj(slot)
+		d := adj.Len()
+		lanes.add(d)
+		if d == 0 {
+			continue
+		}
+		contrib := df * s.prevPR[vid] / float32(d)
+		k.scatter(a, s, adj, contrib, &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	res.Active = true
+	return res
+}
+
+// RunLP implements K_PR_LP (Algorithm 5): the page holds part of one
+// vertex's adjacency; the contribution divides by the vertex's *total*
+// degree, not the page-local count.
+func (k *PageRank) RunLP(a *Args) Result {
+	s := a.State.(*prState)
+	vid, _ := a.Page.Slot(0)
+	adj := a.Page.Adj(0)
+	var lanes laneAcc
+	lanes.add(adj.Len())
+	var res Result
+	contrib := float32(k.damping) * s.prevPR[vid] / float32(k.lpDeg[vid])
+	k.scatter(a, s, adj, contrib, &res)
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	res.Active = true
+	return res
+}
+
+// scatter performs the atomicAdd loop shared by both kernels.
+func (k *PageRank) scatter(a *Args, s *prState, adj slottedpage.AdjView, contrib float32, res *Result) {
+	for i := 0; i < adj.Len(); i++ {
+		nvid := k.g.VIDOf(adj.At(i))
+		if !a.owns(nvid) {
+			continue
+		}
+		s.nextPR[nvid] += contrib
+		res.Updates++
+	}
+}
+
+// MergeStates implements Kernel: every replica started the superstep at the
+// same nextPR (the teleport base after EndIteration), so the merged value
+// is base plus the sum of each replica's accumulated contributions.
+func (k *PageRank) MergeStates(sts []State) {
+	if len(sts) < 2 {
+		return
+	}
+	merged := sts[0].(*prState)
+	for _, other := range sts[1:] {
+		o := other.(*prState)
+		for v := range merged.nextPR {
+			merged.nextPR[v] += o.nextPR[v] - o.base
+		}
+	}
+	for _, other := range sts[1:] {
+		o := other.(*prState)
+		copy(o.nextPR, merged.nextPR)
+	}
+}
+
+// EndIteration implements Kernel: nextPR becomes prevPR, nextPR resets to
+// the teleport base, and the run continues until the iteration budget is
+// spent (paper §3.4's note on repeating Lines 13-31).
+func (k *PageRank) EndIteration(sts []State, _ bool) bool {
+	for _, st := range sts {
+		s := st.(*prState)
+		copy(s.prevPR, s.nextPR)
+		for i := range s.nextPR {
+			s.nextPR[i] = s.base
+		}
+		s.iter++
+	}
+	return sts[0].(*prState).iter < k.iterations
+}
+
+// Ranks exposes the final PageRank vector (prevPR after the last swap).
+func (k *PageRank) Ranks(st State) []float32 { return st.(*prState).prevPR }

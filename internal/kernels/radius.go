@@ -1,0 +1,261 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/slottedpage"
+)
+
+// Radius implements the "radius estimations" entry of the paper's §3.3
+// PageRank-like class, in the style of ANF (Palmer, Gibbons, Faloutsos,
+// KDD'02): every vertex carries K Flajolet-Martin bitmask sketches of its
+// reachable set; each full scan ORs in the out-neighbors' sketches,
+// extending reach by one hop. A vertex's (out-)eccentricity estimate is the
+// iteration at which its sketches stop growing, and the neighborhood
+// function |N(v,h)| comes from the sketches' lowest-zero-bit positions.
+//
+// Sketch updates are idempotent bitwise ORs, so replica merges and
+// ownership splitting work exactly like the other full-scan kernels.
+type Radius struct {
+	g        *slottedpage.Graph
+	sketches int
+	maxHops  int32
+	cost     costParams
+}
+
+// NewRadius returns a radius-estimation kernel with the given sketch count
+// (more sketches, tighter estimates; 8 is a good default) and a hop cap.
+func NewRadius(g *slottedpage.Graph, sketches, maxHops int) *Radius {
+	if sketches < 1 {
+		sketches = 1
+	}
+	return &Radius{
+		g:        g,
+		sketches: sketches,
+		maxHops:  int32(maxHops),
+		cost:     costParams{laneCycles: 90, slotCycles: 40},
+	}
+}
+
+type radiusState struct {
+	// prev and next hold K uint32 bitmasks per vertex, flattened.
+	prev []uint32
+	next []uint32
+	// radius[v] is the last hop at which v's sketches grew.
+	radius []int32
+	k      int
+	iter   int32
+}
+
+func (s *radiusState) WABytes() int64 {
+	return int64(len(s.next))*4 + int64(len(s.radius))*4
+}
+func (s *radiusState) RABytes() int64 { return 0 }
+func (s *radiusState) Clone() State {
+	return &radiusState{
+		prev:   append([]uint32(nil), s.prev...),
+		next:   append([]uint32(nil), s.next...),
+		radius: append([]int32(nil), s.radius...),
+		k:      s.k,
+		iter:   s.iter,
+	}
+}
+
+// fmBit returns the Flajolet-Martin bit for vertex v in sketch j: position
+// = number of trailing zeros of a per-sketch hash, geometrically
+// distributed.
+func fmBit(v uint64, j int) uint32 {
+	h := (v+1)*0x9E3779B97F4A7C15 ^ uint64(j+1)*0xD1B54A32D192ED03
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	pos := 0
+	for pos < 31 && h&1 == 0 {
+		h >>= 1
+		pos++
+	}
+	return 1 << uint(pos)
+}
+
+// Name implements Kernel.
+func (k *Radius) Name() string { return "Radius" }
+
+// Class implements Kernel.
+func (k *Radius) Class() Class { return PageRankLike }
+
+// RAPerVertex implements Kernel.
+func (k *Radius) RAPerVertex() int64 { return 0 }
+
+// NewState implements Kernel.
+func (k *Radius) NewState() State {
+	n := int(k.g.NumVertices())
+	return &radiusState{
+		prev:   make([]uint32, n*k.sketches),
+		next:   make([]uint32, n*k.sketches),
+		radius: make([]int32, n),
+		k:      k.sketches,
+	}
+}
+
+// Init implements Kernel: every vertex starts knowing only itself.
+func (k *Radius) Init(st State, _ uint64) {
+	s := st.(*radiusState)
+	for v := 0; v < len(s.radius); v++ {
+		s.radius[v] = 0
+		for j := 0; j < s.k; j++ {
+			b := fmBit(uint64(v), j)
+			s.prev[v*s.k+j] = b
+			s.next[v*s.k+j] = b
+		}
+	}
+	s.iter = 0
+}
+
+// BeginLevel implements Kernel.
+func (k *Radius) BeginLevel([]State, int32) {}
+
+// RunSP ORs each vertex's out-neighbors' sketches into its own.
+func (k *Radius) RunSP(a *Args) Result {
+	s := a.State.(*radiusState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		adj := pg.Adj(slot)
+		lanes.add(adj.Len())
+		k.absorb(a, s, vid, adj, &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	return res
+}
+
+// RunLP handles one large vertex's page-local adjacency.
+func (k *Radius) RunLP(a *Args) Result {
+	s := a.State.(*radiusState)
+	vid, _ := a.Page.Slot(0)
+	adj := a.Page.Adj(0)
+	var lanes laneAcc
+	lanes.add(adj.Len())
+	var res Result
+	k.absorb(a, s, vid, adj, &res)
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	return res
+}
+
+func (k *Radius) absorb(a *Args, s *radiusState, vid uint64, adj slottedpage.AdjView, res *Result) {
+	if !a.owns(vid) {
+		return
+	}
+	base := int(vid) * s.k
+	for i := 0; i < adj.Len(); i++ {
+		nvid := k.g.VIDOf(adj.At(i))
+		nb := int(nvid) * s.k
+		for j := 0; j < s.k; j++ {
+			old := s.next[base+j]
+			merged := old | s.prev[nb+j]
+			if merged != old {
+				s.next[base+j] = merged
+				res.Updates++
+				res.Active = true
+			}
+		}
+	}
+}
+
+// MergeStates implements Kernel: sketches merge by OR; radii by maximum.
+func (k *Radius) MergeStates(sts []State) {
+	if len(sts) < 2 {
+		return
+	}
+	base := sts[0].(*radiusState)
+	for _, other := range sts[1:] {
+		o := other.(*radiusState)
+		for i := range base.next {
+			base.next[i] |= o.next[i]
+		}
+		for v := range base.radius {
+			if o.radius[v] > base.radius[v] {
+				base.radius[v] = o.radius[v]
+			}
+		}
+	}
+	for _, other := range sts[1:] {
+		o := other.(*radiusState)
+		copy(o.next, base.next)
+		copy(o.radius, base.radius)
+	}
+}
+
+// EndIteration implements Kernel: record which vertices grew this hop, swap
+// buffers, and continue until no sketch changes or the hop cap.
+func (k *Radius) EndIteration(sts []State, active bool) bool {
+	base := sts[0].(*radiusState)
+	base.iter++
+	for v := range base.radius {
+		for j := 0; j < base.k; j++ {
+			if base.next[v*base.k+j] != base.prev[v*base.k+j] {
+				base.radius[v] = base.iter
+				break
+			}
+		}
+	}
+	for _, st := range sts {
+		s := st.(*radiusState)
+		copy(s.prev, base.next)
+		copy(s.next, base.next)
+		copy(s.radius, base.radius)
+		s.iter = base.iter
+	}
+	return active && base.iter < k.maxHops
+}
+
+// Radii exposes the per-vertex out-eccentricity estimates: the hop at
+// which each vertex's reachable-set sketch last grew.
+func (k *Radius) Radii(st State) []int32 { return st.(*radiusState).radius }
+
+// NeighborhoodEstimate reports the estimated size of v's reachable set
+// from the final sketches, using the Flajolet-Martin estimator
+// 2^E[b] / 0.77351 where b is each sketch's lowest unset bit.
+func (k *Radius) NeighborhoodEstimate(st State, v uint64) float64 {
+	s := st.(*radiusState)
+	sum := 0.0
+	for j := 0; j < s.k; j++ {
+		sum += float64(lowestZeroBit(s.prev[int(v)*s.k+j]))
+	}
+	return math.Pow(2, sum/float64(s.k)) / 0.77351
+}
+
+// EffectiveDiameter reports the smallest hop count within which the given
+// fraction (e.g. 0.9) of vertices' sketches had stabilized.
+func (k *Radius) EffectiveDiameter(st State, fraction float64) int32 {
+	s := st.(*radiusState)
+	if len(s.radius) == 0 {
+		return 0
+	}
+	counts := make([]int, s.iter+1)
+	for _, r := range s.radius {
+		counts[r]++
+	}
+	need := int(math.Ceil(fraction * float64(len(s.radius))))
+	acc := 0
+	for h, c := range counts {
+		acc += c
+		if acc >= need {
+			return int32(h)
+		}
+	}
+	return s.iter
+}
+
+func lowestZeroBit(m uint32) int {
+	for i := 0; i < 32; i++ {
+		if m&(1<<uint(i)) == 0 {
+			return i
+		}
+	}
+	return 32
+}

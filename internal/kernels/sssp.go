@@ -1,0 +1,159 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/slottedpage"
+)
+
+// SSSP implements single-source shortest paths as a frontier-driven
+// Bellman-Ford, the BFS-like formulation the paper's §3.3 groups it under:
+// a vertex whose distance improved at level L relaxes its out-edges at
+// level L+1, and only the pages holding active vertices stream.
+//
+// Edge weights come from kernels.Weight (deterministic, derived from the
+// endpoints) because the slotted page format carries topology only.
+type SSSP struct {
+	g    *slottedpage.Graph
+	cost costParams
+}
+
+// NewSSSP returns an SSSP kernel over g.
+func NewSSSP(g *slottedpage.Graph) *SSSP {
+	return &SSSP{g: g, cost: costParams{laneCycles: 50, slotCycles: 12}}
+}
+
+const inf = float32(math.MaxFloat32)
+
+type ssspState struct {
+	dist   []float32
+	active []int32 // level at which the vertex last improved
+}
+
+func (s *ssspState) WABytes() int64 { return int64(len(s.dist)) * (4 + 4) }
+func (s *ssspState) RABytes() int64 { return 0 }
+func (s *ssspState) Clone() State {
+	c := &ssspState{dist: make([]float32, len(s.dist)), active: make([]int32, len(s.active))}
+	copy(c.dist, s.dist)
+	copy(c.active, s.active)
+	return c
+}
+
+// Name implements Kernel.
+func (k *SSSP) Name() string { return "SSSP" }
+
+// Class implements Kernel.
+func (k *SSSP) Class() Class { return BFSLike }
+
+// RAPerVertex implements Kernel.
+func (k *SSSP) RAPerVertex() int64 { return 0 }
+
+// NewState implements Kernel.
+func (k *SSSP) NewState() State {
+	n := k.g.NumVertices()
+	return &ssspState{dist: make([]float32, n), active: make([]int32, n)}
+}
+
+// Init implements Kernel.
+func (k *SSSP) Init(st State, source uint64) {
+	s := st.(*ssspState)
+	for i := range s.dist {
+		s.dist[i] = inf
+		s.active[i] = -1
+	}
+	s.dist[source] = 0
+	s.active[source] = 0
+}
+
+// BeginLevel implements Kernel.
+func (k *SSSP) BeginLevel([]State, int32) {}
+
+// RunSP relaxes the out-edges of every vertex in the page that improved at
+// the current level.
+func (k *SSSP) RunSP(a *Args) Result {
+	s := a.State.(*ssspState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		if s.active[vid] != a.Level {
+			continue
+		}
+		adj := pg.Adj(slot)
+		lanes.add(adj.Len())
+		k.relax(a, s, vid, adj, &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	return res
+}
+
+// RunLP relaxes the page-local portion of one active vertex's adjacency.
+func (k *SSSP) RunLP(a *Args) Result {
+	s := a.State.(*ssspState)
+	vid, _ := a.Page.Slot(0)
+	var lanes laneAcc
+	var res Result
+	if s.active[vid] == a.Level {
+		adj := a.Page.Adj(0)
+		lanes.add(adj.Len())
+		k.relax(a, s, vid, adj, &res)
+	}
+	res.Edges = lanes.edges
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	return res
+}
+
+func (k *SSSP) relax(a *Args, s *ssspState, vid uint64, adj slottedpage.AdjView, res *Result) {
+	base := s.dist[vid]
+	for i := 0; i < adj.Len(); i++ {
+		rid := adj.At(i)
+		nvid := k.g.VIDOf(rid)
+		if !a.owns(nvid) {
+			continue
+		}
+		nd := base + Weight(vid, nvid)
+		if nd < s.dist[nvid] {
+			s.dist[nvid] = nd
+			s.active[nvid] = a.Level + 1
+			a.NextPIDs.Set(int(rid.PID))
+			res.Updates++
+			res.Active = true
+		}
+	}
+}
+
+// MergeStates implements Kernel: the shorter distance wins; its activity
+// mark comes along so the owning replica's frontier survives the merge.
+func (k *SSSP) MergeStates(sts []State) {
+	if len(sts) < 2 {
+		return
+	}
+	base := sts[0].(*ssspState)
+	for _, other := range sts[1:] {
+		o := other.(*ssspState)
+		for v := range base.dist {
+			switch {
+			case o.dist[v] < base.dist[v]:
+				base.dist[v] = o.dist[v]
+				base.active[v] = o.active[v]
+			case o.dist[v] == base.dist[v] && o.active[v] > base.active[v]:
+				base.active[v] = o.active[v]
+			}
+		}
+	}
+	for _, other := range sts[1:] {
+		o := other.(*ssspState)
+		copy(o.dist, base.dist)
+		copy(o.active, base.active)
+	}
+}
+
+// EndIteration implements Kernel.
+func (k *SSSP) EndIteration([]State, bool) bool { return false }
+
+// Distances exposes the result vector; unreachable vertices hold +Inf
+// (math.MaxFloat32).
+func (k *SSSP) Distances(st State) []float32 { return st.(*ssspState).dist }

@@ -1,0 +1,116 @@
+// Package rmat generates scale-free graphs with the R-MAT recursive model
+// (Chakrabarti, Zhan, Faloutsos, SDM'04) that the paper's synthetic datasets
+// RMAT26-RMAT32 come from. The paper fixes the vertex:edge ratio at 1:16.
+package rmat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/csr"
+)
+
+// Params configures a generation run. Probabilities (A,B,C,D) pick the
+// quadrant at each recursion level; the Graph500/paper default is the
+// skewed (0.57, 0.19, 0.19, 0.05).
+type Params struct {
+	Scale      int     // numVertices = 1 << Scale
+	EdgeFactor int     // numEdges = EdgeFactor << Scale (paper: 16)
+	A, B, C, D float64 // quadrant probabilities, summing to 1
+	Noise      float64 // per-level multiplicative jitter in [0,1); 0 = none
+	Seed       int64
+}
+
+// Default returns the paper's RMAT parameterization at the given scale:
+// E = 16*V with the standard skewed quadrant probabilities.
+func Default(scale int) Params {
+	return Params{Scale: scale, EdgeFactor: 16, A: 0.57, B: 0.19, C: 0.19, D: 0.05, Noise: 0.1, Seed: 1}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Scale < 1 || p.Scale > 31 {
+		return fmt.Errorf("rmat: scale %d out of range [1,31]", p.Scale)
+	}
+	if p.EdgeFactor < 1 {
+		return fmt.Errorf("rmat: edge factor %d < 1", p.EdgeFactor)
+	}
+	sum := p.A + p.B + p.C + p.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("rmat: quadrant probabilities sum to %v, want 1", sum)
+	}
+	if p.Noise < 0 || p.Noise >= 1 {
+		return fmt.Errorf("rmat: noise %v out of range [0,1)", p.Noise)
+	}
+	return nil
+}
+
+// NumVertices reports the vertex count 2^Scale.
+func (p Params) NumVertices() int { return 1 << p.Scale }
+
+// NumEdges reports the edge count EdgeFactor * 2^Scale.
+func (p Params) NumEdges() int { return p.EdgeFactor << p.Scale }
+
+// Edges generates the R-MAT edge list. The same Params always produce the
+// same edges.
+func Edges(p Params) ([]csr.Edge, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	edges := make([]csr.Edge, p.NumEdges())
+	for i := range edges {
+		edges[i] = oneEdge(r, p)
+	}
+	return edges, nil
+}
+
+// oneEdge descends Scale levels of the recursive quadrant partition.
+func oneEdge(r *rand.Rand, p Params) csr.Edge {
+	a, b, c := p.A, p.B, p.C
+	var src, dst uint32
+	for level := 0; level < p.Scale; level++ {
+		u := r.Float64()
+		switch {
+		case u < a:
+			// top-left: no bits set
+		case u < a+b:
+			dst |= 1 << level
+		case u < a+b+c:
+			src |= 1 << level
+		default:
+			src |= 1 << level
+			dst |= 1 << level
+		}
+		if p.Noise > 0 {
+			// Jitter keeps the generator from producing an exactly
+			// self-similar graph (as in the Graph500 reference code).
+			a *= 1 - p.Noise/2 + p.Noise*r.Float64()
+			b *= 1 - p.Noise/2 + p.Noise*r.Float64()
+			c *= 1 - p.Noise/2 + p.Noise*r.Float64()
+			norm := (a + b + c) / (p.A + p.B + p.C)
+			a /= norm
+			b /= norm
+			c /= norm
+		}
+	}
+	return csr.Edge{Src: src, Dst: dst}
+}
+
+// Generate builds the CSR graph directly.
+func Generate(p Params) (*csr.Graph, error) {
+	edges, err := Edges(p)
+	if err != nil {
+		return nil, err
+	}
+	return csr.FromEdges(p.NumVertices(), edges)
+}
+
+// MustGenerate is Generate, panicking on invalid parameters.
+func MustGenerate(p Params) *csr.Graph {
+	g, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,98 @@
+package rmat
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default(10).Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{Scale: 0, EdgeFactor: 16, A: 0.57, B: 0.19, C: 0.19, D: 0.05},
+		{Scale: 40, EdgeFactor: 16, A: 0.57, B: 0.19, C: 0.19, D: 0.05},
+		{Scale: 10, EdgeFactor: 0, A: 0.57, B: 0.19, C: 0.19, D: 0.05},
+		{Scale: 10, EdgeFactor: 16, A: 0.9, B: 0.19, C: 0.19, D: 0.05},
+		{Scale: 10, EdgeFactor: 16, A: 0.57, B: 0.19, C: 0.19, D: 0.05, Noise: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d validated", i)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	p := Default(12)
+	if p.NumVertices() != 4096 {
+		t.Errorf("NumVertices = %d", p.NumVertices())
+	}
+	if p.NumEdges() != 16*4096 {
+		t.Errorf("NumEdges = %d", p.NumEdges())
+	}
+	g := MustGenerate(p)
+	if g.NumVertices() != 4096 || g.NumEdges() != uint64(16*4096) {
+		t.Errorf("graph V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Edges(Default(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Edges(Default(10))
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same params produced different edges")
+	}
+	p := Default(10)
+	p.Seed = 2
+	c, _ := Edges(p)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical edges")
+	}
+}
+
+func TestEdgesInRange(t *testing.T) {
+	p := Default(9)
+	edges, err := Edges(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint32(p.NumVertices())
+	for _, e := range edges {
+		if e.Src >= n || e.Dst >= n {
+			t.Fatalf("edge %v out of range %d", e, n)
+		}
+	}
+}
+
+func TestSkewedDegreeDistribution(t *testing.T) {
+	// R-MAT with a = 0.57 must be much more skewed than uniform: the max
+	// degree should far exceed the average.
+	g := MustGenerate(Default(13))
+	avg := g.AvgDegree()
+	max := g.MaxDegree()
+	if float64(max) < 8*avg {
+		t.Errorf("max degree %d not skewed vs avg %.1f", max, avg)
+	}
+}
+
+func TestNoNoiseStillValid(t *testing.T) {
+	p := Default(8)
+	p.Noise = 0
+	g := MustGenerate(p)
+	if g.NumEdges() != uint64(p.NumEdges()) {
+		t.Errorf("E = %d", g.NumEdges())
+	}
+}
+
+func TestMustGeneratePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for invalid params")
+		}
+	}()
+	MustGenerate(Params{})
+}

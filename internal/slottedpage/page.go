@@ -1,0 +1,171 @@
+package slottedpage
+
+import "fmt"
+
+// Kind distinguishes small pages (many vertices) from large pages (one
+// vertex's adjacency spilled across several pages).
+type Kind uint8
+
+// Page kinds.
+const (
+	SmallPage Kind = 0
+	LargePage Kind = 1
+)
+
+// String returns "SP" or "LP".
+func (k Kind) String() string {
+	if k == LargePage {
+		return "LP"
+	}
+	return "SP"
+}
+
+// PageID names a page within a store. It is the logical index into the page
+// sequence; on disk it is encoded in p bytes inside adjacency entries.
+type PageID uint64
+
+// RID is a physical record ID: the page and slot where a vertex's record
+// lives (paper Fig. 1: ADJ_PID, ADJ_OFF).
+type RID struct {
+	PID  PageID
+	Slot uint32
+}
+
+// getUint reads a little-endian unsigned integer of the given byte width.
+func getUint(b []byte, width int) uint64 {
+	var v uint64
+	for i := width - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// putUint writes a little-endian unsigned integer of the given byte width.
+// It panics if v does not fit, which indicates a builder bug or a graph too
+// large for the configuration.
+func putUint(b []byte, width int, v uint64) {
+	if width < 8 && v > maxUint(width) {
+		panic(fmt.Sprintf("slottedpage: value %d overflows %d-byte field", v, width))
+	}
+	for i := 0; i < width; i++ {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// Page is a read-only view over one slotted page's bytes. The zero Page is
+// invalid; obtain pages from a Graph.
+type Page struct {
+	buf []byte
+	cfg *Config
+}
+
+// NewPage wraps raw page bytes with their configuration.
+func NewPage(buf []byte, cfg *Config) Page {
+	if len(buf) != cfg.PageSize {
+		panic(fmt.Sprintf("slottedpage: page buffer %d bytes, config says %d", len(buf), cfg.PageSize))
+	}
+	return Page{buf: buf, cfg: cfg}
+}
+
+// Bytes returns the raw page buffer.
+func (pg Page) Bytes() []byte { return pg.buf }
+
+// NumSlots reports how many vertex slots the page holds.
+func (pg Page) NumSlots() int {
+	return int(uint32(pg.buf[0]) | uint32(pg.buf[1])<<8 | uint32(pg.buf[2])<<16 | uint32(pg.buf[3])<<24)
+}
+
+// Kind reports whether this is a small or a large page.
+func (pg Page) Kind() Kind { return Kind(pg.buf[4]) }
+
+// slotPos returns the byte offset of slot i, counting slots backward from
+// the end of the page.
+func (pg Page) slotPos(i int) int {
+	return pg.cfg.PageSize - (i+1)*pg.cfg.SlotSize()
+}
+
+// Slot returns the logical vertex ID and record offset stored in slot i.
+func (pg Page) Slot(i int) (vid uint64, off int) {
+	p := pg.slotPos(i)
+	vid = getUint(pg.buf[p:], pg.cfg.VIDBytes)
+	off = int(getUint(pg.buf[p+pg.cfg.VIDBytes:], pg.cfg.OffBytes))
+	return vid, off
+}
+
+// Adj returns the adjacency-list view of the record at slot i.
+func (pg Page) Adj(i int) AdjView {
+	_, off := pg.Slot(i)
+	n := int(getUint(pg.buf[off:], pg.cfg.SizeBytes))
+	start := off + pg.cfg.SizeBytes
+	return AdjView{buf: pg.buf[start : start+n*pg.cfg.RIDBytes()], cfg: pg.cfg, n: n}
+}
+
+// AdjView is a zero-copy view over an adjacency list's physical record IDs.
+type AdjView struct {
+	buf []byte
+	cfg *Config
+	n   int
+}
+
+// Len is the number of adjacency entries.
+func (a AdjView) Len() int { return a.n }
+
+// At decodes entry i into a physical record ID.
+func (a AdjView) At(i int) RID {
+	p := i * a.cfg.RIDBytes()
+	pid := getUint(a.buf[p:], a.cfg.PIDBytes)
+	slot := getUint(a.buf[p+a.cfg.PIDBytes:], a.cfg.SlotBytes)
+	return RID{PID: PageID(pid), Slot: uint32(slot)}
+}
+
+// pageWriter builds one page in place.
+type pageWriter struct {
+	buf    []byte
+	cfg    *Config
+	recEnd int // next free byte for records (grows forward)
+	slots  int // slots written so far (grow backward)
+}
+
+func newPageWriter(cfg *Config, kind Kind) *pageWriter {
+	buf := make([]byte, cfg.PageSize)
+	buf[4] = byte(kind)
+	return &pageWriter{buf: buf, cfg: cfg, recEnd: headerSize}
+}
+
+// free reports the bytes left between the record area and the slot area.
+func (w *pageWriter) free() int {
+	return w.cfg.PageSize - (w.slots * w.cfg.SlotSize()) - w.recEnd
+}
+
+// fits reports whether a record with deg entries plus its slot fit.
+func (w *pageWriter) fits(deg int) bool {
+	return w.cfg.recordSize(deg)+w.cfg.SlotSize() <= w.free() &&
+		uint64(w.slots) < w.cfg.MaxSlotNumber()
+}
+
+// addVertex reserves a slot and record for vertex vid with deg adjacency
+// entries and returns the slot number and a byte slice to fill with entries.
+func (w *pageWriter) addVertex(vid uint64, deg int) (slot int, entries []byte) {
+	if !w.fits(deg) {
+		panic("slottedpage: addVertex called without room")
+	}
+	slot = w.slots
+	w.slots++
+	// Slot: VID || OFF.
+	sp := w.cfg.PageSize - w.slots*w.cfg.SlotSize()
+	putUint(w.buf[sp:], w.cfg.VIDBytes, vid)
+	putUint(w.buf[sp+w.cfg.VIDBytes:], w.cfg.OffBytes, uint64(w.recEnd))
+	// Record: ADJLIST_SZ || entries.
+	putUint(w.buf[w.recEnd:], w.cfg.SizeBytes, uint64(deg))
+	start := w.recEnd + w.cfg.SizeBytes
+	end := start + deg*w.cfg.RIDBytes()
+	w.recEnd = end
+	return slot, w.buf[start:end]
+}
+
+// finish stamps the slot count and returns the page bytes.
+func (w *pageWriter) finish() []byte {
+	putUint(w.buf[0:], 4, uint64(w.slots))
+	return w.buf
+}

@@ -1,0 +1,157 @@
+// Package trace records per-stream activity spans during a GTS run so the
+// paper's Figure 4 timelines (copy vs. kernel bars per GPU stream) can be
+// regenerated, and aggregates the transfer/kernel totals behind Table 1.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind labels a span.
+type Kind int
+
+// Span kinds.
+const (
+	CopyWA    Kind = iota // chunk copy of attribute data
+	CopyPage              // streaming copy of a topology page (+RA)
+	Kernel                // kernel execution
+	StorageIO             // SSD/HDD fetch into the main-memory buffer
+	Sync                  // WA synchronization back to the host
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case CopyWA:
+		return "copyWA"
+	case CopyPage:
+		return "copy"
+	case Kernel:
+		return "kernel"
+	case StorageIO:
+		return "io"
+	default:
+		return "sync"
+	}
+}
+
+// Span is one recorded activity interval.
+type Span struct {
+	GPU    int
+	Stream int
+	Kind   Kind
+	Page   int64 // page ID, or -1
+	Start  sim.Time
+	End    sim.Time
+}
+
+// Recorder accumulates spans. A nil *Recorder is valid and records nothing,
+// so engines can trace unconditionally.
+type Recorder struct {
+	spans []Span
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add records one span.
+func (r *Recorder) Add(s Span) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Spans returns all recorded spans in insertion order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Total reports the summed duration of spans of the given kind.
+func (r *Recorder) Total(k Kind) sim.Time {
+	if r == nil {
+		return 0
+	}
+	var t sim.Time
+	for _, s := range r.spans {
+		if s.Kind == k {
+			t += s.End - s.Start
+		}
+	}
+	return t
+}
+
+// RenderTimeline writes an ASCII rendering of the Figure 4 timeline: one
+// row per (GPU, stream), '▒' cells for copies and '█' cells for kernel
+// execution, over `width` time buckets.
+func (r *Recorder) RenderTimeline(w io.Writer, width int) error {
+	if r == nil || len(r.spans) == 0 {
+		_, err := fmt.Fprintln(w, "(no spans recorded)")
+		return err
+	}
+	var end sim.Time
+	rows := map[[2]int][]Span{}
+	var keys [][2]int
+	for _, s := range r.spans {
+		if s.Kind != CopyPage && s.Kind != Kernel {
+			continue
+		}
+		key := [2]int{s.GPU, s.Stream}
+		if _, ok := rows[key]; !ok {
+			keys = append(keys, key)
+		}
+		rows[key] = append(rows[key], s)
+		if s.End > end {
+			end = s.End
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	if end == 0 {
+		end = 1
+	}
+	bucket := func(t sim.Time) int {
+		b := int(int64(t) * int64(width) / int64(end))
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+	for _, key := range keys {
+		cells := make([]rune, width)
+		for i := range cells {
+			cells[i] = '·'
+		}
+		for _, s := range rows[key] {
+			ch := '█'
+			if s.Kind == CopyPage {
+				ch = '▒'
+			}
+			for b := bucket(s.Start); b <= bucket(s.End-1) && b < width; b++ {
+				// Kernels never overwrite copies in the same bucket; both
+				// being visible matters more than exact pixel ownership.
+				if cells[b] == '·' || ch == '▒' {
+					cells[b] = ch
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "gpu%d/stream%-2d %s\n", key[0], key[1], string(cells)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s\n('▒' = page copy, '█' = kernel; %d buckets over %v)\n",
+		strings.Repeat("-", 14+width), width, end)
+	return err
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Span{Kind: Kernel})
+	if r.Spans() != nil || r.Total(Kernel) != 0 {
+		t.Error("nil recorder must record nothing")
+	}
+	var sb strings.Builder
+	if err := r.RenderTimeline(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no spans") {
+		t.Error("nil recorder render should say no spans")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	r := New()
+	r.Add(Span{Kind: CopyPage, Start: 0, End: sim.Second})
+	r.Add(Span{Kind: CopyPage, Start: sim.Second, End: 3 * sim.Second})
+	r.Add(Span{Kind: Kernel, Start: 0, End: 5 * sim.Second})
+	if got := r.Total(CopyPage); got != 3*sim.Second {
+		t.Errorf("copy total = %v", got)
+	}
+	if got := r.Total(Kernel); got != 5*sim.Second {
+		t.Errorf("kernel total = %v", got)
+	}
+	if len(r.Spans()) != 3 {
+		t.Errorf("spans = %d", len(r.Spans()))
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{CopyWA: "copyWA", CopyPage: "copy", Kernel: "kernel", StorageIO: "io", Sync: "sync"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	r := New()
+	r.Add(Span{GPU: 0, Stream: 0, Kind: CopyPage, Start: 0, End: sim.Second})
+	r.Add(Span{GPU: 0, Stream: 0, Kind: Kernel, Start: sim.Second, End: 4 * sim.Second})
+	r.Add(Span{GPU: 0, Stream: 1, Kind: CopyPage, Start: sim.Second, End: 2 * sim.Second})
+	r.Add(Span{GPU: 0, Stream: 1, Kind: Kernel, Start: 2 * sim.Second, End: 4 * sim.Second})
+	var sb strings.Builder
+	if err := r.RenderTimeline(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "gpu0/stream0") || !strings.Contains(out, "gpu0/stream1") {
+		t.Errorf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "▒") || !strings.Contains(out, "█") {
+		t.Errorf("missing copy/kernel cells:\n%s", out)
+	}
+}
