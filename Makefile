@@ -1,0 +1,23 @@
+# Tier-1 verification lives here so CI and humans run the same thing:
+#   make ci        — build + tests + race pass over the concurrent packages
+GO ?= go
+
+.PHONY: build test test-race bench ci
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# The concurrency-bearing packages (the gtsd service layer, the shared
+# trace recorder, and the root package's System/SystemPool guards) must
+# stay clean under the race detector.
+test-race:
+	$(GO) test -race ./internal/service ./internal/trace
+	$(GO) test -race -run 'System|Pool|Open|Concurrent' .
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+ci: build test test-race

@@ -9,11 +9,18 @@
 package gts_test
 
 import (
+	"context"
+	"fmt"
+	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	gts "repro"
 	"repro/internal/experiments"
+	"repro/internal/service"
 )
 
 // benchRunner returns a fresh runner at bench scale. Graphs are cached
@@ -119,6 +126,83 @@ func BenchmarkGTSStreamSweep(b *testing.B) {
 	for _, streams := range []int{1, 8, 32} {
 		b.Run(strconv.Itoa(streams), func(b *testing.B) {
 			benchEngine(b, "RMAT28", "PageRank", gts.Config{Streams: streams})
+		})
+	}
+}
+
+// BenchmarkService is the serving-layer baseline: N concurrent clients
+// submitting mixed BFS/PageRank jobs through internal/service's queue and
+// worker pool. Reported metrics: jobs/sec end to end, and p50/p99 job
+// latency in milliseconds. The result cache is disabled so every job pays
+// for a real engine run — this measures the serving path, not memoization.
+func BenchmarkService(b *testing.B) {
+	g, err := gts.Generate("RMAT27", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			srv := service.New(service.Config{Workers: 8, QueueDepth: 1024, CacheEntries: -1})
+			pool, err := gts.NewSystemPool(g, gts.Config{}, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.AddGraph("bench", pool); err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+
+			var (
+				next      atomic.Int64
+				mu        sync.Mutex
+				latencies []time.Duration
+			)
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					local := make([]time.Duration, 0, b.N/clients+1)
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							break
+						}
+						req := service.Request{Graph: "bench", Algo: "bfs",
+							Params: service.Params{Source: uint64(i) % g.NumVertices()}}
+						if i%2 == 0 {
+							req.Algo = "pagerank"
+							req.Params = service.Params{Iterations: 5}
+						}
+						t0 := time.Now()
+						job, err := srv.Run(context.Background(), req)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if job.State() != service.JobDone {
+							b.Errorf("job state = %v (%v)", job.State(), job.Err())
+							return
+						}
+						local = append(local, time.Since(t0))
+					}
+					mu.Lock()
+					latencies = append(latencies, local...)
+					mu.Unlock()
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+
+			sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+			if len(latencies) > 0 {
+				b.ReportMetric(float64(len(latencies))/elapsed.Seconds(), "jobs/sec")
+				b.ReportMetric(float64(latencies[len(latencies)/2].Microseconds())/1000, "p50-ms")
+				b.ReportMetric(float64(latencies[len(latencies)*99/100].Microseconds())/1000, "p99-ms")
+			}
 		})
 	}
 }

@@ -2,9 +2,13 @@
 // registry dataset) on the simulated GTS machine and prints the result
 // summary and run metrics.
 //
+// The -graph flag takes a gts.Open spec — a .gts store file or a registry
+// dataset, optionally with an @shrink suffix — the same one-load path the
+// gtsd service and the examples use.
+//
 // Usage:
 //
-//	gts -dataset RMAT27 -shrink 12 -algo pagerank -gpus 2
+//	gts -graph RMAT27@12 -algo pagerank -gpus 2
 //	gts -graph web.gts -algo bfs -source 0 -storage ssd -devices 2
 //	gts -graph web.gts -algo cc -strategy s -streams 8 -timeline
 package main
@@ -21,9 +25,7 @@ import (
 )
 
 func main() {
-	graphFile := flag.String("graph", "", "slotted-page store file (overrides -dataset)")
-	dataset := flag.String("dataset", "RMAT27", "registry dataset to generate")
-	shrink := flag.Int("shrink", 12, "dataset down-scaling as a power of two")
+	graphSpec := flag.String("graph", "RMAT27@12", "graph spec: store file or dataset[@shrink]")
 	algo := flag.String("algo", "bfs", "bfs | pagerank | sssp | cc | bc | rwr | degree | kcore | radius | ball")
 	source := flag.Uint64("source", 0, "start vertex for bfs/sssp/bc")
 	iters := flag.Int("iters", 10, "PageRank/RWR iterations")
@@ -41,13 +43,7 @@ func main() {
 	top := flag.Int("top", 5, "result entries to print")
 	flag.Parse()
 
-	var g *gts.Graph
-	var err error
-	if *graphFile != "" {
-		g, err = gts.LoadGraph(*graphFile)
-	} else {
-		g, err = gts.Generate(*dataset, *shrink)
-	}
+	g, err := gts.Open(*graphSpec)
 	fail(err)
 
 	cfg := gts.Config{

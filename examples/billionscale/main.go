@@ -17,7 +17,7 @@ import (
 
 func main() {
 	const shrink = 12 // 2^12 smaller than the paper's RMAT32
-	graph, err := gts.Generate("RMAT32", shrink)
+	graph, err := gts.Open(fmt.Sprintf("RMAT32@%d", shrink))
 	if err != nil {
 		log.Fatal(err)
 	}

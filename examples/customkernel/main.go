@@ -130,7 +130,7 @@ func (k *maxLabel) EndIteration(sts []gts.KernelState, active bool) bool {
 }
 
 func main() {
-	graph, err := gts.Generate("RMAT27", 13)
+	graph, err := gts.Open("RMAT27@13")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,7 +14,7 @@ import (
 func main() {
 	// A 2^15-vertex proxy of the paper's RMAT27 dataset, packed into the
 	// slotted page format GTS streams to GPUs.
-	graph, err := gts.Generate("RMAT27", 12)
+	graph, err := gts.Open("RMAT27@12")
 	if err != nil {
 		log.Fatal(err)
 	}

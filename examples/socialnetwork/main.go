@@ -15,7 +15,7 @@ import (
 
 func main() {
 	// A Twitter profile proxy: ~35 out-edges per account, heavy hubs.
-	graph, err := gts.Generate("Twitter", 12)
+	graph, err := gts.Open("Twitter@12")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,7 +11,7 @@ import (
 )
 
 func main() {
-	graph, err := gts.Generate("UK2007", 12)
+	graph, err := gts.Open("UK2007@12")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,6 +19,7 @@ package gts
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graphgen"
@@ -184,9 +185,23 @@ func PageConfigFor(dataset string, shrink int) PageConfig {
 func LoadGraph(path string) (*Graph, error) { return slottedpage.ReadFile(path) }
 
 // System binds a graph to a configured machine and runs algorithms on it.
+//
+// Concurrency: a System runs at most one algorithm at a time. Every
+// algorithm call (BFS, PageRank, RunKernel, ...) takes an internal mutex
+// for the duration of the run, so concurrent calls are safe but serialize
+// — the second caller blocks until the first run finishes. The serialized
+// section covers the engine build and the simulation, whose shared state
+// (the Config.Trace recorder, the modeled machine) must not interleave
+// between runs. Callers that need true parallelism should run each
+// concurrent request on its own System over the same *Graph — a Graph is
+// immutable after BuildGraph and safe to share — which is what SystemPool
+// packages up.
 type System struct {
 	graph *Graph
 	cfg   Config
+
+	// runMu serializes algorithm runs (see the type comment).
+	runMu sync.Mutex
 }
 
 // NewSystem validates the configuration against the graph.
@@ -256,6 +271,8 @@ func metricsOf(r *core.Report) Metrics {
 }
 
 func (s *System) run(k kernels.Kernel, source uint64) (*core.Report, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	opts := s.cfg.options()
 	opts.Source = source
 	eng, err := core.New(s.cfg.machineSpec(), s.graph, opts)

@@ -301,8 +301,6 @@ func (r *run) report(elapsed sim.Time) *Report {
 		LevelPages:     r.levelPages,
 		LevelBytes:     r.levelBytes,
 	}
-	if elapsed > 0 {
-		rep.MTEPS = float64(r.edgesTraversed) / elapsed.Seconds() / 1e6
-	}
+	rep.MTEPS = trace.MTEPS(r.edgesTraversed, elapsed)
 	return rep
 }

@@ -1,0 +1,201 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	gts "repro"
+)
+
+// Params carries one algorithm request's inputs. Unset fields take
+// per-algorithm defaults (see normalize); fields an algorithm does not use
+// are zeroed during normalization so equivalent requests share one cache
+// entry.
+type Params struct {
+	// Source is the start vertex for bfs, sssp, bc, rwr, and ball.
+	Source uint64 `json:"source,omitempty"`
+	// Damping is PageRank's damping factor (default 0.85).
+	Damping float64 `json:"damping,omitempty"`
+	// Iterations bounds pagerank and rwr (default 10).
+	Iterations int `json:"iterations,omitempty"`
+	// K is the core number for kcore (default 3).
+	K int `json:"k,omitempty"`
+	// Hops is the ball radius for ball (default 2).
+	Hops int `json:"hops,omitempty"`
+	// Restart is rwr's restart probability (default 0.15).
+	Restart float64 `json:"restart,omitempty"`
+	// Sketches and MaxHops tune radius (defaults 8 and 256).
+	Sketches int `json:"sketches,omitempty"`
+	MaxHops  int `json:"maxhops,omitempty"`
+}
+
+// algorithm binds a name to its parameter normalization and its run path.
+type algorithm struct {
+	// normalize fills defaults and zeroes unused fields, returning the
+	// canonical Params that key the result cache.
+	normalize func(Params) Params
+	// run executes on a (serialized) System; output is the public result
+	// struct the matching gts.System method returns.
+	run func(*gts.System, Params) (output any, m gts.Metrics, err error)
+}
+
+var algorithms = map[string]algorithm{
+	"bfs": {
+		normalize: func(p Params) Params { return Params{Source: p.Source} },
+		run: func(s *gts.System, p Params) (any, gts.Metrics, error) {
+			r, err := s.BFS(p.Source)
+			if err != nil {
+				return nil, gts.Metrics{}, err
+			}
+			return r, r.Metrics, nil
+		},
+	},
+	"pagerank": {
+		normalize: func(p Params) Params {
+			out := Params{Damping: p.Damping, Iterations: p.Iterations}
+			if out.Damping == 0 {
+				out.Damping = 0.85
+			}
+			if out.Iterations == 0 {
+				out.Iterations = 10
+			}
+			return out
+		},
+		run: func(s *gts.System, p Params) (any, gts.Metrics, error) {
+			r, err := s.PageRank(p.Damping, p.Iterations)
+			if err != nil {
+				return nil, gts.Metrics{}, err
+			}
+			return r, r.Metrics, nil
+		},
+	},
+	"sssp": {
+		normalize: func(p Params) Params { return Params{Source: p.Source} },
+		run: func(s *gts.System, p Params) (any, gts.Metrics, error) {
+			r, err := s.SSSP(p.Source)
+			if err != nil {
+				return nil, gts.Metrics{}, err
+			}
+			return r, r.Metrics, nil
+		},
+	},
+	"cc": {
+		normalize: func(Params) Params { return Params{} },
+		run: func(s *gts.System, _ Params) (any, gts.Metrics, error) {
+			r, err := s.CC()
+			if err != nil {
+				return nil, gts.Metrics{}, err
+			}
+			return r, r.Metrics, nil
+		},
+	},
+	"bc": {
+		normalize: func(p Params) Params { return Params{Source: p.Source} },
+		run: func(s *gts.System, p Params) (any, gts.Metrics, error) {
+			r, err := s.BC(p.Source)
+			if err != nil {
+				return nil, gts.Metrics{}, err
+			}
+			return r, r.Metrics, nil
+		},
+	},
+	"rwr": {
+		normalize: func(p Params) Params {
+			out := Params{Source: p.Source, Restart: p.Restart, Iterations: p.Iterations}
+			if out.Restart == 0 {
+				out.Restart = 0.15
+			}
+			if out.Iterations == 0 {
+				out.Iterations = 10
+			}
+			return out
+		},
+		run: func(s *gts.System, p Params) (any, gts.Metrics, error) {
+			r, err := s.RWR(p.Source, p.Restart, p.Iterations)
+			if err != nil {
+				return nil, gts.Metrics{}, err
+			}
+			return r, r.Metrics, nil
+		},
+	},
+	"degree": {
+		normalize: func(Params) Params { return Params{} },
+		run: func(s *gts.System, _ Params) (any, gts.Metrics, error) {
+			r, err := s.DegreeDistribution()
+			if err != nil {
+				return nil, gts.Metrics{}, err
+			}
+			return r, r.Metrics, nil
+		},
+	},
+	"kcore": {
+		normalize: func(p Params) Params {
+			out := Params{K: p.K}
+			if out.K == 0 {
+				out.K = 3
+			}
+			return out
+		},
+		run: func(s *gts.System, p Params) (any, gts.Metrics, error) {
+			r, err := s.KCore(p.K)
+			if err != nil {
+				return nil, gts.Metrics{}, err
+			}
+			return r, r.Metrics, nil
+		},
+	},
+	"radius": {
+		normalize: func(p Params) Params {
+			out := Params{Sketches: p.Sketches, MaxHops: p.MaxHops}
+			if out.Sketches == 0 {
+				out.Sketches = 8
+			}
+			if out.MaxHops == 0 {
+				out.MaxHops = 256
+			}
+			return out
+		},
+		run: func(s *gts.System, p Params) (any, gts.Metrics, error) {
+			r, err := s.Radius(p.Sketches, p.MaxHops)
+			if err != nil {
+				return nil, gts.Metrics{}, err
+			}
+			return r, r.Metrics, nil
+		},
+	},
+	"ball": {
+		normalize: func(p Params) Params {
+			out := Params{Source: p.Source, Hops: p.Hops}
+			if out.Hops == 0 {
+				out.Hops = 2
+			}
+			return out
+		},
+		run: func(s *gts.System, p Params) (any, gts.Metrics, error) {
+			r, err := s.Neighborhood(p.Source, p.Hops)
+			if err != nil {
+				return nil, gts.Metrics{}, err
+			}
+			return r, r.Metrics, nil
+		},
+	},
+}
+
+// Algorithms lists the service's algorithm names, sorted.
+func Algorithms() []string {
+	names := make([]string, 0, len(algorithms))
+	for name := range algorithms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookupAlgo resolves a request's algorithm name.
+func lookupAlgo(name string) (algorithm, error) {
+	a, ok := algorithms[name]
+	if !ok {
+		return algorithm{}, fmt.Errorf("%w: %q (have %v)", ErrUnknownAlgo, name, Algorithms())
+	}
+	return a, nil
+}

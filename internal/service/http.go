@@ -1,0 +1,188 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	gts "repro"
+)
+
+// Handler returns the service's HTTP/JSON surface:
+//
+//	GET  /healthz                      liveness probe
+//	GET  /metrics                      Prometheus text exposition
+//	GET  /v1/graphs                    registered graphs
+//	PUT  /v1/graphs/{name}             load a graph from a spec
+//	POST /v1/graphs/{name}/{algo}      run an algorithm (sync by default;
+//	                                   ?mode=async returns 202 + job ID;
+//	                                   ?timeout=500ms bounds the deadline)
+//	GET  /v1/jobs/{id}                 job status / result
+//
+// Typed service errors map to statuses: ErrOverloaded → 429, unknown
+// graph/algorithm/job → 404, ErrTimeout → 504, ErrShuttingDown → 503.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.met.write(w, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.Graphs(), "algorithms": Algorithms()})
+	})
+	mux.HandleFunc("PUT /v1/graphs/{name}", s.handleLoadGraph)
+	mux.HandleFunc("POST /v1/graphs/{name}/{algo}", s.handleRun)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	return mux
+}
+
+// loadRequest is the PUT /v1/graphs/{name} body.
+type loadRequest struct {
+	// Spec is a gts.Open graph spec: a .gts store file or "dataset[@shrink]".
+	Spec string `json:"spec"`
+	// Pool is the engine-pool width (default 4).
+	Pool int `json:"pool,omitempty"`
+	// GPUs, Strategy ("p"|"s"), and Streams configure the pooled engines.
+	GPUs     int    `json:"gpus,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	Streams  int    `json:"streams,omitempty"`
+}
+
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad load request: %w", err))
+		return
+	}
+	if req.Spec == "" {
+		httpError(w, http.StatusBadRequest, errors.New("load request needs a \"spec\""))
+		return
+	}
+	cfg := gts.Config{GPUs: req.GPUs, Streams: req.Streams}
+	if strings.EqualFold(req.Strategy, "s") {
+		cfg.Strategy = gts.StrategyS
+	}
+	if err := s.LoadGraph(name, req.Spec, cfg, req.Pool); err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	for _, info := range s.Graphs() {
+		if info.Name == name {
+			writeJSON(w, http.StatusCreated, info)
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": name})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	req := Request{Graph: r.PathValue("name"), Algo: r.PathValue("algo")}
+	// An absent or empty body means default parameters.
+	if err := json.NewDecoder(r.Body).Decode(&req.Params); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad params: %w", err))
+		return
+	}
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q: %w", t, err))
+			return
+		}
+		req.Timeout = d
+	}
+
+	if r.URL.Query().Get("mode") == "async" {
+		job, err := s.Submit(req)
+		if err != nil {
+			httpError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"id":    job.ID(),
+			"state": job.State().String(),
+			"href":  "/v1/jobs/" + job.ID(),
+		})
+		return
+	}
+
+	job, err := s.Run(r.Context(), req)
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSON(job, true))
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Lookup(r.PathValue("id"))
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSON(job, true))
+}
+
+// jobJSON renders a job's status document; withResult includes the full
+// output payload (result vectors can be large).
+func jobJSON(job *Job, withResult bool) map[string]any {
+	req := job.Request()
+	doc := map[string]any{
+		"id":     job.ID(),
+		"graph":  req.Graph,
+		"algo":   req.Algo,
+		"params": req.Params,
+		"state":  job.State().String(),
+	}
+	res, err := job.Result()
+	if err != nil {
+		doc["error"] = err.Error()
+	}
+	if res != nil {
+		doc["cached"] = job.Cached()
+		doc["latency_ms"] = float64(job.Latency().Microseconds()) / 1000
+		doc["wall_ms"] = float64(res.Wall.Microseconds()) / 1000
+		doc["virtual_seconds"] = res.Metrics.Elapsed.Seconds()
+		doc["mteps"] = res.Metrics.MTEPS
+		if withResult {
+			doc["result"] = res.Output
+		}
+	}
+	return doc
+}
+
+// statusOf maps service errors to HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrUnknownGraph), errors.Is(err, ErrUnknownAlgo), errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error(), "status": status})
+}

@@ -1,0 +1,309 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	gts "repro"
+	"repro/internal/service"
+)
+
+func httpServer(t *testing.T, cfg service.Config) (*service.Server, *httptest.Server, *gts.SystemPool) {
+	t.Helper()
+	g, _ := testGraphPair(t)
+	srv := service.New(cfg)
+	pool, err := gts.NewSystemPool(g, gts.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddGraph("social", pool); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts, pool
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil && err != io.EOF {
+		t.Fatalf("decoding %s response: %v", url, err)
+	}
+	return resp, doc
+}
+
+func TestHTTPSyncRunAndCache(t *testing.T) {
+	_, ts, _ := httpServer(t, service.Config{})
+
+	resp, doc := postJSON(t, ts.URL+"/v1/graphs/social/pagerank", map[string]any{"iterations": 10})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync pagerank status = %d (%v)", resp.StatusCode, doc)
+	}
+	if doc["state"] != "done" || doc["graph"] != "social" || doc["algo"] != "pagerank" {
+		t.Errorf("job doc = %v", doc)
+	}
+	result, ok := doc["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("no result payload: %v", doc)
+	}
+	ranks, ok := result["Ranks"].([]any)
+	if !ok || len(ranks) == 0 {
+		t.Errorf("no ranks in result: %v", result)
+	}
+	if cached, _ := doc["cached"].(bool); cached {
+		t.Error("first request claims cached")
+	}
+
+	// The identical request must come back cached.
+	resp, doc = postJSON(t, ts.URL+"/v1/graphs/social/pagerank", map[string]any{"iterations": 10})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second pagerank status = %d", resp.StatusCode)
+	}
+	if cached, _ := doc["cached"].(bool); !cached {
+		t.Error("identical request not served from cache")
+	}
+}
+
+func TestHTTPAsyncFlow(t *testing.T) {
+	_, ts, _ := httpServer(t, service.Config{})
+	resp, doc := postJSON(t, ts.URL+"/v1/graphs/social/bfs?mode=async", map[string]any{"source": 1})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit status = %d (%v)", resp.StatusCode, doc)
+	}
+	id, _ := doc["id"].(string)
+	if id == "" {
+		t.Fatalf("no job id: %v", doc)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jd map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&jd); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if jd["state"] == "done" {
+			if _, ok := jd["result"]; !ok {
+				t.Errorf("done job has no result: %v", jd)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %v", id, jd["state"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPGraphLoadAndList(t *testing.T) {
+	_, ts, _ := httpServer(t, service.Config{})
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/graphs/tiny",
+		strings.NewReader(`{"spec":"RMAT26@15","pool":1}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info service.GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || info.Name != "tiny" || info.Vertices == 0 {
+		t.Fatalf("load: %d %+v", resp.StatusCode, info)
+	}
+
+	r, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Graphs     []service.GraphInfo `json:"graphs"`
+		Algorithms []string            `json:"algorithms"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(listing.Graphs) != 2 || len(listing.Algorithms) == 0 {
+		t.Errorf("listing = %+v", listing)
+	}
+
+	// The fresh graph must serve jobs.
+	resp2, doc := postJSON(t, ts.URL+"/v1/graphs/tiny/cc", nil)
+	if resp2.StatusCode != http.StatusOK || doc["state"] != "done" {
+		t.Errorf("cc on loaded graph: %d %v", resp2.StatusCode, doc)
+	}
+}
+
+func TestHTTPErrorStatuses(t *testing.T) {
+	_, ts, pool := httpServer(t, service.Config{Workers: 1, QueueDepth: 1})
+
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/v1/graphs/ghost/bfs", "", http.StatusNotFound},
+		{"POST", "/v1/graphs/social/zork", "", http.StatusNotFound},
+		{"GET", "/v1/jobs/job-424242", "", http.StatusNotFound},
+		{"POST", "/v1/graphs/social/bfs", "{not json", http.StatusBadRequest},
+		{"POST", "/v1/graphs/social/bfs?timeout=banana", "", http.StatusBadRequest},
+		{"PUT", "/v1/graphs/bad", `{"spec":"NotADataset"}`, http.StatusInternalServerError},
+		{"PUT", "/v1/graphs/bad", `{}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+
+	// Deterministic 429 and 504: hold the pool's engines so the single
+	// worker blocks, fill the queue, then overflow it.
+	s1, ok1 := pool.TryAcquire()
+	s2, ok2 := pool.TryAcquire()
+	if !ok1 || !ok2 {
+		t.Fatal("could not exhaust pool")
+	}
+
+	// First async job occupies the worker.
+	resp, doc := postJSON(t, ts.URL+"/v1/graphs/social/bfs?mode=async", map[string]any{"source": 50})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit = %d (%v)", resp.StatusCode, doc)
+	}
+	waitForHTTP(t, func() bool {
+		return metricsValue(t, ts.URL, "gtsd_queue_depth") == 0
+	}, "worker pickup")
+
+	// Fill the queue (depth 1), then overflow.
+	resp, _ = postJSON(t, ts.URL+"/v1/graphs/social/bfs?mode=async", map[string]any{"source": 51})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue fill = %d", resp.StatusCode)
+	}
+	resp, doc = postJSON(t, ts.URL+"/v1/graphs/social/bfs?mode=async", map[string]any{"source": 52})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("overflow = %d (%v), want 429", resp.StatusCode, doc)
+	}
+
+	// Sync request with a short deadline while the pool is exhausted: 504.
+	resp, doc = postJSON(t, ts.URL+"/v1/graphs/social/pagerank?timeout=40ms", nil)
+	if resp.StatusCode != http.StatusGatewayTimeout && resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("deadline run = %d (%v), want 504 (or 429 if the queue was still full)", resp.StatusCode, doc)
+	}
+
+	pool.Release(s1)
+	pool.Release(s2)
+}
+
+// metricsValue scrapes one un-labeled numeric series from /metrics.
+func metricsValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, body)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitForHTTP(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestMetricsEndpointConsistency cross-checks the rendered exposition
+// against the Stats snapshot after a known workload.
+func TestMetricsEndpointConsistency(t *testing.T) {
+	srv, ts, _ := httpServer(t, service.Config{})
+	for i := 0; i < 3; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/graphs/social/bfs", map[string]any{"source": 7})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("bfs run %d = %d", i, resp.StatusCode)
+		}
+	}
+	st := srv.Stats()
+	if st.Completed != 3 || st.CacheHits != 2 || st.CacheMisses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	checks := map[string]float64{
+		"gtsd_jobs_submitted_total": float64(st.Submitted),
+		"gtsd_jobs_completed_total": float64(st.Completed),
+		"gtsd_cache_hits_total":     float64(st.CacheHits),
+		"gtsd_cache_misses_total":   float64(st.CacheMisses),
+		"gtsd_inflight_jobs":        0,
+		"gtsd_queue_depth":          0,
+		"gtsd_graphs_loaded":        1,
+	}
+	for name, want := range checks {
+		if got := metricsValue(t, ts.URL, name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	// Histogram sanity: bfs count matches completions, +Inf bucket is
+	// cumulative.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, `gtsd_job_latency_seconds_count{algo="bfs"} 3`) {
+		t.Errorf("latency count line missing:\n%s", text)
+	}
+	if !strings.Contains(text, fmt.Sprintf(`gtsd_job_latency_seconds_bucket{algo="bfs",le="+Inf"} %d`, 3)) {
+		t.Errorf("+Inf bucket missing:\n%s", text)
+	}
+	if !strings.Contains(text, `gtsd_job_virtual_seconds_total{algo="bfs"}`) {
+		t.Error("virtual seconds series missing")
+	}
+}

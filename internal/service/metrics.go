@@ -1,0 +1,204 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the wall-clock latency
+// histogram, exponential so one set covers sub-millisecond cache hits and
+// multi-second storage-backed runs.
+var latencyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts []uint64 // len(latencyBuckets)+1; last bucket = +Inf
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(latencyBuckets)+1)
+	}
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// algoMetrics accumulates one algorithm's serving stats.
+type algoMetrics struct {
+	jobs    uint64
+	wall    time.Duration // wall-clock compute time, cache hits excluded
+	virtual sim.Time      // virtual time on the modeled hardware
+	latency histogram     // per-job wall latency, cache hits included
+}
+
+// metrics is the server's observability state. Everything is guarded by
+// one mutex: observation paths are short and the contention is dwarfed by
+// the runs themselves.
+type metrics struct {
+	mu        sync.Mutex
+	submitted uint64
+	completed uint64
+	failed    uint64
+	rejected  uint64
+	timedOut  uint64
+	inFlight  int64
+	perAlgo   map[string]*algoMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{perAlgo: make(map[string]*algoMetrics)}
+}
+
+func (m *metrics) algo(name string) *algoMetrics {
+	a := m.perAlgo[name]
+	if a == nil {
+		a = &algoMetrics{}
+		m.perAlgo[name] = a
+	}
+	return a
+}
+
+func (m *metrics) addSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
+func (m *metrics) addRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) addTimedOut()  { m.mu.Lock(); m.timedOut++; m.mu.Unlock() }
+func (m *metrics) addFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+
+func (m *metrics) runStarted()  { m.mu.Lock(); m.inFlight++; m.mu.Unlock() }
+func (m *metrics) runFinished() { m.mu.Lock(); m.inFlight--; m.mu.Unlock() }
+
+// jobCompleted records one successfully answered job. For computed jobs,
+// wall and virtual carry the run's cost; for cache hits both are zero and
+// only the end-to-end latency lands in the histogram.
+func (m *metrics) jobCompleted(algo string, latency, wall time.Duration, virtual sim.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	a := m.algo(algo)
+	a.jobs++
+	a.wall += wall
+	a.virtual += virtual
+	a.latency.observe(latency.Seconds())
+}
+
+// AlgoStats is the public per-algorithm slice of a Stats snapshot.
+type AlgoStats struct {
+	Jobs           uint64        `json:"jobs"`
+	WallCompute    time.Duration `json:"wall_compute"`
+	VirtualElapsed sim.Time      `json:"virtual_elapsed"`
+}
+
+// Stats is a point-in-time snapshot of the server's counters, exposed both
+// programmatically and (rendered) at /metrics.
+type Stats struct {
+	QueueDepth  int                  `json:"queue_depth"`
+	QueueCap    int                  `json:"queue_cap"`
+	InFlight    int64                `json:"in_flight"`
+	Submitted   uint64               `json:"submitted"`
+	Completed   uint64               `json:"completed"`
+	Failed      uint64               `json:"failed"`
+	Rejected    uint64               `json:"rejected"`
+	TimedOut    uint64               `json:"timed_out"`
+	CacheHits   uint64               `json:"cache_hits"`
+	CacheMisses uint64               `json:"cache_misses"`
+	CacheSize   int                  `json:"cache_size"`
+	Graphs      int                  `json:"graphs"`
+	PerAlgo     map[string]AlgoStats `json:"per_algo"`
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) CacheHitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+}
+
+// writeMetrics renders the Prometheus text exposition of a snapshot plus
+// the per-algorithm histograms. Hand-rolled: the repo takes no
+// dependencies beyond the standard library.
+func (m *metrics) write(w io.Writer, s Stats) {
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("gtsd_queue_depth", "Jobs waiting in the admission queue.", s.QueueDepth)
+	gauge("gtsd_queue_capacity", "Admission queue capacity.", s.QueueCap)
+	gauge("gtsd_inflight_jobs", "Jobs currently executing on an engine.", s.InFlight)
+	gauge("gtsd_graphs_loaded", "Graphs in the registry.", s.Graphs)
+	counter("gtsd_jobs_submitted_total", "Jobs admitted to the queue or served from cache.", s.Submitted)
+	counter("gtsd_jobs_completed_total", "Jobs answered successfully (computed or cached).", s.Completed)
+	counter("gtsd_jobs_failed_total", "Jobs that errored during execution.", s.Failed)
+	counter("gtsd_jobs_rejected_total", "Submissions refused because the queue was full.", s.Rejected)
+	counter("gtsd_jobs_timedout_total", "Jobs whose deadline expired before execution.", s.TimedOut)
+	counter("gtsd_cache_hits_total", "Result-cache hits.", s.CacheHits)
+	counter("gtsd_cache_misses_total", "Result-cache misses.", s.CacheMisses)
+	gauge("gtsd_cache_entries", "Live result-cache entries.", s.CacheSize)
+	gauge("gtsd_cache_hit_rate", "Result-cache hit rate.", fmt.Sprintf("%.4f", s.CacheHitRate()))
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.perAlgo))
+	for name := range m.perAlgo {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP gtsd_job_wall_seconds_total Wall-clock compute time per algorithm (cache hits excluded).\n# TYPE gtsd_job_wall_seconds_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "gtsd_job_wall_seconds_total{algo=%q} %.6f\n", name, m.perAlgo[name].wall.Seconds())
+	}
+	fmt.Fprintf(w, "# HELP gtsd_job_virtual_seconds_total Virtual time on the modeled hardware per algorithm.\n# TYPE gtsd_job_virtual_seconds_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "gtsd_job_virtual_seconds_total{algo=%q} %.6f\n", name, m.perAlgo[name].virtual.Seconds())
+	}
+	fmt.Fprintf(w, "# HELP gtsd_job_latency_seconds End-to-end job latency per algorithm.\n# TYPE gtsd_job_latency_seconds histogram\n")
+	for _, name := range names {
+		h := &m.perAlgo[name].latency
+		if h.counts == nil {
+			continue
+		}
+		var cum uint64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "gtsd_job_latency_seconds_bucket{algo=%q,le=%q} %d\n", name, trimFloat(le), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "gtsd_job_latency_seconds_bucket{algo=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "gtsd_job_latency_seconds_sum{algo=%q} %.6f\n", name, h.sum)
+		fmt.Fprintf(w, "gtsd_job_latency_seconds_count{algo=%q} %d\n", name, h.total)
+	}
+}
+
+// snapshotPerAlgo copies the per-algorithm totals for Stats.
+func (m *metrics) snapshotPerAlgo() map[string]AlgoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]AlgoStats, len(m.perAlgo))
+	for name, a := range m.perAlgo {
+		out[name] = AlgoStats{Jobs: a.jobs, WallCompute: a.wall, VirtualElapsed: a.virtual}
+	}
+	return out
+}
+
+// trimFloat formats bucket bounds the Prometheus way ("0.001", not "1e-03").
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.4f", f)
+	for len(s) > 1 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

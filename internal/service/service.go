@@ -1,0 +1,583 @@
+// Package service is the concurrent analytics layer over the GTS engine:
+// a long-lived Server that holds named, pre-loaded slotted-page graphs
+// (each fronted by a gts.SystemPool), admits algorithm jobs through a
+// bounded FIFO queue, executes them on a worker pool with per-job
+// deadlines, memoizes completed answers in an LRU result cache — the
+// service-level analogue of the engine's cachedPIDMap — and exports
+// queue/cache/latency metrics. cmd/gtsd wraps it in an HTTP daemon; it is
+// equally usable in-process (see ServiceBench in the root package's
+// benchmarks).
+//
+// Lifecycle of a job: Submit validates the request, normalizes parameters,
+// and consults the cache — a hit completes the job immediately; a miss
+// enqueues it or, if the queue is full, rejects it with ErrOverloaded.
+// A worker dequeues the job, re-checks its deadline (a job whose deadline
+// expired while queued times out without running), claims a System from
+// the graph's pool, and runs the algorithm. Runs are not preempted: a
+// deadline that expires mid-run does not cancel the engine, it only
+// bounds queue and pool wait.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	gts "repro"
+)
+
+// Typed errors; the HTTP layer maps each to a status code.
+var (
+	// ErrOverloaded reports that the admission queue was full (HTTP 429).
+	ErrOverloaded = errors.New("service: overloaded, queue full")
+	// ErrUnknownGraph reports a request against a graph name that was
+	// never loaded (HTTP 404).
+	ErrUnknownGraph = errors.New("service: unknown graph")
+	// ErrUnknownAlgo reports an unrecognized algorithm name (HTTP 404).
+	ErrUnknownAlgo = errors.New("service: unknown algorithm")
+	// ErrUnknownJob reports a status query for an unknown job ID (404).
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrShuttingDown reports a submission after Shutdown began (503).
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrTimeout is the outcome of a job whose deadline expired before it
+	// could run (HTTP 504).
+	ErrTimeout = errors.New("service: job deadline expired")
+	// ErrDuplicateGraph reports AddGraph over an existing name without
+	// replace semantics (HTTP 409).
+	ErrDuplicateGraph = errors.New("service: graph already loaded")
+)
+
+// Config sizes a Server. The zero value is serviceable: 4 workers, a
+// 64-deep queue, a 256-entry result cache, no default deadline.
+type Config struct {
+	// Workers is the number of concurrent executors (default 4).
+	Workers int
+	// QueueDepth bounds the admission FIFO (default 64). Submissions
+	// beyond it fail fast with ErrOverloaded.
+	QueueDepth int
+	// CacheEntries bounds the result LRU (default 256; negative disables).
+	CacheEntries int
+	// DefaultTimeout applies to requests without an explicit deadline;
+	// 0 means no deadline.
+	DefaultTimeout time.Duration
+	// JobHistory bounds how many finished jobs remain queryable by ID
+	// (default 1024).
+	JobHistory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 1024
+	}
+	return c
+}
+
+// Request names one algorithm invocation.
+type Request struct {
+	Graph  string `json:"graph"`
+	Algo   string `json:"algo"`
+	Params Params `json:"params"`
+	// Timeout bounds queueing + pool wait; 0 inherits
+	// Config.DefaultTimeout, negative means no deadline.
+	Timeout time.Duration `json:"timeout,omitempty"`
+}
+
+// Result is a completed job's immutable answer. Cached results are shared
+// between jobs; callers must not mutate Output.
+type Result struct {
+	Graph  string `json:"graph"`
+	Algo   string `json:"algo"`
+	Params Params `json:"params"`
+	// Metrics are the run's engine measurements (virtual elapsed time,
+	// pages streamed, MTEPS, ...).
+	Metrics gts.Metrics `json:"metrics"`
+	// Output is the algorithm's public result struct (*gts.BFSResult,
+	// *gts.PageRankResult, ...), exactly what the matching gts.System
+	// method returned.
+	Output any `json:"output"`
+	// Wall is the compute time of the run that produced this result.
+	Wall time.Duration `json:"wall"`
+}
+
+// JobState is a job's lifecycle position.
+type JobState int32
+
+// Job states.
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobDone
+	JobFailed
+	JobTimedOut
+)
+
+// String names the state for JSON and logs.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	default:
+		return "timedout"
+	}
+}
+
+// Job tracks one submission through the queue. All accessors are safe for
+// concurrent use.
+type Job struct {
+	id        string
+	req       Request // normalized params
+	key       string
+	entry     *graphEntry
+	algo      algorithm
+	ctx       context.Context
+	cancel    context.CancelFunc
+	submitted time.Time
+
+	mu       sync.Mutex
+	state    JobState
+	cached   bool
+	result   *Result
+	err      error
+	finished time.Time
+	done     chan struct{}
+}
+
+// ID returns the job's server-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Request returns the submission with normalized parameters.
+func (j *Job) Request() Request { return j.req }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current lifecycle position.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Cached reports whether the answer came from the result cache.
+func (j *Job) Cached() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cached
+}
+
+// Result returns the answer (nil until done) and the terminal error, if
+// any.
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Err returns the terminal error (nil while running or on success).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Latency returns submission-to-finish wall time (0 until done).
+func (j *Job) Latency() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.submitted)
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+}
+
+func (j *Job) complete(res *Result, cached bool) {
+	j.mu.Lock()
+	j.state = JobDone
+	j.result = res
+	j.cached = cached
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *Job) fail(err error, state JobState) {
+	j.mu.Lock()
+	j.state = state
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// graphEntry is one registered graph with its engine pool.
+type graphEntry struct {
+	name string
+	gen  uint64 // load generation, part of the cache key
+	pool *gts.SystemPool
+}
+
+// GraphInfo describes a registered graph for listings.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Vertices uint64 `json:"vertices"`
+	Edges    uint64 `json:"edges"`
+	Pool     int    `json:"pool"`
+}
+
+// Server is the concurrent analytics service. Create with New, populate
+// with AddGraph/LoadGraph, submit with Submit (async) or Run (sync), and
+// stop with Shutdown.
+type Server struct {
+	cfg   Config
+	queue chan *Job
+	cache *resultCache
+	met   *metrics
+
+	mu       sync.Mutex // graphs, jobs, nextID, nextGen, closed
+	graphs   map[string]*graphEntry
+	jobs     map[string]*Job
+	jobOrder []*Job
+	nextID   uint64
+	nextGen  uint64
+	closed   bool
+
+	workers sync.WaitGroup
+}
+
+// New starts a Server with cfg's worker pool running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		queue:  make(chan *Job, cfg.QueueDepth),
+		cache:  newResultCache(cfg.CacheEntries),
+		met:    newMetrics(),
+		graphs: make(map[string]*graphEntry),
+		jobs:   make(map[string]*Job),
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// AddGraph registers a pre-built engine pool under name. The pool's graph
+// must not be mutated afterwards (slotted-page graphs are immutable once
+// built). Re-registering a name replaces the previous graph and, via the
+// generation in the cache key, implicitly invalidates its cached results.
+func (s *Server) AddGraph(name string, pool *gts.SystemPool) error {
+	if name == "" || pool == nil {
+		return fmt.Errorf("service: AddGraph needs a name and a pool")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrShuttingDown
+	}
+	s.nextGen++
+	s.graphs[name] = &graphEntry{name: name, gen: s.nextGen, pool: pool}
+	return nil
+}
+
+// LoadGraph opens a graph spec (see gts.Open: a .gts store file or
+// "dataset[@shrink]"), builds a poolSize-wide engine pool with engineCfg,
+// and registers it under name.
+func (s *Server) LoadGraph(name, spec string, engineCfg gts.Config, poolSize int) error {
+	g, err := gts.Open(spec)
+	if err != nil {
+		return err
+	}
+	pool, err := gts.NewSystemPool(g, engineCfg, poolSize)
+	if err != nil {
+		return err
+	}
+	return s.AddGraph(name, pool)
+}
+
+// Graphs lists the registered graphs, sorted by name.
+func (s *Server) Graphs() []GraphInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		g := e.pool.Graph()
+		out = append(out, GraphInfo{Name: e.name, Vertices: g.NumVertices(), Edges: g.NumEdges(), Pool: e.pool.Size()})
+	}
+	sortGraphInfo(out)
+	return out
+}
+
+func sortGraphInfo(infos []GraphInfo) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].Name < infos[j-1].Name; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+// Submit validates req and either answers it from the cache (the returned
+// job is already done), enqueues it, or rejects it with ErrOverloaded.
+// The returned Job is also queryable via Lookup until evicted from the
+// history.
+func (s *Server) Submit(req Request) (*Job, error) {
+	algo, err := lookupAlgo(req.Algo)
+	if err != nil {
+		return nil, err
+	}
+	req.Params = algo.normalize(req.Params)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	entry, ok := s.graphs[req.Graph]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, req.Graph)
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	s.mu.Unlock()
+
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	}
+	job := &Job{
+		id:        id,
+		req:       req,
+		key:       cacheKey(entry.name, entry.gen, req.Algo, req.Params),
+		entry:     entry,
+		algo:      algo,
+		ctx:       ctx,
+		cancel:    cancel,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+
+	if res, ok := s.cache.get(job.key); ok {
+		s.met.addSubmitted()
+		job.cancel()
+		job.complete(res, true)
+		s.met.jobCompleted(req.Algo, job.Latency(), 0, 0)
+		s.remember(job)
+		return job, nil
+	}
+
+	// Admission control: the send must happen under the lock so Shutdown
+	// cannot close the queue between the closed check and the send.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		job.cancel()
+		return nil, ErrShuttingDown
+	}
+	select {
+	case s.queue <- job:
+		s.rememberLocked(job)
+		s.mu.Unlock()
+		s.met.addSubmitted()
+		return job, nil
+	default:
+		s.mu.Unlock()
+		s.met.addRejected()
+		job.cancel()
+		return nil, ErrOverloaded
+	}
+}
+
+// Run submits req and waits for the job to finish or ctx to expire. On
+// success the returned job is done; on error the job (when non-nil) may
+// still complete in the background.
+func (s *Server) Run(ctx context.Context, req Request) (*Job, error) {
+	job, err := s.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-job.Done():
+		return job, job.Err()
+	case <-ctx.Done():
+		return job, ctx.Err()
+	}
+}
+
+// Lookup returns a submitted job by ID while it remains in the bounded
+// history.
+func (s *Server) Lookup(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return job, nil
+}
+
+func (s *Server) remember(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rememberLocked(job)
+}
+
+// rememberLocked registers a job in the history, evicting the oldest
+// finished jobs beyond the cap. Unfinished jobs are never evicted (their
+// count is bounded by queue depth + workers).
+func (s *Server) rememberLocked(job *Job) {
+	s.jobs[job.id] = job
+	s.jobOrder = append(s.jobOrder, job)
+	for len(s.jobs) > s.cfg.JobHistory {
+		evicted := false
+		for i, old := range s.jobOrder {
+			select {
+			case <-old.Done():
+				delete(s.jobs, old.id)
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			break
+		}
+	}
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	hits, misses, size := s.cache.stats()
+	s.mu.Lock()
+	graphs := len(s.graphs)
+	s.mu.Unlock()
+	m := s.met
+	m.mu.Lock()
+	st := Stats{
+		QueueDepth:  len(s.queue),
+		QueueCap:    cap(s.queue),
+		InFlight:    m.inFlight,
+		Submitted:   m.submitted,
+		Completed:   m.completed,
+		Failed:      m.failed,
+		Rejected:    m.rejected,
+		TimedOut:    m.timedOut,
+		CacheHits:   hits,
+		CacheMisses: misses,
+		CacheSize:   size,
+		Graphs:      graphs,
+	}
+	m.mu.Unlock()
+	st.PerAlgo = m.snapshotPerAlgo()
+	return st
+}
+
+// Shutdown stops admissions, drains queued and in-flight jobs, and waits
+// for the workers to exit or ctx to expire. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown interrupted with jobs in flight: %w", ctx.Err())
+	}
+}
+
+// Close is Shutdown without a deadline.
+func (s *Server) Close() error { return s.Shutdown(context.Background()) }
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for job := range s.queue {
+		s.execute(job)
+	}
+}
+
+// execute runs one dequeued job to a terminal state.
+func (s *Server) execute(job *Job) {
+	defer job.cancel()
+	if job.ctx.Err() != nil {
+		s.met.addTimedOut()
+		job.fail(fmt.Errorf("%w (queued %v)", ErrTimeout, time.Since(job.submitted).Round(time.Microsecond)), JobTimedOut)
+		return
+	}
+	// Second chance: an identical job may have populated the cache while
+	// this one queued. Peek without touching the hit/miss counters — the
+	// admission-time lookup already counted this job's miss.
+	if res, ok := s.cache.peek(job.key); ok {
+		job.complete(res, true)
+		s.met.jobCompleted(job.req.Algo, job.Latency(), 0, 0)
+		return
+	}
+	sys, err := job.entry.pool.Acquire(job.ctx)
+	if err != nil {
+		s.met.addTimedOut()
+		job.fail(fmt.Errorf("%w (waiting for an engine)", ErrTimeout), JobTimedOut)
+		return
+	}
+	job.setRunning()
+	s.met.runStarted()
+	start := time.Now()
+	out, m, err := job.algo.run(sys, job.req.Params)
+	wall := time.Since(start)
+	s.met.runFinished()
+	job.entry.pool.Release(sys)
+	if err != nil {
+		s.met.addFailed()
+		job.fail(err, JobFailed)
+		return
+	}
+	res := &Result{
+		Graph:   job.req.Graph,
+		Algo:    job.req.Algo,
+		Params:  job.req.Params,
+		Metrics: m,
+		Output:  out,
+		Wall:    wall,
+	}
+	s.cache.put(job.key, res)
+	job.complete(res, false)
+	s.met.jobCompleted(job.req.Algo, job.Latency(), wall, m.Elapsed)
+}

@@ -1,6 +1,8 @@
 // Package trace records per-stream activity spans during a GTS run so the
 // paper's Figure 4 timelines (copy vs. kernel bars per GPU stream) can be
 // regenerated, and aggregates the transfer/kernel totals behind Table 1.
+// Summary and MTEPS are the metric-export hooks the service layer
+// (internal/service) scrapes into its /metrics endpoint.
 package trace
 
 import (
@@ -8,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -23,6 +26,9 @@ const (
 	StorageIO             // SSD/HDD fetch into the main-memory buffer
 	Sync                  // WA synchronization back to the host
 )
+
+// NumKinds is the count of span kinds (for Summary.Busy indexing).
+const NumKinds = int(Sync) + 1
 
 // String names the kind.
 func (k Kind) String() string {
@@ -51,8 +57,10 @@ type Span struct {
 }
 
 // Recorder accumulates spans. A nil *Recorder is valid and records nothing,
-// so engines can trace unconditionally.
+// so engines can trace unconditionally. A Recorder is safe for concurrent
+// use: a pooled service may share one recorder across parallel runs.
 type Recorder struct {
+	mu    sync.Mutex
 	spans []Span
 }
 
@@ -64,15 +72,44 @@ func (r *Recorder) Add(s Span) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.spans = append(r.spans, s)
+	r.mu.Unlock()
 }
 
-// Spans returns all recorded spans in insertion order.
+// Spans returns a copy of the recorded spans in insertion order.
 func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
 	}
-	return r.spans
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spans == nil {
+		return nil
+	}
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Len reports the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Reset discards all recorded spans, keeping the recorder usable.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = r.spans[:0]
+	r.mu.Unlock()
 }
 
 // Total reports the summed duration of spans of the given kind.
@@ -80,6 +117,8 @@ func (r *Recorder) Total(k Kind) sim.Time {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var t sim.Time
 	for _, s := range r.spans {
 		if s.Kind == k {
@@ -89,18 +128,58 @@ func (r *Recorder) Total(k Kind) sim.Time {
 	return t
 }
 
+// Summary aggregates a recorder for metric export: per-kind busy time, the
+// span count, and the makespan (latest span end).
+type Summary struct {
+	Spans    int
+	Busy     [NumKinds]sim.Time
+	Makespan sim.Time
+}
+
+// Summary computes the aggregate view in one pass. A nil recorder returns
+// the zero Summary.
+func (r *Recorder) Summary() Summary {
+	var sum Summary
+	if r == nil {
+		return sum
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sum.Spans = len(r.spans)
+	for _, s := range r.spans {
+		if int(s.Kind) < NumKinds {
+			sum.Busy[s.Kind] += s.End - s.Start
+		}
+		if s.End > sum.Makespan {
+			sum.Makespan = s.End
+		}
+	}
+	return sum
+}
+
+// MTEPS converts an edge count and a virtual elapsed time into millions of
+// traversed edges per second — the paper's throughput metric. Zero elapsed
+// time yields 0 rather than +Inf, so idle summaries export cleanly.
+func MTEPS(edges int64, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(edges) / elapsed.Seconds() / 1e6
+}
+
 // RenderTimeline writes an ASCII rendering of the Figure 4 timeline: one
 // row per (GPU, stream), '▒' cells for copies and '█' cells for kernel
 // execution, over `width` time buckets.
 func (r *Recorder) RenderTimeline(w io.Writer, width int) error {
-	if r == nil || len(r.spans) == 0 {
+	spans := r.Spans()
+	if len(spans) == 0 {
 		_, err := fmt.Fprintln(w, "(no spans recorded)")
 		return err
 	}
 	var end sim.Time
 	rows := map[[2]int][]Span{}
 	var keys [][2]int
-	for _, s := range r.spans {
+	for _, s := range spans {
 		if s.Kind != CopyPage && s.Kind != Kernel {
 			continue
 		}

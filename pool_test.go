@@ -1,0 +1,157 @@
+package gts
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSystemSerializesRuns exercises the System concurrency guard: many
+// goroutines hammering one System must produce exactly the sequential
+// results (run under -race via `make test-race`).
+func TestSystemSerializesRuns(t *testing.T) {
+	g := smallGraph(t)
+	sys, err := NewSystem(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := sys.BFS(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(got.Levels, want.Levels) || got.Elapsed != want.Elapsed {
+				t.Error("concurrent BFS on one System diverged from sequential result")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSystemPoolParallelRuns(t *testing.T) {
+	g := smallGraph(t)
+	pool, err := NewSystemPool(g, Config{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Size() != 3 || pool.Idle() != 3 {
+		t.Fatalf("size/idle = %d/%d", pool.Size(), pool.Idle())
+	}
+	sys, err := NewSystem(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.PageRank(0.85, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := pool.Do(context.Background(), func(s *System) error {
+				got, err := s.PageRank(0.85, 5)
+				if err != nil {
+					return err
+				}
+				if !reflect.DeepEqual(got.Ranks, want.Ranks) || got.Elapsed != want.Elapsed {
+					t.Error("pooled PageRank diverged from direct result")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if pool.Idle() != 3 {
+		t.Errorf("idle after drain = %d, want 3", pool.Idle())
+	}
+}
+
+func TestSystemPoolAcquireHonorsContext(t *testing.T) {
+	g := smallGraph(t)
+	pool, err := NewSystemPool(g, Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, ok := pool.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire on full pool failed")
+	}
+	if _, ok := pool.TryAcquire(); ok {
+		t.Fatal("TryAcquire on empty pool succeeded")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := pool.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Errorf("Acquire on exhausted pool = %v, want DeadlineExceeded", err)
+	}
+	pool.Release(sys)
+	got, err := pool.Acquire(context.Background())
+	if err != nil || got != sys {
+		t.Errorf("Acquire after Release = %v, %v", got, err)
+	}
+	pool.Release(got)
+}
+
+func TestOpenSpecs(t *testing.T) {
+	// Dataset with explicit shrink.
+	g, err := Open("RMAT27@16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2048 {
+		t.Errorf("RMAT27@16: V = %d, want 2048", g.NumVertices())
+	}
+	// File round-trip.
+	path := filepath.Join(t.TempDir(), "g.gts")
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Error("file spec did not round-trip")
+	}
+	// Errors.
+	for _, bad := range []string{"", "RMAT27@-1", "RMAT27@x", "NotAGraph", "missing.gts"} {
+		if _, err := Open(bad); err == nil {
+			t.Errorf("Open(%q) succeeded, want error", bad)
+		}
+	}
+	// A dataset name without shrink must use DefaultShrink; RMAT26@12 is
+	// small enough to generate here.
+	if _, err := os.Stat("RMAT26"); err == nil {
+		t.Skip("a file named RMAT26 shadows the dataset")
+	}
+	g3, err := Open("RMAT26")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := Generate("RMAT26", DefaultShrink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumVertices() != g4.NumVertices() {
+		t.Errorf("Open default shrink: V = %d, want %d", g3.NumVertices(), g4.NumVertices())
+	}
+}
