@@ -1,8 +1,9 @@
 # Tier-1 verification lives here so CI and humans run the same thing:
-#   make ci        — build + tests + race pass over the concurrent packages
+#   make ci        — build + tests + race pass + vet + fuzz smoke
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test test-race bench ci
+.PHONY: build test test-race vet fuzz bench ci
 
 build:
 	$(GO) build ./...
@@ -12,12 +13,25 @@ test: build
 
 # The concurrency-bearing packages (the gtsd service layer, the shared
 # trace recorder, and the root package's System/SystemPool guards) must
-# stay clean under the race detector.
+# stay clean under the race detector. The chaos test (fault-injected gtsd
+# under concurrent clients) runs here too.
 test-race:
 	$(GO) test -race ./internal/service ./internal/trace
-	$(GO) test -race -run 'System|Pool|Open|Concurrent' .
+	$(GO) test -race -run 'System|Pool|Open|Concurrent|Chaos' .
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz smoke over the slotted-page codec: each target gets FUZZTIME
+# of coverage-guided input on top of the checked-in corpora in
+# internal/slottedpage/testdata/fuzz. Go allows one -fuzz target per
+# invocation, hence the three runs.
+fuzz:
+	$(GO) test ./internal/slottedpage -run '^$$' -fuzz '^FuzzStoreRead$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/slottedpage -run '^$$' -fuzz '^FuzzPageValidate$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/slottedpage -run '^$$' -fuzz '^FuzzStoreRoundTrip$$' -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-ci: build test test-race
+ci: build test test-race vet fuzz

@@ -60,11 +60,31 @@ func main() {
 	gpus := flag.Int("gpus", 1, "GPUs per pooled engine")
 	streams := flag.Int("streams", 0, "GPU streams per engine (0 = default 32)")
 	strategy := flag.String("strategy", "p", "multi-GPU strategy: p (performance) | s (scalability)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault-injection seed (chaos testing; replayable)")
+	faultTransfer := flag.Float64("fault-transfer", 0, "probability of a PCI-E transfer error per DMA [0,1]")
+	faultStall := flag.Float64("fault-stall", 0, "probability of a PCI-E transfer stall per DMA [0,1]")
+	faultStorage := flag.Float64("fault-storage", 0, "probability of a storage read error per page [0,1]")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "probability of page corruption per storage read [0,1]")
+	faultOOM := flag.Int64("fault-oom", 0, "kernel-launch ordinal that fails with device OOM (0 = never)")
 	flag.Parse()
 
 	engineCfg := gts.Config{GPUs: *gpus, Streams: *streams}
 	if strings.EqualFold(*strategy, "s") {
 		engineCfg.Strategy = gts.StrategyS
+	}
+	plan := gts.FaultPlan{
+		Seed:              *faultSeed,
+		TransferErrorRate: *faultTransfer,
+		TransferStallRate: *faultStall,
+		StorageErrorRate:  *faultStorage,
+		CorruptionRate:    *faultCorrupt,
+	}
+	if *faultOOM > 0 {
+		plan.OOMKernelLaunches = []int64{*faultOOM}
+	}
+	if plan.Enabled() {
+		engineCfg.Faults = &plan
+		log.Printf("gtsd: fault injection armed (seed %d)", plan.Seed)
 	}
 
 	srv := service.New(service.Config{

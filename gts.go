@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graphgen"
 	"repro/internal/hw"
 	"repro/internal/kernels"
@@ -101,7 +102,24 @@ type Config struct {
 	ScaleFactor int64
 	// Trace records per-stream copy/kernel spans when non-nil.
 	Trace *trace.Recorder
+	// Faults, when non-nil, injects seeded hardware failures (PCI-E
+	// transfer errors/stalls, device OOM, storage errors, page corruption)
+	// into every run. The engine recovers where it can — results stay
+	// byte-identical to a fault-free run — and returns an error wrapping
+	// ErrHardwareFault when a fault persists beyond the retry budget.
+	Faults *FaultPlan
 }
+
+// FaultPlan is a deterministic, seedable fault-injection plan (see
+// internal/fault). Equal plans replay identical fault sequences.
+type FaultPlan = fault.Plan
+
+// FaultStats counts injected faults and the recovery work a run performed.
+type FaultStats = fault.Stats
+
+// ErrHardwareFault reports that a hardware fault persisted beyond the
+// engine's retry budget; the run was abandoned with no partial results.
+var ErrHardwareFault = core.ErrHardwareFault
 
 // CacheDisabled turns the device page cache off (Config.CacheBytes).
 const CacheDisabled = core.CacheDisabled
@@ -225,6 +243,7 @@ func (c Config) options() core.Options {
 		MMBufBytes: c.MMBufBytes,
 		Prefetch:   c.Prefetch,
 		Trace:      c.Trace,
+		Faults:     c.Faults,
 	}
 }
 
@@ -250,6 +269,9 @@ type Metrics struct {
 	// inputs of the paper's Eq. 2).
 	LevelPages []int64
 	LevelBytes []int64
+	// Faults counts injected hardware faults and recovery work (all zero
+	// unless Config.Faults is set).
+	Faults FaultStats
 }
 
 func metricsOf(r *core.Report) Metrics {
@@ -267,6 +289,7 @@ func metricsOf(r *core.Report) Metrics {
 		MTEPS:         r.MTEPS,
 		LevelPages:    r.LevelPages,
 		LevelBytes:    r.LevelBytes,
+		Faults:        r.Faults,
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/kernels"
 	"repro/internal/sim"
@@ -51,6 +52,12 @@ const CacheDisabled int64 = -1
 // memory; the message says which strategy or resource was exceeded.
 var ErrWontFit = errors.New("core: working set exceeds device memory")
 
+// ErrHardwareFault reports that an injected (or modeled) hardware fault
+// persisted beyond the engine's retry budget and the run was abandoned.
+// Recoverable faults never surface this error — they cost virtual time and
+// show up in Report.Faults instead.
+var ErrHardwareFault = errors.New("core: hardware fault persisted beyond retry budget")
+
 // Options configure an engine run.
 type Options struct {
 	// Strategy selects the multi-GPU scheme. Default StrategyP.
@@ -79,6 +86,13 @@ type Options struct {
 	Prefetch bool
 	// Trace, when non-nil, records per-stream spans for Figure 4.
 	Trace *trace.Recorder
+	// Faults, when non-nil, injects hardware failures from a seeded plan:
+	// PCI-E transfer errors/stalls, device OOM at kernel launch, storage
+	// read errors, and page corruption. The engine retries, re-reads, and
+	// degrades as needed; since kernels run functionally and faults only
+	// perturb the simulated hardware, a recovered run's results are
+	// byte-identical to a fault-free run's.
+	Faults *fault.Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +105,9 @@ func (o Options) withDefaults() Options {
 func (o Options) validate() error {
 	if o.Streams < 1 || o.Streams > 32 {
 		return fmt.Errorf("core: %d streams out of range [1,32]", o.Streams)
+	}
+	if err := o.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -134,6 +151,10 @@ type Report struct {
 	// GPUs — the per-level quantities Eq. 2 consumes.
 	LevelPages []int64
 	LevelBytes []int64
+	// Faults counts injected hardware faults and the recovery work
+	// (retries, recoveries, degradations) the run performed. All zero
+	// when Options.Faults is nil.
+	Faults fault.Stats
 }
 
 // Engine runs kernels over one graph on one machine specification. Each Run

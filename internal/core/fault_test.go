@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+)
+
+// chaosPlan injects every fault kind: transfer errors and stalls, storage
+// read errors, page corruption, and one device OOM at the tenth kernel
+// launch. Rates are low enough that the retry budget (5 attempts) always
+// wins for this seed.
+func chaosPlan() *fault.Plan {
+	return &fault.Plan{
+		Seed:              42,
+		TransferErrorRate: 0.05,
+		TransferStallRate: 0.05,
+		StorageErrorRate:  0.05,
+		CorruptionRate:    0.10,
+		OOMKernelLaunches: []int64{10},
+	}
+}
+
+// TestBFSByteIdenticalUnderFaults is the acceptance test for the fault
+// layer: a run that absorbs transfer errors, storage errors, page
+// corruption, and a device OOM must produce results byte-identical to a
+// fault-free run — faults cost virtual time, never correctness.
+func TestBFSByteIdenticalUnderFaults(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	k := kernels.NewBFS(sp)
+	clean := mustRun(t, newEngine(t, sp, Options{Source: 0}, 1, 1), k)
+	cleanLevels := append([]int16(nil), k.Levels(clean.State)...)
+	if clean.Faults.Injected() != 0 {
+		t.Fatalf("fault-free run reports injections: %+v", clean.Faults)
+	}
+
+	k2 := kernels.NewBFS(sp)
+	faulted := mustRun(t, newEngine(t, sp, Options{Source: 0, Faults: chaosPlan()}, 1, 1), k2)
+	got := k2.Levels(faulted.State)
+	for v := range cleanLevels {
+		if got[v] != cleanLevels[v] {
+			t.Fatalf("vertex %d level = %d under faults, want %d", v, got[v], cleanLevels[v])
+		}
+	}
+
+	fs := faulted.Faults
+	if fs.Injected() == 0 {
+		t.Fatal("chaos plan injected nothing — the test is vacuous")
+	}
+	if fs.DeviceOOMs != 1 {
+		t.Errorf("DeviceOOMs = %d, want 1", fs.DeviceOOMs)
+	}
+	if fs.Degradations != 1 {
+		t.Errorf("Degradations = %d, want 1 (OOM should spill the page cache)", fs.Degradations)
+	}
+	if fs.Retries == 0 || fs.Recoveries == 0 {
+		t.Errorf("no recovery activity: %+v", fs)
+	}
+	if faulted.Elapsed <= clean.Elapsed {
+		t.Errorf("faulted run (%v) not slower than clean run (%v)", faulted.Elapsed, clean.Elapsed)
+	}
+}
+
+// TestPageRankByteIdenticalUnderFaults repeats the acceptance check for an
+// iterative (non-traversal) kernel, where per-iteration WA copy-backs add
+// more faultable transfers.
+func TestPageRankByteIdenticalUnderFaults(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	k := kernels.NewPageRank(sp, 0.85, 5)
+	clean := mustRun(t, newEngine(t, sp, Options{}, 1, 1), k)
+	cleanRanks := append([]float32(nil), k.Ranks(clean.State)...)
+
+	k2 := kernels.NewPageRank(sp, 0.85, 5)
+	faulted := mustRun(t, newEngine(t, sp, Options{Faults: chaosPlan()}, 1, 1), k2)
+	got := k2.Ranks(faulted.State)
+	for v := range cleanRanks {
+		if got[v] != cleanRanks[v] { // exact: recovery must not re-apply updates
+			t.Fatalf("vertex %d rank = %v under faults, want %v (bit-exact)", v, got[v], cleanRanks[v])
+		}
+	}
+	if faulted.Faults.Injected() == 0 {
+		t.Fatal("chaos plan injected nothing")
+	}
+}
+
+// TestFaultReplayIsDeterministic: the same plan against the same engine
+// configuration must inject the same faults and cost the same virtual time.
+func TestFaultReplayIsDeterministic(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	run := func() (*Report, []int16) {
+		k := kernels.NewBFS(sp)
+		rep := mustRun(t, newEngine(t, sp, Options{Source: 0, Faults: chaosPlan()}, 2, 2), k)
+		return rep, k.Levels(rep.State)
+	}
+	a, al := run()
+	b, bl := run()
+	if a.Faults != b.Faults {
+		t.Fatalf("fault stats diverged across replays:\n  %+v\n  %+v", a.Faults, b.Faults)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("virtual time diverged across replays: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	for v := range al {
+		if al[v] != bl[v] {
+			t.Fatalf("results diverged at vertex %d", v)
+		}
+	}
+}
+
+// TestPersistentTransferFaultAborts: a rate-1 transfer fault exhausts the
+// retry budget and surfaces as ErrHardwareFault, not a hang or a panic.
+func TestPersistentTransferFaultAborts(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	plan := &fault.Plan{Seed: 1, TransferErrorRate: 1}
+	e := newEngine(t, sp, Options{Source: 0, Faults: plan}, 1, 0)
+	_, err := e.Run(kernels.NewBFS(sp))
+	if !errors.Is(err, ErrHardwareFault) {
+		t.Fatalf("persistent transfer fault: err = %v, want ErrHardwareFault", err)
+	}
+}
+
+// TestPersistentStorageFaultAborts: same give-up path through the storage
+// read + checksum machinery.
+func TestPersistentStorageFaultAborts(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	plan := &fault.Plan{Seed: 1, StorageErrorRate: 1}
+	e := newEngine(t, sp, Options{Source: 0, Faults: plan}, 1, 1)
+	_, err := e.Run(kernels.NewBFS(sp))
+	if !errors.Is(err, ErrHardwareFault) {
+		t.Fatalf("persistent storage fault: err = %v, want ErrHardwareFault", err)
+	}
+}
+
+// TestBoundedFaultBurstRecovers: a persistent-looking fault capped by
+// MaxPerKind lets recovery finish the run with correct results.
+func TestBoundedFaultBurstRecovers(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	k := kernels.NewBFS(sp)
+	clean := mustRun(t, newEngine(t, sp, Options{Source: 0}, 1, 0), k)
+	cleanLevels := append([]int16(nil), k.Levels(clean.State)...)
+
+	plan := &fault.Plan{Seed: 3, TransferErrorRate: 1, MaxPerKind: 3}
+	k2 := kernels.NewBFS(sp)
+	rep := mustRun(t, newEngine(t, sp, Options{Source: 0, Faults: plan}, 1, 0), k2)
+	if rep.Faults.TransferErrors != 3 {
+		t.Errorf("TransferErrors = %d, want 3 (capped)", rep.Faults.TransferErrors)
+	}
+	if rep.Faults.Recoveries == 0 {
+		t.Error("no recoveries recorded")
+	}
+	got := k2.Levels(rep.State)
+	for v := range cleanLevels {
+		if got[v] != cleanLevels[v] {
+			t.Fatalf("vertex %d level = %d after burst, want %d", v, got[v], cleanLevels[v])
+		}
+	}
+}
+
+// TestInvalidFaultPlanRejected: plan validation happens at engine
+// construction, before any simulation starts.
+func TestInvalidFaultPlanRejected(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	bad := &fault.Plan{TransferErrorRate: 2}
+	if _, err := New(hw.Workstation(1, 0), sp, Options{Faults: bad}); err == nil {
+		t.Fatal("engine accepted an out-of-range fault plan")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/slottedpage"
+	"repro/internal/trace"
+)
+
+// Recovery policy for injected (or modeled) hardware faults: bounded retry
+// with exponential virtual-time backoff. Kernels run functionally before
+// their simulated launch and faults only perturb the hardware model, so
+// every recovery path yields results byte-identical to a fault-free run —
+// faults cost time and counters, never correctness.
+const (
+	// maxAttempts bounds tries per operation (1 initial + 4 retries).
+	maxAttempts = 5
+	// retryBackoff is the first retry delay; it doubles per attempt.
+	retryBackoff = 100 * sim.Microsecond
+)
+
+// fail latches the first unrecoverable error. Streams poll r.abort and
+// wind down; the framework surfaces it as the run's error.
+func (r *run) fail(err error) {
+	if r.abort == nil {
+		r.abort = err
+	}
+}
+
+// traceMark records a zero-duration marker span (fault/retry instants).
+func (r *run) traceMark(kind trace.Kind, gpu, stream int, page int64) {
+	now := r.env.Now()
+	r.eng.opts.Trace.Add(trace.Span{GPU: gpu, Stream: stream, Kind: kind, Page: page, Start: now, End: now})
+}
+
+// withRetry runs fn until it succeeds or the attempt budget is exhausted,
+// backing off exponentially in virtual time between attempts. Exhaustion
+// wraps the last error in ErrHardwareFault.
+func (r *run) withRetry(p *sim.Proc, gpu, stream int, what string, fn func() error) error {
+	backoff := retryBackoff
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil {
+			if attempt > 1 {
+				r.fstats.Recoveries++
+			}
+			return nil
+		}
+		r.traceMark(trace.Fault, gpu, stream, -1)
+		if attempt >= maxAttempts {
+			return fmt.Errorf("%w: %s failed %d times: %v", ErrHardwareFault, what, attempt, err)
+		}
+		r.fstats.Retries++
+		r.traceMark(trace.Retry, gpu, stream, -1)
+		p.Delay(backoff)
+		backoff *= 2
+	}
+}
+
+// launchKernel launches one kernel with recovery. A device-OOM failure
+// degrades gracefully: the GPU's page cache is dropped (its memory freed
+// for the launch) and every subsequent page on this GPU spills back to the
+// streaming path — the run gets slower, not wrong. Other failures retry
+// with backoff.
+func (r *run) launchKernel(p *sim.Proc, gpuIdx, stream int, pid slottedpage.PageID, cycles float64) error {
+	gpu := r.machine.GPUs[gpuIdx]
+	backoff := retryBackoff
+	for attempt := 1; ; attempt++ {
+		err := gpu.LaunchKernel(p, cycles, nil)
+		if err == nil {
+			if attempt > 1 {
+				r.fstats.Recoveries++
+			}
+			return nil
+		}
+		r.traceMark(trace.Fault, gpuIdx, stream, int64(pid))
+		if attempt >= maxAttempts {
+			return fmt.Errorf("%w: kernel launch for page %d on GPU%d failed %d times: %v",
+				ErrHardwareFault, pid, gpuIdx, attempt, err)
+		}
+		r.fstats.Retries++
+		r.traceMark(trace.Retry, gpuIdx, stream, int64(pid))
+		if errors.Is(err, hw.ErrOutOfDeviceMemory) && r.caches[gpuIdx] != nil {
+			gpu.Free(r.cacheBytes[gpuIdx])
+			r.caches[gpuIdx] = nil
+			r.cacheBytes[gpuIdx] = 0
+			r.fstats.Degradations++
+			continue // relaunch immediately with the freed memory
+		}
+		p.Delay(backoff)
+		backoff *= 2
+	}
+}
+
+// readPage reads pid from the storage array with recovery: failed reads
+// retry with backoff, and pages that arrive corrupt are caught by the
+// per-page CRC (slottedpage.VerifyPageBytes) and re-read. The caller
+// inserts into the main-memory buffer on success.
+func (r *run) readPage(p *sim.Proc, pid slottedpage.PageID, gpuIdx, stream int) error {
+	g := r.eng.graph
+	backoff := retryBackoff
+	for attempt := 1; ; attempt++ {
+		t0 := r.env.Now()
+		corrupt, err := r.machine.Storage.ReadPage(p, uint64(pid))
+		r.eng.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.StorageIO,
+			Page: int64(pid), Start: t0, End: r.env.Now()})
+		if err == nil && corrupt {
+			// The injector damaged the bytes in flight. Run the real
+			// verification machinery against a corrupted copy of the page
+			// so detection exercises the same checksum path a production
+			// read would.
+			buf := append([]byte(nil), g.PageBytes(pid)...)
+			buf[int(uint64(pid))%len(buf)] ^= 0xA5
+			err = g.VerifyPageBytes(pid, buf)
+		}
+		if err == nil {
+			if attempt > 1 {
+				r.fstats.Recoveries++
+			}
+			return nil
+		}
+		r.traceMark(trace.Fault, gpuIdx, stream, int64(pid))
+		if attempt >= maxAttempts {
+			return fmt.Errorf("%w: reading page %d failed %d times: %v", ErrHardwareFault, pid, attempt, err)
+		}
+		r.fstats.Retries++
+		r.traceMark(trace.Retry, gpuIdx, stream, int64(pid))
+		p.Delay(backoff)
+		backoff *= 2
+	}
+}

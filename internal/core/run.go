@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitset"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/kernels"
 	"repro/internal/sim"
@@ -27,10 +28,21 @@ type run struct {
 	// owned[i] is GPU i's attribute ownership range [lo, hi).
 	owned [][2]uint64
 
-	caches   []*hw.BufferPool // per-GPU page caches; nil = disabled
-	buffer   *hw.BufferPool   // main-memory page buffer (bufferPIDMap)
-	inMemory bool             // whole graph resident in main memory
-	inflight map[slottedpage.PageID]*sim.Signal
+	caches     []*hw.BufferPool // per-GPU page caches; nil = disabled
+	cacheBytes []int64          // device bytes held by each cache (for OOM spill)
+	buffer     *hw.BufferPool   // main-memory page buffer (bufferPIDMap)
+	inMemory   bool             // whole graph resident in main memory
+	inflight   map[slottedpage.PageID]*sim.Signal
+	// kres memoizes the current phase's functional kernel results, computed
+	// in deterministic (GPU, page) order before the streams start (see phase).
+	kres map[pageKey]kernels.Result
+
+	// Fault injection and recovery. The sim scheduler runs one process at
+	// a time, so these need no locking. abort latches the first
+	// unrecoverable error; streams poll it and wind down.
+	inj    *fault.Injector
+	fstats fault.Stats // recovery counters (injection counts live in inj)
+	abort  error
 
 	perGPUWA    int64
 	raPerV      int64
@@ -61,6 +73,10 @@ func (e *Engine) Run(k kernels.Kernel) (*Report, error) {
 		return nil, err
 	}
 	r.machine = m
+	// Each run gets its own injector from the shared plan: pooled runs stay
+	// independent and each replays the same fault sequence for its seed.
+	r.inj = fault.NewInjector(e.opts.Faults)
+	m.InjectFaults(r.inj)
 	if err := r.setup(); err != nil {
 		return nil, err
 	}
@@ -140,6 +156,7 @@ func (r *run) setup() error {
 
 	// Page cache in the remaining device memory (paper §3.3).
 	r.caches = make([]*hw.BufferPool, nGPU)
+	r.cacheBytes = make([]int64, nGPU)
 	for i, g := range m.GPUs {
 		budget := e.opts.CacheBytes
 		if budget < 0 { // CacheDisabled
@@ -154,6 +171,7 @@ func (r *run) setup() error {
 				return err
 			}
 			r.caches[i] = hw.NewBufferPool(int(pages))
+			r.cacheBytes[i] = pages * pageSize
 		}
 	}
 
@@ -196,10 +214,19 @@ func (r *run) framework(p *sim.Proc) error {
 	// Step 1 (Fig. 5): upload WA chunks to every GPU concurrently.
 	r.parallelGPUs(p, func(p *sim.Proc, i int) {
 		t0 := r.env.Now()
-		r.machine.GPUs[i].CopyChunkIn(p, r.perGPUWA)
+		err := r.withRetry(p, i, -1, "WA upload", func() error {
+			return r.machine.GPUs[i].CopyChunkIn(p, r.perGPUWA)
+		})
+		if err != nil {
+			r.fail(err)
+			return
+		}
 		r.bytesToGPU += r.perGPUWA
 		e.opts.Trace.Add(trace.Span{GPU: i, Stream: -1, Kind: trace.CopyWA, Page: -1, Start: t0, End: r.env.Now()})
 	})
+	if r.abort != nil {
+		return r.abort
+	}
 
 	bfsLike := k.Class() == kernels.BFSLike
 	next := bitset.New(numPages)
@@ -233,6 +260,9 @@ func (r *run) framework(p *sim.Proc) error {
 		r.levelPages = append(r.levelPages, r.pagesStreamed-beforePages)
 		r.levelBytes = append(r.levelBytes, r.bytesToGPU-beforeBytes)
 		r.sync(p, level, bfsLike)
+		if r.abort != nil {
+			return r.abort
+		}
 
 		if bfsLike {
 			if wantBackward {
@@ -261,6 +291,9 @@ func (r *run) framework(p *sim.Proc) error {
 			// Per-iteration WA sync: the updated vector streams back so
 			// the host can feed it as next iteration's RA (Eq. 1's 2|WA|).
 			r.copyWAOut(p)
+			if r.abort != nil {
+				return r.abort
+			}
 			next = bitset.New(numPages)
 			for pid := 0; pid < numPages; pid++ {
 				next.Set(pid)
@@ -280,11 +313,17 @@ func (r *run) framework(p *sim.Proc) error {
 			}
 			r.superstep(p, levelSets[l], int32(l), locals, true)
 			r.sync(p, int32(l), true)
+			if r.abort != nil {
+				return r.abort
+			}
 		}
 	}
 
 	// Final WA copy-back (data synchronization, Fig. 2 step 3).
 	r.copyWAOut(p)
+	if r.abort != nil {
+		return r.abort
+	}
 	r.levels = level
 	return nil
 }

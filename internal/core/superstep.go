@@ -37,14 +37,47 @@ func (r *run) superstep(p *sim.Proc, set pidSet, level int32, locals []pidSet, b
 	return active
 }
 
+// pageKey addresses one (GPU, page) kernel execution within a phase.
+type pageKey struct {
+	gpu int
+	pid slottedpage.PageID
+}
+
 // phase fans one page list out to every GPU's streams and joins. Under
 // Strategy-P with multiple GPUs, page j goes to GPU h(j) = j mod N (§4.1);
 // under Strategy-S every page goes to every GPU (§4.2).
+//
+// The kernels' functional work runs up front in deterministic (GPU, page)
+// order and is memoized; the stream processes then only model when each
+// execution happens on the hardware. Decoupling "what the kernels compute"
+// from "when the simulation schedules them" makes results bit-identical
+// across stream interleavings — including interleavings perturbed by
+// injected faults and their retries.
 func (r *run) phase(p *sim.Proc, pages []slottedpage.PageID, level int32, locals []pidSet, backward bool) bool {
 	nGPU := len(r.machine.GPUs)
 	active := false
 	grp := sim.NewGroup(r.env)
 	r.phaseConsumed = 0
+
+	parts := make([][]slottedpage.PageID, nGPU)
+	for i := 0; i < nGPU; i++ {
+		parts[i] = pages
+		if r.eng.opts.Strategy == StrategyP && nGPU > 1 {
+			parts[i] = nil
+			for _, pid := range pages {
+				if int(pid)%nGPU == i {
+					parts[i] = append(parts[i], pid)
+				}
+			}
+		}
+	}
+	r.kres = make(map[pageKey]kernels.Result, nGPU*len(pages))
+	for i := 0; i < nGPU; i++ {
+		for _, pid := range parts[i] {
+			r.kres[pageKey{i, pid}] = r.runKernel(i, pid, level, locals[i], backward)
+		}
+	}
+
 	if r.eng.opts.Prefetch && !r.inMemory {
 		grp.Add(1)
 		r.env.Process("prefetcher", func(p *sim.Proc) {
@@ -53,15 +86,7 @@ func (r *run) phase(p *sim.Proc, pages []slottedpage.PageID, level int32, locals
 		})
 	}
 	for i := 0; i < nGPU; i++ {
-		mine := pages
-		if r.eng.opts.Strategy == StrategyP && nGPU > 1 {
-			mine = nil
-			for _, pid := range pages {
-				if int(pid)%nGPU == i {
-					mine = append(mine, pid)
-				}
-			}
-		}
+		mine := parts[i]
 		streams := r.eng.opts.Streams
 		if streams > len(mine) {
 			streams = len(mine)
@@ -71,6 +96,9 @@ func (r *run) phase(p *sim.Proc, pages []slottedpage.PageID, level int32, locals
 			grp.Add(1)
 			r.env.Process(fmt.Sprintf("gpu%d/stream%d", i, s), func(p *sim.Proc) {
 				for idx := s; idx < len(mine); idx += r.eng.opts.Streams {
+					if r.abort != nil {
+						break // an unrecoverable fault ended the run
+					}
 					if r.page(p, i, s, mine[idx], level, locals[i], backward) {
 						active = true
 					}
@@ -81,6 +109,36 @@ func (r *run) phase(p *sim.Proc, pages []slottedpage.PageID, level int32, locals
 	}
 	grp.Wait(p)
 	return active
+}
+
+// runKernel executes one (GPU, page) kernel functionally, mutating the
+// GPU's attribute state and next-page set. Called only from phase's
+// deterministic precompute loop.
+func (r *run) runKernel(gpuIdx int, pid slottedpage.PageID, level int32, local pidSet, backward bool) kernels.Result {
+	g := r.eng.graph
+	args := kernels.Args{
+		Graph:    g,
+		PID:      pid,
+		Page:     g.Page(pid),
+		State:    r.stateFor(gpuIdx),
+		Level:    level,
+		OwnedLo:  r.owned[gpuIdx][0],
+		OwnedHi:  r.owned[gpuIdx][1],
+		Tech:     r.eng.opts.Technique,
+		NextPIDs: local,
+	}
+	isLP := g.Kind(pid) == slottedpage.LargePage
+	if backward {
+		bk := r.k.(kernels.BackwardKernel)
+		if isLP {
+			return bk.RunLPBack(&args)
+		}
+		return bk.RunSPBack(&args)
+	}
+	if isLP {
+		return r.k.RunLP(&args)
+	}
+	return r.k.RunSP(&args)
 }
 
 // page handles one page on one GPU stream: the cache / main-memory-buffer /
@@ -98,50 +156,41 @@ func (r *run) page(p *sim.Proc, gpuIdx, stream int, pid slottedpage.PageID, leve
 		// Algorithm 1 line 16: the page is already in device memory.
 		r.cacheHits++
 		if raBytes > 0 {
-			r.streamCopy(p, gpu, gpuIdx, stream, pid, raBytes)
+			if err := r.streamCopy(p, gpu, gpuIdx, stream, pid, raBytes); err != nil {
+				r.fail(err)
+				return false
+			}
 		}
 	} else {
 		if r.inMemory {
 			r.buffer.Contains(uint64(pid)) // counts the MMBuf hit
-		} else {
-			r.fetch(p, pid, gpuIdx, stream)
+		} else if err := r.fetch(p, pid, gpuIdx, stream); err != nil {
+			r.fail(err)
+			return false
 		}
-		r.streamCopy(p, gpu, gpuIdx, stream, pid, pageSize+raBytes)
+		if err := r.streamCopy(p, gpu, gpuIdx, stream, pid, pageSize+raBytes); err != nil {
+			r.fail(err)
+			return false
+		}
 		r.pagesStreamed++
-		if cache != nil {
+		// Re-read the cache: an OOM spill on a sibling stream may have
+		// dropped it since the lookup above.
+		if cache := r.caches[gpuIdx]; cache != nil {
 			cache.Insert(uint64(pid))
 		}
 	}
 
-	// Execute the kernel: the functional work runs now (mutating attribute
-	// state), and its reported cycle count occupies the simulated SM pool.
-	args := kernels.Args{
-		Graph:    g,
-		PID:      pid,
-		Page:     g.Page(pid),
-		State:    r.stateFor(gpuIdx),
-		Level:    level,
-		OwnedLo:  r.owned[gpuIdx][0],
-		OwnedHi:  r.owned[gpuIdx][1],
-		Tech:     e.opts.Technique,
-		NextPIDs: local,
-	}
-	var res kernels.Result
-	isLP := g.Kind(pid) == slottedpage.LargePage
-	if backward {
-		bk := r.k.(kernels.BackwardKernel)
-		if isLP {
-			res = bk.RunLPBack(&args)
-		} else {
-			res = bk.RunSPBack(&args)
-		}
-	} else if isLP {
-		res = r.k.RunLP(&args)
-	} else {
-		res = r.k.RunSP(&args)
-	}
+	// The functional work already ran in deterministic order at phase start
+	// (see phase); here its memoized cycle count occupies the simulated SM
+	// pool at whatever virtual time this stream reached the page.
+	res := r.kres[pageKey{gpuIdx, pid}]
 	t0 := r.env.Now()
-	gpu.LaunchKernel(p, res.Cycles, nil)
+	if err := r.launchKernel(p, gpuIdx, stream, pid, res.Cycles); err != nil {
+		// The functional mutation already ran exactly once above; only the
+		// simulated launch failed, so abandoning the run stays consistent.
+		r.fail(err)
+		return false
+	}
 	e.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.Kernel, Page: int64(pid), Start: t0, End: r.env.Now()})
 	r.edgesTraversed += res.Edges
 	r.updates += res.Updates
@@ -164,57 +213,89 @@ func (r *run) prefetch(p *sim.Proc, pages []slottedpage.PageID) {
 	}
 	for i, pid := range pages {
 		for int64(i) > r.phaseConsumed+window {
+			if r.abort != nil {
+				return
+			}
 			p.Delay(pause)
 		}
-		r.fetch(p, pid, -1, -1)
+		if err := r.fetch(p, pid, -1, -1); err != nil {
+			// Stop prefetching; the on-demand path retries with its own
+			// budget and surfaces the error if the fault is persistent.
+			return
+		}
 	}
 }
 
-// streamCopy moves n bytes to the GPU in streaming mode, recording trace
-// and transfer accounting.
-func (r *run) streamCopy(p *sim.Proc, gpu *hw.GPU, gpuIdx, stream int, pid slottedpage.PageID, n int64) {
+// streamCopy moves n bytes to the GPU in streaming mode with bounded
+// retry, recording trace and transfer accounting.
+func (r *run) streamCopy(p *sim.Proc, gpu *hw.GPU, gpuIdx, stream int, pid slottedpage.PageID, n int64) error {
 	t0 := r.env.Now()
-	gpu.CopyStreamIn(p, n)
+	err := r.withRetry(p, gpuIdx, stream, fmt.Sprintf("stream copy of page %d", pid), func() error {
+		return gpu.CopyStreamIn(p, n)
+	})
+	if err != nil {
+		return err
+	}
 	r.eng.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.CopyPage, Page: int64(pid), Start: t0, End: r.env.Now()})
 	r.bytesToGPU += n
 	r.transferTime += r.eng.spec.PCIe.Latency + sim.ByteTime(n, r.eng.spec.PCIe.StreamRate)
+	return nil
 }
 
 // fetch ensures pid is resident in the main-memory buffer, reading it from
 // the storage array on a miss. Concurrent requests for the same page (all
-// GPUs want it under Strategy-S) coalesce onto one storage read.
-func (r *run) fetch(p *sim.Proc, pid slottedpage.PageID, gpuIdx, stream int) {
-	if r.buffer.Contains(uint64(pid)) {
-		return
+// GPUs want it under Strategy-S) coalesce onto one storage read. A waiter
+// re-checks after the reader finishes: if the read failed, the waiter
+// takes over with its own retry budget rather than trusting a page that
+// never arrived.
+func (r *run) fetch(p *sim.Proc, pid slottedpage.PageID, gpuIdx, stream int) error {
+	for {
+		if r.buffer.Contains(uint64(pid)) {
+			return nil
+		}
+		if sig, ok := r.inflight[pid]; ok {
+			sig.Wait(p)
+			continue
+		}
+		sig := sim.NewSignal(r.env)
+		r.inflight[pid] = sig
+		err := r.readPage(p, pid, gpuIdx, stream)
+		if err == nil {
+			r.buffer.Insert(uint64(pid))
+		}
+		delete(r.inflight, pid)
+		sig.Fire()
+		return err
 	}
-	if sig, ok := r.inflight[pid]; ok {
-		sig.Wait(p)
-		return
-	}
-	sig := sim.NewSignal(r.env)
-	r.inflight[pid] = sig
-	t0 := r.env.Now()
-	r.machine.Storage.ReadPage(p, uint64(pid))
-	r.eng.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.StorageIO, Page: int64(pid), Start: t0, End: r.env.Now()})
-	r.buffer.Insert(uint64(pid))
-	delete(r.inflight, pid)
-	sig.Fire()
 }
 
 // copyWAOut synchronizes attribute data back to the host: under Strategy-P
 // the replicas were already peer-merged into the master GPU, so only it
 // copies the full WA out (Fig. 5 step 4); under Strategy-S every GPU ships
-// its disjoint chunk concurrently.
+// its disjoint chunk concurrently. Persistent transfer failure aborts the
+// run via r.fail.
 func (r *run) copyWAOut(p *sim.Proc) {
 	if r.eng.opts.Strategy == StrategyP {
 		t0 := r.env.Now()
-		r.machine.GPUs[0].CopyOut(p, r.perGPUWA)
+		err := r.withRetry(p, 0, -1, "WA copy-out", func() error {
+			return r.machine.GPUs[0].CopyOut(p, r.perGPUWA)
+		})
+		if err != nil {
+			r.fail(err)
+			return
+		}
 		r.eng.opts.Trace.Add(trace.Span{GPU: 0, Stream: -1, Kind: trace.Sync, Page: -1, Start: t0, End: r.env.Now()})
 		return
 	}
 	r.parallelGPUs(p, func(p *sim.Proc, i int) {
 		t0 := r.env.Now()
-		r.machine.GPUs[i].CopyOut(p, r.perGPUWA)
+		err := r.withRetry(p, i, -1, "WA copy-out", func() error {
+			return r.machine.GPUs[i].CopyOut(p, r.perGPUWA)
+		})
+		if err != nil {
+			r.fail(err)
+			return
+		}
 		r.eng.opts.Trace.Add(trace.Span{GPU: i, Stream: -1, Kind: trace.Sync, Page: -1, Start: t0, End: r.env.Now()})
 	})
 }
@@ -246,7 +327,14 @@ func (r *run) sync(p *sim.Proc, level int32, bfsLike bool) {
 		}
 		for i := 1; i < nGPU; i++ {
 			t0 := r.env.Now()
-			r.machine.GPUs[i].CopyPeer(p, r.machine.GPUs[0], bytes)
+			i := i
+			err := r.withRetry(p, i, -1, "peer WA merge", func() error {
+				return r.machine.GPUs[i].CopyPeer(p, r.machine.GPUs[0], bytes)
+			})
+			if err != nil {
+				r.fail(err)
+				return
+			}
 			r.eng.opts.Trace.Add(trace.Span{GPU: i, Stream: -1, Kind: trace.Sync, Page: -1, Start: t0, End: r.env.Now()})
 		}
 		r.k.MergeStates(r.states)
@@ -256,7 +344,12 @@ func (r *run) sync(p *sim.Proc, level int32, bfsLike bool) {
 		if bfsLike {
 			small := int64(r.eng.graph.NumPages()/8 + 1)
 			r.parallelGPUs(p, func(p *sim.Proc, i int) {
-				r.machine.GPUs[i].CopyOut(p, small)
+				err := r.withRetry(p, i, -1, "nextPIDSet copy-out", func() error {
+					return r.machine.GPUs[i].CopyOut(p, small)
+				})
+				if err != nil {
+					r.fail(err)
+				}
 			})
 		}
 	}
@@ -301,6 +394,10 @@ func (r *run) report(elapsed sim.Time) *Report {
 		LevelPages:     r.levelPages,
 		LevelBytes:     r.levelBytes,
 	}
+	// Injection counts come from the injector, recovery counts from the
+	// run's policy; fstats' injection fields are zero, so Add merges cleanly.
+	rep.Faults = r.inj.Stats()
+	rep.Faults.Add(r.fstats)
 	rep.MTEPS = trace.MTEPS(r.edgesTraversed, elapsed)
 	return rep
 }

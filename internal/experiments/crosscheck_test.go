@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -13,6 +14,8 @@ import (
 	"repro/internal/baselines/xstream"
 	"repro/internal/cluster"
 	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/rmat"
 	"repro/internal/slottedpage"
 	"repro/internal/verify"
 )
@@ -203,5 +206,140 @@ func TestEveryEngineAgreesOnPageRank(t *testing.T) {
 			t.Fatal(err)
 		}
 		check(e.Name(), out.Ranks, 1e-12)
+	}
+}
+
+// TestRandomGraphsDifferential is a property-based cross-check: random
+// small R-MAT graphs across seeds, every GTS algorithm against the
+// internal/verify references and (where the baseline implements the
+// algorithm) a Ligra run over the same topology. Engine configuration
+// rotates with the seed so the property covers the strategy x GPU matrix,
+// and one seed runs with fault injection armed — recovered runs must stay
+// on the same differential equalities as clean ones.
+func TestRandomGraphsDifferential(t *testing.T) {
+	ws := cpu.Paper()
+	for _, seed := range []int64{1, 2, 3, 4} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			params := rmat.Default(7 + int(seed%2)) // 128 or 256 vertices
+			params.Seed = seed
+			g, err := rmat.Generate(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rev := g.Transpose()
+			sp, err := slottedpage.Build(g, slottedpage.ScaledConfig(2, 2, 1024))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := gts.Config{GPUs: 1 + int(seed%2)}
+			if seed%4 == 3 {
+				cfg.Strategy = gts.StrategyS
+			}
+			if seed == 2 {
+				cfg.Faults = &gts.FaultPlan{Seed: seed, TransferErrorRate: 0.02,
+					CorruptionRate: 0.05, TransferStallRate: 0.05}
+			}
+			sys, err := gts.NewSystem(sp, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := uint64(seed*31) % g.NumVertices()
+
+			// BFS: GTS vs reference vs baseline, all exact.
+			wantL := verify.BFS(g, uint32(src))
+			bres, err := sys.BFS(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lig, err := cpu.NewLigra(ws).BFS(g, rev, uint32(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range wantL {
+				if bres.Levels[v] != wantL[v] {
+					t.Fatalf("BFS: GTS vertex %d level = %d, want %d", v, bres.Levels[v], wantL[v])
+				}
+				if lig.Levels[v] != wantL[v] {
+					t.Fatalf("BFS: Ligra vertex %d level = %d, want %d", v, lig.Levels[v], wantL[v])
+				}
+			}
+
+			// PageRank: float32 engine vs float64 references, within tolerance.
+			const iters = 4
+			wantPR := verify.PageRank(g, 0.85, iters)
+			pres, err := sys.PageRank(0.85, iters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ligPR, err := cpu.NewLigra(ws).PageRank(g, rev, 0.85, iters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range wantPR {
+				if math.Abs(float64(pres.Ranks[v])-wantPR[v]) > 1e-4 {
+					t.Fatalf("PageRank: GTS vertex %d rank = %v, want %v", v, pres.Ranks[v], wantPR[v])
+				}
+				if math.Abs(ligPR.Ranks[v]-wantPR[v]) > 1e-9 {
+					t.Fatalf("PageRank: Ligra vertex %d rank = %v, want %v", v, ligPR.Ranks[v], wantPR[v])
+				}
+			}
+
+			// SSSP under the deterministic synthetic weights: exact.
+			wantD := verify.SSSP(g, uint32(src), kernels.Weight)
+			sres, err := sys.SSSP(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range wantD {
+				if math.IsInf(wantD[v], 1) {
+					if sres.Dist[v] != math.MaxFloat32 {
+						t.Fatalf("SSSP: vertex %d reachable (%v), want unreachable", v, sres.Dist[v])
+					}
+				} else if float64(sres.Dist[v]) != wantD[v] {
+					t.Fatalf("SSSP: vertex %d dist = %v, want %v", v, sres.Dist[v], wantD[v])
+				}
+			}
+
+			// Connected components: exact label match.
+			wantCC := verify.WCC(g)
+			cres, err := sys.CC()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range wantCC {
+				if cres.Labels[v] != wantCC[v] {
+					t.Fatalf("CC: vertex %d label = %d, want %d", v, cres.Labels[v], wantCC[v])
+				}
+			}
+
+			// Betweenness centrality: float tolerance.
+			wantBC := verify.BC(g, uint32(src))
+			bcres, err := sys.BC(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range wantBC {
+				if math.Abs(bcres.Scores[v]-wantBC[v]) > 1e-6*math.Max(wantBC[v], 1)+1e-9 {
+					t.Fatalf("BC: vertex %d score = %v, want %v", v, bcres.Scores[v], wantBC[v])
+				}
+			}
+
+			// Random walk with restart: float tolerance.
+			wantRWR := verify.RWR(g, uint32(src), 0.15, 5)
+			rres, err := sys.RWR(src, 0.15, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range wantRWR {
+				if math.Abs(float64(rres.Scores[v])-wantRWR[v]) > 1e-4 {
+					t.Fatalf("RWR: vertex %d score = %v, want %v", v, rres.Scores[v], wantRWR[v])
+				}
+			}
+
+			if seed == 2 && pres.Faults.Injected() == 0 && bres.Faults.Injected() == 0 {
+				t.Error("fault-armed seed injected nothing across runs")
+			}
+		})
 	}
 }

@@ -1,0 +1,299 @@
+// Package fault is a deterministic, seedable fault-injection layer for the
+// hardware model and the engine above it. A Plan describes which failure
+// modes fire and how often; an Injector draws concrete faults from the plan
+// with one independent PRNG stream per fault kind, so a given (plan, run)
+// pair always injects the same faults at the same points — every failure is
+// replayable bit-for-bit, which is what makes the recovery paths testable.
+//
+// The injection points mirror what real GTS deployments see at scale:
+// PCI-E transfer errors and stalls in the copy engines, device-memory
+// allocation failures at kernel launch, storage read errors, and slotted-
+// page corruption (detected upstream by checksum, see slottedpage).
+// internal/hw consults the injector inside its copy/read/launch paths;
+// internal/core owns the recovery policy (bounded retry with backoff,
+// page re-read, cache spill) and accounts it in Stats.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Kind enumerates the injectable failure modes.
+type Kind int
+
+// Fault kinds.
+const (
+	// TransferError fails a PCI-E copy (H2D, D2H, or peer).
+	TransferError Kind = iota
+	// TransferStall delays a PCI-E copy by Plan.StallDelay without failing it.
+	TransferStall
+	// DeviceOOM fails a device-memory allocation at kernel launch.
+	DeviceOOM
+	// StorageError fails an SSD/HDD page read.
+	StorageError
+	// PageCorruption silently corrupts the data returned by a storage read;
+	// the engine detects it by page checksum and re-reads.
+	PageCorruption
+	// NumKinds is the number of fault kinds.
+	NumKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case TransferError:
+		return "transfer-error"
+	case TransferStall:
+		return "transfer-stall"
+	case DeviceOOM:
+		return "device-oom"
+	case StorageError:
+		return "storage-error"
+	case PageCorruption:
+		return "page-corruption"
+	default:
+		return fmt.Sprintf("fault.Kind(%d)", int(k))
+	}
+}
+
+// Typed injected-fault errors. Layers above wrap these; callers classify
+// with errors.Is.
+var (
+	// ErrTransfer is the error an injected PCI-E transfer failure carries.
+	ErrTransfer = errors.New("fault: injected PCI-E transfer error")
+	// ErrStorage is the error an injected storage read failure carries.
+	ErrStorage = errors.New("fault: injected storage read error")
+)
+
+// Plan is a declarative, seedable description of which faults to inject.
+// The zero value injects nothing. Rates are per-operation probabilities in
+// [0,1]; a rate of 1 makes the fault persistent (every retry fails too),
+// which is how tests exercise the engine's give-up path.
+type Plan struct {
+	// Seed keys the per-kind PRNG streams. Two injectors built from equal
+	// plans draw identical fault sequences.
+	Seed int64 `json:"seed"`
+	// TransferErrorRate is the probability that a PCI-E copy fails.
+	TransferErrorRate float64 `json:"transfer_error_rate,omitempty"`
+	// TransferStallRate is the probability that a PCI-E copy stalls for
+	// StallDelay before completing normally.
+	TransferStallRate float64 `json:"transfer_stall_rate,omitempty"`
+	// StallDelay is the extra latency of a stalled copy (default 250 µs of
+	// virtual time, roughly a link retrain).
+	StallDelay sim.Time `json:"stall_delay,omitempty"`
+	// StorageErrorRate is the probability that an SSD/HDD read fails.
+	StorageErrorRate float64 `json:"storage_error_rate,omitempty"`
+	// CorruptionRate is the probability that a storage read returns
+	// checksum-corrupt page data.
+	CorruptionRate float64 `json:"corruption_rate,omitempty"`
+	// OOMKernelLaunches lists 1-based kernel-launch ordinals at which the
+	// device allocator reports out-of-memory (e.g. []int64{10} fails the
+	// tenth launch). Ordinals are counted per run across all GPUs.
+	OOMKernelLaunches []int64 `json:"oom_kernel_launches,omitempty"`
+	// MaxPerKind caps injections per kind; 0 means unlimited. A cap turns
+	// a high rate into a bounded burst, letting recovery finish the run.
+	MaxPerKind int64 `json:"max_per_kind,omitempty"`
+}
+
+// Validate reports whether the plan's parameters are in range.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"transfer_error_rate", p.TransferErrorRate},
+		{"transfer_stall_rate", p.TransferStallRate},
+		{"storage_error_rate", p.StorageErrorRate},
+		{"corruption_rate", p.CorruptionRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s %v out of range [0,1]", r.name, r.v)
+		}
+	}
+	if p.StallDelay < 0 {
+		return fmt.Errorf("fault: stall delay %v negative", p.StallDelay)
+	}
+	for _, n := range p.OOMKernelLaunches {
+		if n < 1 {
+			return fmt.Errorf("fault: OOM kernel launch ordinal %d must be >= 1", n)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p *Plan) Enabled() bool {
+	return p != nil && (p.TransferErrorRate > 0 || p.TransferStallRate > 0 ||
+		p.StorageErrorRate > 0 || p.CorruptionRate > 0 || len(p.OOMKernelLaunches) > 0)
+}
+
+// stallDelay returns the configured or default stall duration.
+func (p *Plan) stallDelay() sim.Time {
+	if p.StallDelay > 0 {
+		return p.StallDelay
+	}
+	return 250 * sim.Microsecond
+}
+
+// Stats counts injected faults and the engine's recovery activity. The
+// injection fields are filled by the Injector; the recovery fields
+// (Retries, Recoveries, Degradations) by the engine that owns the policy.
+type Stats struct {
+	// TransferErrors .. Corruptions count injections per kind.
+	TransferErrors int64 `json:"transfer_errors"`
+	Stalls         int64 `json:"transfer_stalls"`
+	DeviceOOMs     int64 `json:"device_ooms"`
+	StorageErrors  int64 `json:"storage_errors"`
+	Corruptions    int64 `json:"page_corruptions"`
+	// Retries counts recovery re-attempts (transfer retries, page re-reads,
+	// kernel relaunches).
+	Retries int64 `json:"retries"`
+	// Recoveries counts operations that eventually succeeded after at
+	// least one injected fault.
+	Recoveries int64 `json:"recoveries"`
+	// Degradations counts graceful-degradation events (e.g. a device page
+	// cache spilled back to the streaming path after an injected OOM).
+	Degradations int64 `json:"degradations"`
+}
+
+// Injected sums the injection counters (not the recovery ones).
+func (s Stats) Injected() int64 {
+	return s.TransferErrors + s.Stalls + s.DeviceOOMs + s.StorageErrors + s.Corruptions
+}
+
+// Add accumulates other into s, for service-level aggregation.
+func (s *Stats) Add(other Stats) {
+	s.TransferErrors += other.TransferErrors
+	s.Stalls += other.Stalls
+	s.DeviceOOMs += other.DeviceOOMs
+	s.StorageErrors += other.StorageErrors
+	s.Corruptions += other.Corruptions
+	s.Retries += other.Retries
+	s.Recoveries += other.Recoveries
+	s.Degradations += other.Degradations
+}
+
+// Injector draws concrete faults from a Plan. A nil *Injector is valid and
+// injects nothing, so hardware models can consult it unconditionally (the
+// trace.Recorder idiom). An Injector belongs to one engine run: the sim
+// scheduler serializes all draws, and per-run ownership keeps pooled
+// concurrent runs independent and individually replayable.
+type Injector struct {
+	plan  Plan
+	rngs  [NumKinds]*rand.Rand
+	stats Stats
+	// launches counts kernel launches for OOMKernelLaunches matching.
+	launches int64
+	oomAt    map[int64]bool
+}
+
+// NewInjector builds an injector for plan. A nil or inert plan yields a nil
+// injector. Each fault kind gets an independent PRNG stream keyed off
+// (seed, kind), so one kind's draw sequence never perturbs another's.
+func NewInjector(plan *Plan) *Injector {
+	if !plan.Enabled() {
+		return nil
+	}
+	in := &Injector{plan: *plan, oomAt: make(map[int64]bool, len(plan.OOMKernelLaunches))}
+	for k := range in.rngs {
+		in.rngs[k] = rand.New(rand.NewSource(plan.Seed*int64(NumKinds) + int64(k) + 1))
+	}
+	for _, n := range plan.OOMKernelLaunches {
+		in.oomAt[n] = true
+	}
+	return in
+}
+
+// capped reports whether kind has hit the per-kind injection cap.
+func (in *Injector) capped(k Kind) bool {
+	return in.plan.MaxPerKind > 0 && in.count(k) >= in.plan.MaxPerKind
+}
+
+func (in *Injector) count(k Kind) int64 {
+	switch k {
+	case TransferError:
+		return in.stats.TransferErrors
+	case TransferStall:
+		return in.stats.Stalls
+	case DeviceOOM:
+		return in.stats.DeviceOOMs
+	case StorageError:
+		return in.stats.StorageErrors
+	default:
+		return in.stats.Corruptions
+	}
+}
+
+// draw samples kind's stream against rate, respecting the cap.
+func (in *Injector) draw(k Kind, rate float64) bool {
+	if in == nil || rate <= 0 || in.capped(k) {
+		return false
+	}
+	return in.rngs[k].Float64() < rate
+}
+
+// Transfer decides one PCI-E copy's fate: a positive stall delay, an
+// injected error, or neither. A copy can stall and then fail; both streams
+// advance independently so error timing does not depend on stall timing.
+func (in *Injector) Transfer() (stall sim.Time, err error) {
+	if in == nil {
+		return 0, nil
+	}
+	if in.draw(TransferStall, in.plan.TransferStallRate) {
+		in.stats.Stalls++
+		stall = in.plan.stallDelay()
+	}
+	if in.draw(TransferError, in.plan.TransferErrorRate) {
+		in.stats.TransferErrors++
+		err = ErrTransfer
+	}
+	return stall, err
+}
+
+// KernelOOM reports whether this kernel launch's device allocation fails.
+// Every call advances the per-run launch ordinal, including retries — so a
+// plan targeting ordinal n fails exactly one launch attempt.
+func (in *Injector) KernelOOM() bool {
+	if in == nil {
+		return false
+	}
+	in.launches++
+	if in.oomAt[in.launches] && !in.capped(DeviceOOM) {
+		in.stats.DeviceOOMs++
+		return true
+	}
+	return false
+}
+
+// StorageRead decides one storage read's fate: an injected error, or
+// success with possibly corrupt data.
+func (in *Injector) StorageRead() (corrupt bool, err error) {
+	if in == nil {
+		return false, nil
+	}
+	if in.draw(StorageError, in.plan.StorageErrorRate) {
+		in.stats.StorageErrors++
+		return false, ErrStorage
+	}
+	if in.draw(PageCorruption, in.plan.CorruptionRate) {
+		in.stats.Corruptions++
+		return true, nil
+	}
+	return false, nil
+}
+
+// Stats snapshots the injection counters. Recovery counters are zero; the
+// engine that owns the recovery policy merges its own.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}

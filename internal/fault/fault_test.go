@@ -1,0 +1,158 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestNilInjectorIsInert: a nil *Injector must be safe to consult from every
+// hardware path (the trace.Recorder idiom).
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if stall, err := in.Transfer(); stall != 0 || err != nil {
+		t.Fatalf("nil Transfer = (%v, %v), want (0, nil)", stall, err)
+	}
+	if in.KernelOOM() {
+		t.Fatal("nil KernelOOM = true")
+	}
+	if corrupt, err := in.StorageRead(); corrupt || err != nil {
+		t.Fatalf("nil StorageRead = (%v, %v), want (false, nil)", corrupt, err)
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("nil Stats = %+v, want zero", s)
+	}
+}
+
+func TestInertPlanYieldsNilInjector(t *testing.T) {
+	if in := NewInjector(nil); in != nil {
+		t.Fatal("NewInjector(nil) != nil")
+	}
+	if in := NewInjector(&Plan{Seed: 7}); in != nil {
+		t.Fatal("NewInjector(zero-rate plan) != nil")
+	}
+	if in := NewInjector(&Plan{TransferErrorRate: 0.5}); in == nil {
+		t.Fatal("NewInjector(active plan) == nil")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Fatalf("nil plan: %v", err)
+	}
+	good := Plan{Seed: 1, TransferErrorRate: 0.5, StallDelay: sim.Millisecond, OOMKernelLaunches: []int64{1}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good plan: %v", err)
+	}
+	for _, bad := range []Plan{
+		{TransferErrorRate: -0.1},
+		{TransferStallRate: 1.5},
+		{StorageErrorRate: 2},
+		{CorruptionRate: -1},
+		{StallDelay: -sim.Microsecond},
+		{OOMKernelLaunches: []int64{0}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("plan %+v validated", bad)
+		}
+	}
+}
+
+// TestReplayDeterminism: equal plans must draw identical fault sequences —
+// the property that makes every injected failure reproducible.
+func TestReplayDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, TransferErrorRate: 0.3, TransferStallRate: 0.2,
+		StorageErrorRate: 0.25, CorruptionRate: 0.25, OOMKernelLaunches: []int64{5, 17}}
+	a, b := NewInjector(&plan), NewInjector(&plan)
+	for i := 0; i < 1000; i++ {
+		as, ae := a.Transfer()
+		bs, be := b.Transfer()
+		if as != bs || (ae == nil) != (be == nil) {
+			t.Fatalf("Transfer diverged at draw %d: (%v,%v) vs (%v,%v)", i, as, ae, bs, be)
+		}
+		ac, aerr := a.StorageRead()
+		bc, berr := b.StorageRead()
+		if ac != bc || (aerr == nil) != (berr == nil) {
+			t.Fatalf("StorageRead diverged at draw %d", i)
+		}
+		if a.KernelOOM() != b.KernelOOM() {
+			t.Fatalf("KernelOOM diverged at draw %d", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Injected() == 0 {
+		t.Fatal("no faults injected over 1000 draws at these rates")
+	}
+}
+
+// TestIndependentStreams: enabling stalls must not perturb the error draw
+// sequence — each kind owns its PRNG stream.
+func TestIndependentStreams(t *testing.T) {
+	base := Plan{Seed: 9, TransferErrorRate: 0.3}
+	withStalls := base
+	withStalls.TransferStallRate = 0.5
+	a, b := NewInjector(&base), NewInjector(&withStalls)
+	for i := 0; i < 500; i++ {
+		_, ae := a.Transfer()
+		_, be := b.Transfer()
+		if (ae == nil) != (be == nil) {
+			t.Fatalf("error stream perturbed by stall stream at draw %d", i)
+		}
+	}
+}
+
+// TestKernelOOMOrdinals: OOM fires at exactly the listed 1-based launch
+// ordinals, counting every attempt.
+func TestKernelOOMOrdinals(t *testing.T) {
+	in := NewInjector(&Plan{OOMKernelLaunches: []int64{3, 5}})
+	want := map[int]bool{3: true, 5: true}
+	for i := 1; i <= 10; i++ {
+		if got := in.KernelOOM(); got != want[i] {
+			t.Errorf("launch %d: OOM = %v, want %v", i, got, want[i])
+		}
+	}
+	if n := in.Stats().DeviceOOMs; n != 2 {
+		t.Fatalf("DeviceOOMs = %d, want 2", n)
+	}
+}
+
+// TestMaxPerKindCapsBursts: rate 1 with a cap injects exactly cap faults,
+// then lets everything through — how tests bound persistent faults.
+func TestMaxPerKindCapsBursts(t *testing.T) {
+	in := NewInjector(&Plan{TransferErrorRate: 1, MaxPerKind: 4})
+	var failures int
+	for i := 0; i < 100; i++ {
+		if _, err := in.Transfer(); err != nil {
+			if !errors.Is(err, ErrTransfer) {
+				t.Fatalf("wrong error type: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures != 4 {
+		t.Fatalf("injected %d transfer errors, want 4 (capped)", failures)
+	}
+}
+
+func TestStatsAddAndInjected(t *testing.T) {
+	s := Stats{TransferErrors: 1, Stalls: 2, DeviceOOMs: 3, StorageErrors: 4, Corruptions: 5, Retries: 6}
+	s.Add(Stats{TransferErrors: 10, Recoveries: 1, Degradations: 2})
+	if s.TransferErrors != 11 || s.Recoveries != 1 || s.Degradations != 2 {
+		t.Fatalf("Add: %+v", s)
+	}
+	if got := s.Injected(); got != 11+2+3+4+5 {
+		t.Fatalf("Injected = %d", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if k.String() == "" || k.String() == "fault.Kind(0)" {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+}

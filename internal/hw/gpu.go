@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -30,6 +31,7 @@ type GPU struct {
 	d2h     *sim.Resource // device-to-host DMA engine
 	smPool  *sim.Resource // kernel execution
 	kernels *sim.Resource // concurrent-kernel slots (CUDA limit: 32)
+	inj     *fault.Injector
 
 	memUsed     int64
 	kernelCalls int64
@@ -77,41 +79,60 @@ func (g *GPU) MemUsed() int64 { return g.memUsed }
 // cache (paper §3.3).
 func (g *GPU) MemFree() int64 { return g.Spec.DeviceMemory - g.memUsed }
 
+// InjectFaults arms the GPU's copy engines and kernel launcher with a
+// fault injector. A nil injector restores fault-free behaviour.
+func (g *GPU) InjectFaults(inj *fault.Injector) { g.inj = inj }
+
+// transfer runs one DMA operation on engine: acquire, pay link latency plus
+// the byte time, release. An injected stall lengthens the busy window; an
+// injected error burns the full bus time (the transfer ran, then the
+// completion was reported bad — as a real DMA engine with ECC would) and
+// the bytes are not counted as delivered.
+func (g *GPU) transfer(p *sim.Proc, engine *sim.Resource, t sim.Time, delivered *int64, n int64) error {
+	stall, err := g.inj.Transfer()
+	engine.Acquire(p)
+	p.Delay(t + stall)
+	engine.Release()
+	if err != nil {
+		return fmt.Errorf("%w (GPU%d)", err, g.Index)
+	}
+	if delivered != nil {
+		*delivered += n
+	}
+	return nil
+}
+
 // CopyChunkIn moves n bytes host-to-device at the chunk rate c1 (pinned
 // bulk copies such as WA upload).
-func (g *GPU) CopyChunkIn(p *sim.Proc, n int64) {
-	g.h2d.Acquire(p)
-	p.Delay(g.pcie.Latency + sim.ByteTime(n, g.pcie.ChunkRate))
-	g.h2d.Release()
-	g.h2dBytes += n
+func (g *GPU) CopyChunkIn(p *sim.Proc, n int64) error {
+	return g.transfer(p, g.h2d, g.pcie.Latency+sim.ByteTime(n, g.pcie.ChunkRate), &g.h2dBytes, n)
 }
 
 // CopyStreamIn moves n bytes host-to-device at the streaming rate c2
 // (per-page topology/RA copies issued by GPU streams).
-func (g *GPU) CopyStreamIn(p *sim.Proc, n int64) {
-	g.h2d.Acquire(p)
-	p.Delay(g.pcie.Latency + sim.ByteTime(n, g.pcie.StreamRate))
-	g.h2d.Release()
-	g.h2dBytes += n
+func (g *GPU) CopyStreamIn(p *sim.Proc, n int64) error {
+	return g.transfer(p, g.h2d, g.pcie.Latency+sim.ByteTime(n, g.pcie.StreamRate), &g.h2dBytes, n)
 }
 
 // CopyOut moves n bytes device-to-host at the chunk rate (WA
 // synchronization back to main memory).
-func (g *GPU) CopyOut(p *sim.Proc, n int64) {
-	g.d2h.Acquire(p)
-	p.Delay(g.pcie.Latency + sim.ByteTime(n, g.pcie.ChunkRate))
-	g.d2h.Release()
-	g.d2hBytes += n
+func (g *GPU) CopyOut(p *sim.Proc, n int64) error {
+	return g.transfer(p, g.d2h, g.pcie.Latency+sim.ByteTime(n, g.pcie.ChunkRate), &g.d2hBytes, n)
 }
 
 // CopyPeer moves n bytes from g to dst over the peer-to-peer path
 // (Strategy-P's WA merge, paper §4.1). It holds both devices' DMA engines.
-func (g *GPU) CopyPeer(p *sim.Proc, dst *GPU, n int64) {
+func (g *GPU) CopyPeer(p *sim.Proc, dst *GPU, n int64) error {
+	stall, err := g.inj.Transfer()
 	g.d2h.Acquire(p)
 	dst.h2d.Acquire(p)
-	p.Delay(g.pcie.Latency + sim.ByteTime(n, g.pcie.P2PRate))
+	p.Delay(g.pcie.Latency + sim.ByteTime(n, g.pcie.P2PRate) + stall)
 	dst.h2d.Release()
 	g.d2h.Release()
+	if err != nil {
+		return fmt.Errorf("%w (GPU%d→GPU%d peer)", err, g.Index, dst.Index)
+	}
+	return nil
 }
 
 // KernelTime reports how long one kernel with the given cycle count runs:
@@ -137,9 +158,19 @@ func (g *GPU) Throttled() bool {
 // before entering the SM queue, so concurrent streams overlap it. fn, if
 // non-nil, runs at completion time (this is where the functional kernel
 // mutates attribute state).
-func (g *GPU) LaunchKernel(p *sim.Proc, cycles float64, fn func()) {
+//
+// An injected device-OOM fails the launch-time scratch allocation: the
+// launch overhead is paid (the driver rejected it after queueing) but no
+// SM time elapses and fn does not run. The error wraps
+// ErrOutOfDeviceMemory so callers can free cache and relaunch.
+func (g *GPU) LaunchKernel(p *sim.Proc, cycles float64, fn func()) error {
 	g.kernels.Acquire(p)
 	p.Delay(g.Spec.LaunchOverhead)
+	if g.inj.KernelOOM() {
+		g.kernels.Release()
+		return fmt.Errorf("%w: injected launch-time allocation failure on GPU%d",
+			ErrOutOfDeviceMemory, g.Index)
+	}
 	t := g.KernelTime(cycles)
 	g.smPool.Use(p, t)
 	g.kernels.Release()
@@ -148,6 +179,7 @@ func (g *GPU) LaunchKernel(p *sim.Proc, cycles float64, fn func()) {
 	if fn != nil {
 		fn()
 	}
+	return nil
 }
 
 // Stats reports cumulative activity for metrics and the Figure 4 timeline.
@@ -157,6 +189,8 @@ func (g *GPU) Stats() GPUStats {
 		KernelTime:  g.kernelTime,
 		H2DBytes:    g.h2dBytes,
 		D2HBytes:    g.d2hBytes,
+		H2DBusy:     g.h2d.BusyTime(),
+		D2HBusy:     g.d2h.BusyTime(),
 	}
 }
 
@@ -166,4 +200,8 @@ type GPUStats struct {
 	KernelTime  sim.Time
 	H2DBytes    int64
 	D2HBytes    int64
+	// H2DBusy and D2HBusy are how long each DMA engine was occupied —
+	// exactly the serialized copy spans of paper Fig. 3.
+	H2DBusy sim.Time
+	D2HBusy sim.Time
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -131,4 +132,15 @@ func NewMachine(env *sim.Env, spec MachineSpec, pageSize int64) (*Machine, error
 		m.Storage = NewArray(env, spec.Storage, pageSize)
 	}
 	return m, nil
+}
+
+// InjectFaults arms every GPU and storage device with the same fault
+// injector (typically one per engine run). A nil injector disarms them.
+func (m *Machine) InjectFaults(inj *fault.Injector) {
+	for _, g := range m.GPUs {
+		g.InjectFaults(inj)
+	}
+	if m.Storage != nil {
+		m.Storage.InjectFaults(inj)
+	}
 }

@@ -148,6 +148,23 @@ func TestGPUTransfersSerializeButOverlapKernels(t *testing.T) {
 	if end < lo || end > hi {
 		t.Errorf("end = %v, want ~3s (copy/kernel overlap)", end)
 	}
+	// The copy engine's busy-time accounting proves the serialization
+	// directly: two 1-second copies keep the H2D engine busy for exactly
+	// 2 s, while 2 s of kernel time fits in the same 3 s window — so one
+	// kernel-second overlapped a copy-second.
+	st := g.Stats()
+	if st.H2DBusy < 2*sim.Second || st.H2DBusy > 2*sim.Second+sim.Millisecond {
+		t.Errorf("H2D busy = %v, want ~2s (copies must serialize on the engine)", st.H2DBusy)
+	}
+	if st.D2HBusy != 0 {
+		t.Errorf("D2H busy = %v, want 0 (no device-to-host traffic)", st.D2HBusy)
+	}
+	if st.KernelTime < 2*sim.Second {
+		t.Errorf("kernel time = %v, want >= 2s", st.KernelTime)
+	}
+	if overlap := st.H2DBusy + st.KernelTime - end; overlap < sim.Second-sim.Millisecond {
+		t.Errorf("copy/kernel overlap = %v, want ~1s", overlap)
+	}
 }
 
 func TestGPUPeerCopyFasterThanHostPath(t *testing.T) {

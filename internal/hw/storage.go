@@ -1,6 +1,9 @@
 package hw
 
 import (
+	"fmt"
+
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -15,6 +18,7 @@ type Device struct {
 
 	env       *sim.Env
 	queue     *sim.Resource
+	inj       *fault.Injector
 	lastEnd   int64 // byte offset where the previous read ended
 	bytesRead int64
 	reads     int64
@@ -26,9 +30,17 @@ func NewDevice(env *sim.Env, spec StorageSpec, index int) *Device {
 	return &Device{Spec: spec, Index: index, env: env, queue: sim.NewResource(env, 1), lastEnd: -1}
 }
 
+// InjectFaults arms the device with a fault injector. A nil injector
+// restores fault-free behaviour.
+func (d *Device) InjectFaults(inj *fault.Injector) { d.inj = inj }
+
 // Read fetches n bytes at byte offset off, blocking p for queueing plus
-// service time.
-func (d *Device) Read(p *sim.Proc, off, n int64) {
+// service time. An injected storage error fails the read after full
+// service time (the device tried, the transfer came back bad); corrupt
+// reports that the read "succeeded" but returned damaged data, which the
+// caller detects by page checksum.
+func (d *Device) Read(p *sim.Proc, off, n int64) (corrupt bool, err error) {
+	corrupt, err = d.inj.StorageRead()
 	d.queue.Acquire(p)
 	rate := d.Spec.RandRead
 	if off == d.lastEnd {
@@ -37,9 +49,13 @@ func (d *Device) Read(p *sim.Proc, off, n int64) {
 	}
 	p.Delay(d.Spec.Latency + sim.ByteTime(n, rate))
 	d.lastEnd = off + n
-	d.bytesRead += n
 	d.reads++
 	d.queue.Release()
+	if err != nil {
+		return false, fmt.Errorf("%w (device %d, offset %d)", err, d.Index, off)
+	}
+	d.bytesRead += n
+	return corrupt, nil
 }
 
 // BytesRead reports cumulative bytes served.
@@ -71,13 +87,22 @@ func (a *Array) DeviceFor(pid uint64) *Device {
 	return a.Devices[pid%uint64(len(a.Devices))]
 }
 
+// InjectFaults arms every device in the array with the same injector.
+func (a *Array) InjectFaults(inj *fault.Injector) {
+	for _, d := range a.Devices {
+		d.InjectFaults(inj)
+	}
+}
+
 // ReadPage fetches page pid, blocking p. Pages are laid out in pid order on
 // each device, so a scan over consecutive pids is sequential per device.
-func (a *Array) ReadPage(p *sim.Proc, pid uint64) {
+// corrupt means the page arrived damaged (caller verifies the checksum and
+// re-reads); err means the read failed outright.
+func (a *Array) ReadPage(p *sim.Proc, pid uint64) (corrupt bool, err error) {
 	n := uint64(len(a.Devices))
 	d := a.Devices[pid%n]
 	off := int64(pid/n) * a.pageSize
-	d.Read(p, off, a.pageSize)
+	return d.Read(p, off, a.pageSize)
 }
 
 // AggregateSeqRate reports the combined sequential bandwidth, the bound the

@@ -1,0 +1,235 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	gts "repro"
+	"repro/internal/service"
+)
+
+// chaosServer hosts two pools over the same graph: "chaos" runs under a
+// moderate fault plan the engine's retry budget can absorb, and "doomed"
+// under a persistent transfer fault that exhausts it on every run.
+func chaosServer(t *testing.T) (*httptest.Server, *gts.Graph) {
+	t.Helper()
+	g, _ := testGraphPair(t)
+	srv := service.New(service.Config{Workers: 4, QueueDepth: 32})
+
+	absorb := &gts.FaultPlan{Seed: 7, TransferErrorRate: 0.05, TransferStallRate: 0.05,
+		StorageErrorRate: 0.05, CorruptionRate: 0.05}
+	chaosPool, err := gts.NewSystemPool(g, gts.Config{Faults: absorb}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddGraph("chaos", chaosPool); err != nil {
+		t.Fatal(err)
+	}
+	doomed := &gts.FaultPlan{Seed: 7, TransferErrorRate: 1}
+	doomedPool, err := gts.NewSystemPool(g, gts.Config{Faults: doomed}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddGraph("doomed", doomedPool); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts, g
+}
+
+// TestChaosConcurrentClients hammers a fault-injected service from
+// concurrent clients. The contract under fault injection: every response
+// is either a correct result (byte-equal to the fault-free reference) or a
+// typed error status — never a corrupt payload, never a 500, and 503s
+// carry Retry-After. Run under -race via `make test-race`.
+func TestChaosConcurrentClients(t *testing.T) {
+	ts, g := chaosServer(t)
+
+	// Fault-free references for every request shape the clients send.
+	clean, err := gts.NewSystem(g, gts.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []uint64{0, 1, 5}
+	wantLevels := make(map[uint64][]int16)
+	for _, s := range sources {
+		res, err := clean.BFS(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLevels[s] = res.Levels
+	}
+	prRes, err := clean.PageRank(0.85, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRanks := prRes.Ranks
+
+	const clients = 8
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		successes int
+		failures  int
+	)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				var (
+					url string
+					src uint64
+					alg string
+				)
+				switch (c + i) % 5 {
+				case 0, 1:
+					alg, src = "bfs", sources[(c+i)%len(sources)]
+					url = fmt.Sprintf("%s/v1/graphs/chaos/bfs", ts.URL)
+				case 2:
+					alg = "pagerank"
+					url = ts.URL + "/v1/graphs/chaos/pagerank"
+				case 3:
+					alg = "doomed"
+					url = ts.URL + "/v1/graphs/doomed/bfs"
+				case 4:
+					alg = "missing"
+					url = ts.URL + "/v1/graphs/chaos/nosuchalgo"
+				}
+				body := "{}"
+				if alg == "bfs" || alg == "doomed" {
+					body = fmt.Sprintf(`{"source":%d}`, src)
+				} else if alg == "pagerank" {
+					body = `{"damping":0.85,"iterations":5}`
+				}
+				resp, err := http.Post(url, "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var doc struct {
+						Result json.RawMessage `json:"result"`
+					}
+					if err := json.Unmarshal(raw, &doc); err != nil {
+						t.Errorf("200 with unparsable body: %v", err)
+						return
+					}
+					switch alg {
+					case "bfs":
+						var out struct{ Levels []int16 }
+						if err := json.Unmarshal(doc.Result, &out); err != nil {
+							t.Errorf("corrupt BFS payload: %v", err)
+							return
+						}
+						for v, want := range wantLevels[src] {
+							if out.Levels[v] != want {
+								t.Errorf("BFS(src=%d) vertex %d = %d, want %d (corrupt result under faults)",
+									src, v, out.Levels[v], want)
+								return
+							}
+						}
+					case "pagerank":
+						var out struct{ Ranks []float32 }
+						if err := json.Unmarshal(doc.Result, &out); err != nil {
+							t.Errorf("corrupt PageRank payload: %v", err)
+							return
+						}
+						for v, want := range wantRanks {
+							if out.Ranks[v] != want {
+								t.Errorf("PageRank vertex %d = %v, want %v (corrupt result under faults)",
+									v, out.Ranks[v], want)
+								return
+							}
+						}
+					case "doomed":
+						t.Error("doomed graph returned 200; its faults are persistent")
+						return
+					case "missing":
+						t.Error("unknown algorithm returned 200")
+						return
+					}
+					mu.Lock()
+					successes++
+					mu.Unlock()
+				case http.StatusNotFound:
+					if alg != "missing" {
+						t.Errorf("%s returned 404", alg)
+						return
+					}
+				case http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Error("503 without Retry-After")
+						return
+					}
+					mu.Lock()
+					failures++
+					mu.Unlock()
+				case http.StatusTooManyRequests, http.StatusGatewayTimeout:
+					// Load shedding and deadline expiry are legitimate
+					// under concurrency.
+				default:
+					t.Errorf("%s: unexpected status %d: %s", alg, resp.StatusCode, raw)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if successes == 0 {
+		t.Fatal("no request survived the absorbable fault plan")
+	}
+	if failures == 0 {
+		t.Fatal("no request hit the persistent fault plan")
+	}
+
+	// The daemon's metrics must reflect the chaos it just absorbed.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"gtsd_faults_injected_total", "gtsd_fault_retries_total",
+		"gtsd_fault_recoveries_total", "gtsd_hw_failures_total",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if !metricAbove(string(metrics), "gtsd_faults_injected_total", 0) {
+		t.Error("gtsd_faults_injected_total is zero after a chaos run")
+	}
+	if !metricAbove(string(metrics), "gtsd_hw_failures_total", 0) {
+		t.Error("gtsd_hw_failures_total is zero despite the doomed pool")
+	}
+}
+
+// metricAbove reports whether the exposition contains `name <v>` with
+// v > floor.
+func metricAbove(metrics, name string, floor float64) bool {
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line, name+" %g", &v); err == nil && v > floor {
+			return true
+		}
+	}
+	return false
+}

@@ -54,6 +54,9 @@ type loadRequest struct {
 	GPUs     int    `json:"gpus,omitempty"`
 	Strategy string `json:"strategy,omitempty"`
 	Streams  int    `json:"streams,omitempty"`
+	// Faults arms deterministic fault injection on every engine in this
+	// graph's pool (chaos testing; see gts.FaultPlan).
+	Faults *gts.FaultPlan `json:"faults,omitempty"`
 }
 
 func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
@@ -67,7 +70,11 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("load request needs a \"spec\""))
 		return
 	}
-	cfg := gts.Config{GPUs: req.GPUs, Streams: req.Streams}
+	if err := req.Faults.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg := gts.Config{GPUs: req.GPUs, Streams: req.Streams, Faults: req.Faults}
 	if strings.EqualFold(req.Strategy, "s") {
 		cfg.Strategy = gts.StrategyS
 	}
@@ -166,7 +173,9 @@ func statusOf(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrUnknownGraph), errors.Is(err, ErrUnknownAlgo), errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound
-	case errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, gts.ErrHardwareFault):
+		// A hardware fault that survived the engine's retry budget is a
+		// transient infrastructure failure: 503 + Retry-After, not a 500.
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrTimeout), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -184,5 +193,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, map[string]any{"error": err.Error(), "status": status})
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	gts "repro"
 	"repro/internal/sim"
 )
 
@@ -51,7 +52,12 @@ type metrics struct {
 	rejected  uint64
 	timedOut  uint64
 	inFlight  int64
-	perAlgo   map[string]*algoMetrics
+	// faults accumulates the engine's fault-injection and recovery
+	// counters across runs; hwFailures counts jobs abandoned because a
+	// hardware fault persisted beyond the engine's retry budget.
+	faults     gts.FaultStats
+	hwFailures uint64
+	perAlgo    map[string]*algoMetrics
 }
 
 func newMetrics() *metrics {
@@ -74,6 +80,15 @@ func (m *metrics) addFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
 
 func (m *metrics) runStarted()  { m.mu.Lock(); m.inFlight++; m.mu.Unlock() }
 func (m *metrics) runFinished() { m.mu.Lock(); m.inFlight--; m.mu.Unlock() }
+
+// addFaults folds one run's fault/recovery counters into the totals.
+func (m *metrics) addFaults(fs gts.FaultStats) {
+	m.mu.Lock()
+	m.faults.Add(fs)
+	m.mu.Unlock()
+}
+
+func (m *metrics) addHWFailure() { m.mu.Lock(); m.hwFailures++; m.mu.Unlock() }
 
 // jobCompleted records one successfully answered job. For computed jobs,
 // wall and virtual carry the run's cost; for cache hits both are zero and
@@ -111,6 +126,8 @@ type Stats struct {
 	CacheMisses uint64               `json:"cache_misses"`
 	CacheSize   int                  `json:"cache_size"`
 	Graphs      int                  `json:"graphs"`
+	Faults      gts.FaultStats       `json:"faults"`
+	HWFailures  uint64               `json:"hw_failures"`
 	PerAlgo     map[string]AlgoStats `json:"per_algo"`
 }
 
@@ -145,6 +162,11 @@ func (m *metrics) write(w io.Writer, s Stats) {
 	counter("gtsd_cache_misses_total", "Result-cache misses.", s.CacheMisses)
 	gauge("gtsd_cache_entries", "Live result-cache entries.", s.CacheSize)
 	gauge("gtsd_cache_hit_rate", "Result-cache hit rate.", fmt.Sprintf("%.4f", s.CacheHitRate()))
+	counter("gtsd_faults_injected_total", "Hardware faults injected into engine runs.", uint64(s.Faults.Injected()))
+	counter("gtsd_fault_retries_total", "Engine retries of faulted operations.", uint64(s.Faults.Retries))
+	counter("gtsd_fault_recoveries_total", "Faulted operations that eventually succeeded.", uint64(s.Faults.Recoveries))
+	counter("gtsd_fault_degradations_total", "Device-OOM spills from the cached to the streaming path.", uint64(s.Faults.Degradations))
+	counter("gtsd_hw_failures_total", "Jobs abandoned after the engine's retry budget was exhausted.", s.HWFailures)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -495,6 +495,8 @@ func (s *Server) Stats() Stats {
 		CacheMisses: misses,
 		CacheSize:   size,
 		Graphs:      graphs,
+		Faults:      m.faults,
+		HWFailures:  m.hwFailures,
 	}
 	m.mu.Unlock()
 	st.PerAlgo = m.snapshotPerAlgo()
@@ -566,9 +568,13 @@ func (s *Server) execute(job *Job) {
 	job.entry.pool.Release(sys)
 	if err != nil {
 		s.met.addFailed()
+		if errors.Is(err, gts.ErrHardwareFault) {
+			s.met.addHWFailure()
+		}
 		job.fail(err, JobFailed)
 		return
 	}
+	s.met.addFaults(m.Faults)
 	res := &Result{
 		Graph:   job.req.Graph,
 		Algo:    job.req.Algo,

@@ -27,6 +27,7 @@ type Graph struct {
 	numVertices uint64
 	numEdges    uint64
 	pages       [][]byte
+	sums        []uint32 // per-page CRC-32, parallel to pages
 	rvt         []RVTEntry
 	kinds       []Kind
 	spIDs       []PageID
@@ -152,6 +153,7 @@ func Build(src Source, cfg Config) (*Graph, error) {
 		}
 		g.pages[pid] = w.finish()
 	}
+	g.computeChecksums()
 	return g, nil
 }
 

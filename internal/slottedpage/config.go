@@ -40,6 +40,11 @@ type Config struct {
 // (1 byte), reserved (3 bytes).
 const headerSize = 8
 
+// maxPageSize caps PageSize at 256 MB — four times the paper's largest
+// (64 MB) configuration. The bound keeps a hostile store header from
+// demanding arbitrarily large page allocations during decode.
+const maxPageSize = 1 << 28
+
 // Config presets matching the paper's Table 3 usage, with page sizes scaled
 // so that the scaled-down datasets produce comparable page counts.
 func configWith(p, q, pageSize int) Config {
@@ -70,6 +75,8 @@ func (c Config) Validate() error {
 	switch {
 	case c.PageSize < headerSize+64:
 		return fmt.Errorf("slottedpage: page size %d too small", c.PageSize)
+	case c.PageSize > maxPageSize:
+		return fmt.Errorf("slottedpage: page size %d exceeds limit %d", c.PageSize, maxPageSize)
 	case c.PIDBytes < 1 || c.PIDBytes > 8:
 		return fmt.Errorf("slottedpage: p = %d out of range [1,8]", c.PIDBytes)
 	case c.SlotBytes < 1 || c.SlotBytes > 8:
@@ -94,11 +101,23 @@ func (c Config) RIDBytes() int { return c.PIDBytes + c.SlotBytes }
 func (c Config) SlotSize() int { return c.VIDBytes + c.OffBytes }
 
 // MaxPages is the number of distinct pages addressable by a p-byte page ID.
-func (c Config) MaxPages() uint64 { return maxUint(c.PIDBytes) + 1 }
+// At p=8 the true count (2^64) is not representable; the maximum uint64
+// stands in, which is unreachable in practice anyway.
+func (c Config) MaxPages() uint64 {
+	if c.PIDBytes >= 8 {
+		return ^uint64(0)
+	}
+	return maxUint(c.PIDBytes) + 1
+}
 
 // MaxSlotNumber is the number of distinct slots addressable by a q-byte slot
-// number.
-func (c Config) MaxSlotNumber() uint64 { return maxUint(c.SlotBytes) + 1 }
+// number (saturating at the maximum uint64 for q=8, like MaxPages).
+func (c Config) MaxSlotNumber() uint64 {
+	if c.SlotBytes >= 8 {
+		return ^uint64(0)
+	}
+	return maxUint(c.SlotBytes) + 1
+}
 
 // MaxSlotsPerPage is how many slots physically fit in a page of this size,
 // additionally capped by the q-byte slot-number space.

@@ -112,7 +112,32 @@ func (g *Graph) encodedSize() int64 {
 	return n
 }
 
-// Read deserializes a graph written by WriteTo, validating its checksum.
+// readChunk is the allocation granularity for header-declared arrays. A
+// hostile header can declare any element count; allocating per chunk as
+// bytes actually arrive means a truncated or lying stream fails with a
+// read error after at most one chunk of waste, never an OOM.
+const readChunk = 1 << 16
+
+// readUint32s reads count little-endian uint32s with chunked allocation.
+func readUint32s(r io.Reader, count uint64) ([]uint32, error) {
+	out := make([]uint32, 0, min(count, readChunk))
+	for count > 0 {
+		n := min(count, readChunk)
+		buf := make([]uint32, n)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+		count -= n
+	}
+	return out, nil
+}
+
+// Read deserializes a graph written by WriteTo, validating its whole-file
+// checksum, per-page checksums, and full structural consistency
+// (Graph.Validate). It is safe on arbitrary input: malformed, truncated,
+// or hostile streams produce an error, never a panic or an unbounded
+// allocation.
 func Read(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	cr := &crcReader{r: br, crc: crc32.NewIEEE()}
@@ -131,6 +156,11 @@ func Read(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("slottedpage: reading header: %w", err)
 		}
 	}
+	for _, w := range hdr[:6] {
+		if w > uint64(maxPageSize) {
+			return nil, fmt.Errorf("slottedpage: header field %d out of range", w)
+		}
+	}
 	g := &Graph{
 		cfg: Config{
 			PageSize: int(hdr[0]), PIDBytes: int(hdr[1]), SlotBytes: int(hdr[2]),
@@ -142,43 +172,57 @@ func Read(r io.Reader) (*Graph, error) {
 	if err := g.cfg.Validate(); err != nil {
 		return nil, err
 	}
-	numPages := int(hdr[8])
-	g.rvt = make([]RVTEntry, numPages)
-	for i := range g.rvt {
-		if err := read(&g.rvt[i].StartVID); err != nil {
-			return nil, err
-		}
-		if err := read(&g.rvt[i].LPSeq); err != nil {
-			return nil, err
-		}
+	numPages := hdr[8]
+	if numPages > g.cfg.MaxPages() {
+		return nil, fmt.Errorf("slottedpage: %d pages exceed p=%d capacity %d",
+			numPages, g.cfg.PIDBytes, g.cfg.MaxPages())
 	}
-	kb := make([]byte, numPages)
-	if err := read(kb); err != nil {
-		return nil, err
+	g.rvt = make([]RVTEntry, 0, min(numPages, readChunk))
+	for i := uint64(0); i < numPages; i++ {
+		var e RVTEntry
+		if err := read(&e.StartVID); err != nil {
+			return nil, fmt.Errorf("slottedpage: reading RVT: %w", err)
+		}
+		if err := read(&e.LPSeq); err != nil {
+			return nil, fmt.Errorf("slottedpage: reading RVT: %w", err)
+		}
+		g.rvt = append(g.rvt, e)
 	}
-	g.kinds = make([]Kind, numPages)
-	for i, b := range kb {
-		g.kinds[i] = Kind(b)
-		if g.kinds[i] == SmallPage {
+	g.kinds = make([]Kind, 0, min(numPages, readChunk))
+	for rest := numPages; rest > 0; {
+		kb := make([]byte, min(rest, readChunk))
+		if err := read(kb); err != nil {
+			return nil, fmt.Errorf("slottedpage: reading kinds: %w", err)
+		}
+		for _, b := range kb {
+			if k := Kind(b); k != SmallPage && k != LargePage {
+				return nil, fmt.Errorf("%w: unknown page kind %d", ErrInvalidPage, b)
+			}
+			g.kinds = append(g.kinds, Kind(b))
+		}
+		rest -= uint64(len(kb))
+	}
+	for i, k := range g.kinds {
+		if k == SmallPage {
 			g.spIDs = append(g.spIDs, PageID(i))
 		} else {
 			g.lpIDs = append(g.lpIDs, PageID(i))
 		}
 	}
-	g.homePID = make([]uint32, g.numVertices)
-	g.homeSlot = make([]uint32, g.numVertices)
-	if err := read(g.homePID); err != nil {
-		return nil, err
+	var err error
+	if g.homePID, err = readUint32s(cr, g.numVertices); err != nil {
+		return nil, fmt.Errorf("slottedpage: reading home PIDs: %w", err)
 	}
-	if err := read(g.homeSlot); err != nil {
-		return nil, err
+	if g.homeSlot, err = readUint32s(cr, g.numVertices); err != nil {
+		return nil, fmt.Errorf("slottedpage: reading home slots: %w", err)
 	}
-	g.pages = make([][]byte, numPages)
-	for i := range g.pages {
-		g.pages[i] = make([]byte, g.cfg.PageSize)
-		if _, err := io.ReadFull(cr, g.pages[i]); err != nil {
+	g.pages = make([][]byte, 0, min(numPages, readChunk))
+	for i := uint64(0); i < numPages; i++ {
+		pg := make([]byte, g.cfg.PageSize)
+		if _, err := io.ReadFull(cr, pg); err != nil {
 			return nil, fmt.Errorf("slottedpage: reading page %d: %w", i, err)
 		}
+		g.pages = append(g.pages, pg)
 	}
 	want := cr.crc.Sum32()
 	var got uint32
@@ -188,6 +232,10 @@ func Read(r io.Reader) (*Graph, error) {
 	if got != want {
 		return nil, ErrChecksum
 	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g.computeChecksums()
 	return g, nil
 }
 

@@ -25,10 +25,12 @@ const (
 	Kernel                // kernel execution
 	StorageIO             // SSD/HDD fetch into the main-memory buffer
 	Sync                  // WA synchronization back to the host
+	Fault                 // injected fault (zero-duration marker at the injection instant)
+	Retry                 // recovery re-attempt (zero-duration marker)
 )
 
 // NumKinds is the count of span kinds (for Summary.Busy indexing).
-const NumKinds = int(Sync) + 1
+const NumKinds = int(Retry) + 1
 
 // String names the kind.
 func (k Kind) String() string {
@@ -41,6 +43,10 @@ func (k Kind) String() string {
 		return "kernel"
 	case StorageIO:
 		return "io"
+	case Fault:
+		return "fault"
+	case Retry:
+		return "retry"
 	default:
 		return "sync"
 	}
