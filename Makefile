@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test test-race vet fuzz bench ci
+.PHONY: build test test-race vet fuzz bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,12 @@ test: build
 	$(GO) test ./...
 
 # The concurrency-bearing packages (the gtsd service layer, the shared
-# trace recorder, and the root package's System/SystemPool guards) must
-# stay clean under the race detector. The chaos test (fault-injected gtsd
-# under concurrent clients) runs here too.
+# trace recorder, the host-parallel kernel path in internal/core, and the
+# root package's System/SystemPool guards) must stay clean under the race
+# detector. The chaos test (fault-injected gtsd under concurrent clients)
+# runs here too.
 test-race:
-	$(GO) test -race ./internal/service ./internal/trace
+	$(GO) test -race ./internal/core/... ./internal/service/... ./internal/trace
 	$(GO) test -race -run 'System|Pool|Open|Concurrent|Chaos' .
 
 vet:
@@ -34,4 +35,10 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-ci: build test test-race vet fuzz
+# bench-smoke writes the per-kernel regression record BENCH_<rev>.json at a
+# tiny scale: fast enough for CI, real enough to track the wall-clock and
+# allocation trajectory across revisions.
+bench-smoke: build
+	$(GO) run ./cmd/gtsbench -json -shrink 16 -bench-runs 3
+
+ci: build test test-race vet fuzz bench-smoke

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	gts "repro"
+)
+
+// benchEntry is one kernel x worker-count measurement in the regression
+// record: real wall-clock cost (whole run and functional-kernel share),
+// virtual-time throughput, and the allocation profile of one run.
+type benchEntry struct {
+	Kernel string `json:"kernel"`
+	// Workers is the host worker-pool size the runs executed with.
+	Workers int `json:"workers"`
+	// WallSeconds is the mean real time of one full engine run;
+	// HostKernelSeconds is the share spent in functional kernel execution —
+	// the part HostWorkers parallelizes.
+	WallSeconds       float64 `json:"wall_seconds"`
+	HostKernelSeconds float64 `json:"host_kernel_seconds"`
+	// VirtualSeconds and MTEPS come from the deterministic hardware model
+	// and are identical at every worker count.
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	MTEPS          float64 `json:"mteps"`
+	// AllocsPerOp and BytesPerOp are heap allocations per full run.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+	Runs        int    `json:"runs"`
+}
+
+// benchReport is the BENCH_<rev>.json document.
+type benchReport struct {
+	Rev        string       `json:"rev"`
+	Date       string       `json:"date"`
+	Dataset    string       `json:"dataset"`
+	Shrink     int          `json:"shrink"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Entries    []benchEntry `json:"entries"`
+}
+
+// gitRev resolves the short commit hash, or "dev" outside a git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// benchKernels are the kernels the regression record tracks, run through
+// the public System API so the measurement covers the same path users hit.
+var benchKernels = []struct {
+	name string
+	run  func(sys *gts.System) (gts.Metrics, error)
+}{
+	{"BFS", func(sys *gts.System) (gts.Metrics, error) {
+		res, err := sys.BFS(0)
+		if err != nil {
+			return gts.Metrics{}, err
+		}
+		return res.Metrics, nil
+	}},
+	{"PageRank", func(sys *gts.System) (gts.Metrics, error) {
+		res, err := sys.PageRank(0.85, 5)
+		if err != nil {
+			return gts.Metrics{}, err
+		}
+		return res.Metrics, nil
+	}},
+	{"CC", func(sys *gts.System) (gts.Metrics, error) {
+		res, err := sys.CC()
+		if err != nil {
+			return gts.Metrics{}, err
+		}
+		return res.Metrics, nil
+	}},
+	{"BC", func(sys *gts.System) (gts.Metrics, error) {
+		res, err := sys.BC(0)
+		if err != nil {
+			return gts.Metrics{}, err
+		}
+		return res.Metrics, nil
+	}},
+}
+
+// benchWorkerCounts returns the host worker-pool sizes to sweep: always the
+// serial baseline, plus GOMAXPROCS when the machine has more than one CPU.
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// measureKernel runs one kernel `runs` times at the given worker count and
+// averages wall-clock, host-kernel time, and per-run heap allocations.
+func measureKernel(g *gts.Graph, name string, run func(*gts.System) (gts.Metrics, error), workers, runs int) (benchEntry, error) {
+	sys, err := gts.NewSystem(g, gts.Config{HostWorkers: workers})
+	if err != nil {
+		return benchEntry{}, err
+	}
+	// Warm up once so pools and caches are populated before measuring.
+	if _, err := run(sys); err != nil {
+		return benchEntry{}, err
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	var wall, hostKernel time.Duration
+	var last gts.Metrics
+	for i := 0; i < runs; i++ {
+		t0 := time.Now()
+		m, err := run(sys)
+		if err != nil {
+			return benchEntry{}, err
+		}
+		wall += time.Since(t0)
+		hostKernel += m.HostKernelWall
+		last = m
+	}
+	runtime.ReadMemStats(&ms1)
+	return benchEntry{
+		Kernel:            name,
+		Workers:           workers,
+		WallSeconds:       wall.Seconds() / float64(runs),
+		HostKernelSeconds: hostKernel.Seconds() / float64(runs),
+		VirtualSeconds:    last.Elapsed.Seconds(),
+		MTEPS:             last.MTEPS,
+		AllocsPerOp:       (ms1.Mallocs - ms0.Mallocs) / uint64(runs),
+		BytesPerOp:        (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(runs),
+		Runs:              runs,
+	}, nil
+}
+
+// runBenchJSON executes the regression suite and writes BENCH_<rev>.json
+// into outDir, returning the path written.
+func runBenchJSON(dataset string, shrink, runs int, outDir string) (string, error) {
+	g, err := gts.Generate(dataset, shrink)
+	if err != nil {
+		return "", err
+	}
+	rep := benchReport{
+		Rev:        gitRev(),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Dataset:    dataset,
+		Shrink:     shrink,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, bk := range benchKernels {
+		for _, workers := range benchWorkerCounts() {
+			e, err := measureKernel(g, bk.name, bk.run, workers, runs)
+			if err != nil {
+				return "", fmt.Errorf("%s workers=%d: %w", bk.name, workers, err)
+			}
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(outDir, "BENCH_"+rep.Rev+".json")
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

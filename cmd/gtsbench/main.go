@@ -6,6 +6,7 @@
 //	gtsbench -exp all                 # every experiment, paper order
 //	gtsbench -exp fig6 -shrink 13     # one experiment at a given scale
 //	gtsbench -exp fig9 -csv out/      # also write CSV files
+//	gtsbench -json -shrink 16         # write BENCH_<rev>.json regression record
 package main
 
 import (
@@ -24,7 +25,21 @@ func main() {
 	iters := flag.Int("iters", 10, "PageRank iterations (paper: 10)")
 	csvDir := flag.String("csv", "", "directory to additionally write per-experiment CSV files to")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonMode := flag.Bool("json", false, "run the per-kernel regression suite and write BENCH_<rev>.json instead of experiments")
+	benchDataset := flag.String("bench-dataset", "RMAT27", "dataset for -json mode")
+	benchRuns := flag.Int("bench-runs", 3, "measured runs per kernel in -json mode")
+	benchOut := flag.String("bench-out", ".", "directory BENCH_<rev>.json is written to")
 	flag.Parse()
+
+	if *jsonMode {
+		path, err := runBenchJSON(*benchDataset, *shrink, *benchRuns, *benchOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gtsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gtsbench: wrote %s\n", path)
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -59,6 +59,7 @@ func main() {
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 	gpus := flag.Int("gpus", 1, "GPUs per pooled engine")
 	streams := flag.Int("streams", 0, "GPU streams per engine (0 = default 32)")
+	hostWorkers := flag.Int("host-workers", 0, "host goroutines executing kernel work per run (0 = GOMAXPROCS, 1 = serial; results identical at every setting)")
 	strategy := flag.String("strategy", "p", "multi-GPU strategy: p (performance) | s (scalability)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault-injection seed (chaos testing; replayable)")
 	faultTransfer := flag.Float64("fault-transfer", 0, "probability of a PCI-E transfer error per DMA [0,1]")
@@ -68,7 +69,7 @@ func main() {
 	faultOOM := flag.Int64("fault-oom", 0, "kernel-launch ordinal that fails with device OOM (0 = never)")
 	flag.Parse()
 
-	engineCfg := gts.Config{GPUs: *gpus, Streams: *streams}
+	engineCfg := gts.Config{GPUs: *gpus, Streams: *streams, HostWorkers: *hostWorkers}
 	if strings.EqualFold(*strategy, "s") {
 		engineCfg.Strategy = gts.StrategyS
 	}

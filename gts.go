@@ -20,6 +20,7 @@ package gts
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -108,6 +109,10 @@ type Config struct {
 	// byte-identical to a fault-free run — and returns an error wrapping
 	// ErrHardwareFault when a fault persists beyond the retry budget.
 	Faults *FaultPlan
+	// HostWorkers sizes the host goroutine pool executing the functional
+	// kernel work. 0 = GOMAXPROCS, 1 = serial. Results are byte-identical
+	// at every setting (see core.Options.HostWorkers).
+	HostWorkers int
 }
 
 // FaultPlan is a deterministic, seedable fault-injection plan (see
@@ -241,9 +246,10 @@ func (c Config) options() core.Options {
 		Technique:  c.Tech,
 		CacheBytes: c.CacheBytes,
 		MMBufBytes: c.MMBufBytes,
-		Prefetch:   c.Prefetch,
-		Trace:      c.Trace,
-		Faults:     c.Faults,
+		Prefetch:    c.Prefetch,
+		Trace:       c.Trace,
+		Faults:      c.Faults,
+		HostWorkers: c.HostWorkers,
 	}
 }
 
@@ -272,6 +278,12 @@ type Metrics struct {
 	// Faults counts injected hardware faults and recovery work (all zero
 	// unless Config.Faults is set).
 	Faults FaultStats
+	// HostWorkers is the host worker-pool size the run executed with, and
+	// HostKernelWall the real (not virtual) time spent in functional kernel
+	// execution on the host. HostKernelWall is excluded from JSON: it is a
+	// wall-clock observation, not part of the deterministic result.
+	HostWorkers    int           `json:",omitempty"`
+	HostKernelWall time.Duration `json:"-"`
 }
 
 func metricsOf(r *core.Report) Metrics {
@@ -287,9 +299,11 @@ func metricsOf(r *core.Report) Metrics {
 		KernelTime:    r.KernelTime,
 		WABytes:       r.WABytes,
 		MTEPS:         r.MTEPS,
-		LevelPages:    r.LevelPages,
-		LevelBytes:    r.LevelBytes,
-		Faults:        r.Faults,
+		LevelPages:     r.LevelPages,
+		LevelBytes:     r.LevelBytes,
+		Faults:         r.Faults,
+		HostWorkers:    r.HostWorkers,
+		HostKernelWall: r.HostKernelWall,
 	}
 }
 

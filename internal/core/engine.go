@@ -14,6 +14,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/hw"
@@ -93,11 +95,22 @@ type Options struct {
 	// perturb the simulated hardware, a recovered run's results are
 	// byte-identical to a fault-free run's.
 	Faults *fault.Plan
+	// HostWorkers sizes the pool of host goroutines that execute the
+	// functional kernel work of each phase (mirroring the simulated stream
+	// slots). 0 (the default) uses GOMAXPROCS; 1 forces the serial path.
+	// Results are byte-identical at every setting: pages gather in parallel
+	// against phase-start state and their deferred writes are applied in the
+	// same deterministic (GPU, page) order the serial path uses. Kernels
+	// that cannot gather safely (SSSP) always run serially.
+	HostWorkers int
 }
 
 func (o Options) withDefaults() Options {
 	if o.Streams == 0 {
 		o.Streams = 32
+	}
+	if o.HostWorkers == 0 {
+		o.HostWorkers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -105,6 +118,9 @@ func (o Options) withDefaults() Options {
 func (o Options) validate() error {
 	if o.Streams < 1 || o.Streams > 32 {
 		return fmt.Errorf("core: %d streams out of range [1,32]", o.Streams)
+	}
+	if o.HostWorkers < 1 || o.HostWorkers > 1024 {
+		return fmt.Errorf("core: %d host workers out of range [1,1024]", o.HostWorkers)
 	}
 	if err := o.Faults.Validate(); err != nil {
 		return err
@@ -155,6 +171,13 @@ type Report struct {
 	// (retries, recoveries, degradations) the run performed. All zero
 	// when Options.Faults is nil.
 	Faults fault.Stats
+	// HostWorkers is the host worker-pool size the run executed with
+	// (Options.HostWorkers after defaulting).
+	HostWorkers int
+	// HostKernelWall is the real (not virtual) wall-clock time the host
+	// spent in functional kernel execution — the quantity HostWorkers
+	// parallelism shrinks. Measured around each phase's precompute.
+	HostKernelWall time.Duration
 }
 
 // Engine runs kernels over one graph on one machine specification. Each Run

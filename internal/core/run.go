@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/fault"
@@ -37,6 +39,21 @@ type run struct {
 	// in deterministic (GPU, page) order before the streams start (see phase).
 	kres map[pageKey]kernels.Result
 
+	// Host worker pool (see parallel.go). workers is Options.HostWorkers
+	// after defaulting; jobs, gatherRes and gatherDefs are per-phase scratch
+	// reused across waves; pidPool recycles page-ID bitsets (nextPIDSet
+	// locals and level frontiers); hostKernelWall accrues the real time
+	// spent in functional kernel execution.
+	workers        int
+	jobs           []pageKey
+	gatherRes      []kernels.Result
+	gatherDefs     []*kernels.Deferred
+	pidPool        sync.Pool
+	hostKernelWall time.Duration
+	// argScratch backs the serial paths' kernels.Args so passing &args to
+	// an interface method does not heap-allocate once per page.
+	argScratch kernels.Args
+
 	// Fault injection and recovery. The sim scheduler runs one process at
 	// a time, so these need no locking. abort latches the first
 	// unrecoverable error; streams poll it and wind down.
@@ -68,6 +85,9 @@ type run struct {
 // Run executes kernel k to completion and reports timing and metrics.
 func (e *Engine) Run(k kernels.Kernel) (*Report, error) {
 	r := &run{eng: e, k: k, env: sim.NewEnv(), inflight: map[slottedpage.PageID]*sim.Signal{}}
+	r.workers = e.opts.HostWorkers
+	numPages := e.graph.NumPages()
+	r.pidPool.New = func() any { return bitset.New(numPages) }
 	m, err := hw.NewMachine(r.env, e.spec, int64(e.graph.Config().PageSize))
 	if err != nil {
 		return nil, err
@@ -229,7 +249,7 @@ func (r *run) framework(p *sim.Proc) error {
 	}
 
 	bfsLike := k.Class() == kernels.BFSLike
-	next := bitset.New(numPages)
+	next := r.getPidSet()
 	if bfsLike {
 		home := g.HomeOf(e.opts.Source)
 		next.Set(int(home.PID))
@@ -246,14 +266,14 @@ func (r *run) framework(p *sim.Proc) error {
 	var levelSets []pidSet // forward per-level page sets, for the backward sweep
 
 	var level int32
+	locals := make([]pidSet, nGPU)
 	for {
 		if level > 32000 {
 			return fmt.Errorf("core: traversal exceeded 32000 levels (level vectors are int16)")
 		}
 		k.BeginLevel(r.states, level)
-		locals := make([]pidSet, nGPU)
 		for i := range locals {
-			locals[i] = bitset.New(numPages)
+			locals[i] = r.getPidSet()
 		}
 		beforePages, beforeBytes := r.pagesStreamed, r.bytesToGPU
 		anyActive := r.superstep(p, next, level, locals, false)
@@ -268,7 +288,7 @@ func (r *run) framework(p *sim.Proc) error {
 			if wantBackward {
 				levelSets = append(levelSets, next.Clone())
 			}
-			merged := bitset.New(numPages)
+			merged := r.getPidSet()
 			for _, l := range locals {
 				merged.Or(l)
 			}
@@ -278,6 +298,7 @@ func (r *run) framework(p *sim.Proc) error {
 					r.eng.expandLPRun(merged, slottedpage.PageID(pid))
 				}
 			})
+			r.putPidSet(next)
 			next = merged
 			level++
 			if !next.Any() {
@@ -294,10 +315,12 @@ func (r *run) framework(p *sim.Proc) error {
 			if r.abort != nil {
 				return r.abort
 			}
-			next = bitset.New(numPages)
-			for pid := 0; pid < numPages; pid++ {
-				next.Set(pid)
-			}
+			// Full-scan kernels revisit every page; next is already the
+			// full set, so it carries over unchanged.
+		}
+		for i := range locals {
+			r.putPidSet(locals[i])
+			locals[i] = nil
 		}
 	}
 
@@ -307,12 +330,15 @@ func (r *run) framework(p *sim.Proc) error {
 		backKernel.BeginBackward(r.states, level-1)
 		for l := len(levelSets) - 1; l >= 0; l-- {
 			k.BeginLevel(r.states, int32(l))
-			locals := make([]pidSet, nGPU)
 			for i := range locals {
-				locals[i] = bitset.New(numPages)
+				locals[i] = r.getPidSet()
 			}
 			r.superstep(p, levelSets[l], int32(l), locals, true)
 			r.sync(p, int32(l), true)
+			for i := range locals {
+				r.putPidSet(locals[i])
+				locals[i] = nil
+			}
 			if r.abort != nil {
 				return r.abort
 			}

@@ -72,11 +72,14 @@ func (r *run) phase(p *sim.Proc, pages []slottedpage.PageID, level int32, locals
 		}
 	}
 	r.kres = make(map[pageKey]kernels.Result, nGPU*len(pages))
+	jobs := r.jobs[:0]
 	for i := 0; i < nGPU; i++ {
 		for _, pid := range parts[i] {
-			r.kres[pageKey{i, pid}] = r.runKernel(i, pid, level, locals[i], backward)
+			jobs = append(jobs, pageKey{i, pid})
 		}
 	}
+	r.jobs = jobs
+	r.computeKernels(jobs, level, locals, backward)
 
 	if r.eng.opts.Prefetch && !r.inMemory {
 		grp.Add(1)
@@ -112,33 +115,26 @@ func (r *run) phase(p *sim.Proc, pages []slottedpage.PageID, level int32, locals
 }
 
 // runKernel executes one (GPU, page) kernel functionally, mutating the
-// GPU's attribute state and next-page set. Called only from phase's
-// deterministic precompute loop.
+// GPU's attribute state and next-page set. Called only from computeKernels'
+// deterministic serial path.
 func (r *run) runKernel(gpuIdx int, pid slottedpage.PageID, level int32, local pidSet, backward bool) kernels.Result {
 	g := r.eng.graph
-	args := kernels.Args{
-		Graph:    g,
-		PID:      pid,
-		Page:     g.Page(pid),
-		State:    r.stateFor(gpuIdx),
-		Level:    level,
-		OwnedLo:  r.owned[gpuIdx][0],
-		OwnedHi:  r.owned[gpuIdx][1],
-		Tech:     r.eng.opts.Technique,
-		NextPIDs: local,
-	}
+	// argScratch lives on the (already heap-allocated) run so the serial
+	// hot loop performs zero allocations per page.
+	r.argScratch = r.kernelArgs(gpuIdx, pid, level, local)
+	args := &r.argScratch
 	isLP := g.Kind(pid) == slottedpage.LargePage
 	if backward {
 		bk := r.k.(kernels.BackwardKernel)
 		if isLP {
-			return bk.RunLPBack(&args)
+			return bk.RunLPBack(args)
 		}
-		return bk.RunSPBack(&args)
+		return bk.RunSPBack(args)
 	}
 	if isLP {
-		return r.k.RunLP(&args)
+		return r.k.RunLP(args)
 	}
-	return r.k.RunSP(&args)
+	return r.k.RunSP(args)
 }
 
 // page handles one page on one GPU stream: the cache / main-memory-buffer /
@@ -393,6 +389,8 @@ func (r *run) report(elapsed sim.Time) *Report {
 		WABytes:        r.states[0].WABytes(),
 		LevelPages:     r.levelPages,
 		LevelBytes:     r.levelBytes,
+		HostWorkers:    r.workers,
+		HostKernelWall: r.hostKernelWall,
 	}
 	// Injection counts come from the injector, recovery counts from the
 	// run's policy; fstats' injection fields are zero, so Add merges cleanly.

@@ -1,6 +1,10 @@
 package kernels
 
-import "repro/internal/slottedpage"
+import (
+	"math"
+
+	"repro/internal/slottedpage"
+)
 
 // BC implements single-source betweenness centrality (Brandes) as the paper
 // evaluates it in Appendix D ("the single node mode"): a forward
@@ -92,7 +96,17 @@ func (k *BC) BeginBackward([]State, int32) {}
 
 // RunSP is the forward kernel: discover neighbors and accumulate shortest-
 // path counts across frontier edges.
-func (k *BC) RunSP(a *Args) Result {
+func (k *BC) RunSP(a *Args) Result { return k.runSP(a, nil) }
+
+// GatherSP implements GatherKernel: the frontier check reads dist at the
+// current level and sigma adds read sigma of frontier vertices — neither is
+// mutated by same-phase applies (writes touch level+1 vertices only). A
+// neighbor's dist is in {unvisited, level+1} at gather iff it is at apply
+// (the only same-phase transition is unvisited→level+1), so Apply can
+// re-run the serial discover-then-accumulate pair exactly.
+func (k *BC) GatherSP(a *Args, d *Deferred) Result { return k.runSP(a, d) }
+
+func (k *BC) runSP(a *Args, d *Deferred) Result {
 	s := a.State.(*bcState)
 	pg := a.Page
 	n := pg.NumSlots()
@@ -106,7 +120,7 @@ func (k *BC) RunSP(a *Args) Result {
 		}
 		adj := pg.Adj(slot)
 		lanes.add(adj.Len())
-		k.forward(a, s, vid, adj, level, &res)
+		k.forward(a, s, vid, adj, level, &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
@@ -114,7 +128,12 @@ func (k *BC) RunSP(a *Args) Result {
 }
 
 // RunLP is the forward kernel for a large vertex's page-local adjacency.
-func (k *BC) RunLP(a *Args) Result {
+func (k *BC) RunLP(a *Args) Result { return k.runLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *BC) GatherLP(a *Args, d *Deferred) Result { return k.runLP(a, d) }
+
+func (k *BC) runLP(a *Args, d *Deferred) Result {
 	s := a.State.(*bcState)
 	vid, _ := a.Page.Slot(0)
 	var lanes laneAcc
@@ -122,18 +141,24 @@ func (k *BC) RunLP(a *Args) Result {
 	if s.dist[vid] == int16(a.Level) {
 		adj := a.Page.Adj(0)
 		lanes.add(adj.Len())
-		k.forward(a, s, vid, adj, int16(a.Level), &res)
+		k.forward(a, s, vid, adj, int16(a.Level), &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
 	return res
 }
 
-func (k *BC) forward(a *Args, s *bcState, vid uint64, adj slottedpage.AdjView, level int16, res *Result) {
+func (k *BC) forward(a *Args, s *bcState, vid uint64, adj slottedpage.AdjView, level int16, res *Result, d *Deferred) {
 	for i := 0; i < adj.Len(); i++ {
 		rid := adj.At(i)
 		nvid := k.g.VIDOf(rid)
 		if !a.owns(nvid) {
+			continue
+		}
+		if d != nil {
+			if s.dist[nvid] == unvisited || s.dist[nvid] == level+1 {
+				d.push(Op{Idx: nvid, Val: math.Float64bits(s.sigma[vid]), PID: int32(rid.PID)})
+			}
 			continue
 		}
 		if s.dist[nvid] == unvisited {
@@ -148,10 +173,36 @@ func (k *BC) forward(a *Args, s *bcState, vid uint64, adj slottedpage.AdjView, l
 	}
 }
 
+// Apply implements GatherKernel: replay the serial discover/accumulate pair
+// per deferred edge against live state.
+func (k *BC) Apply(a *Args, d *Deferred, res *Result) {
+	s := a.State.(*bcState)
+	level := int16(a.Level)
+	for _, op := range d.Ops {
+		if s.dist[op.Idx] == unvisited {
+			s.dist[op.Idx] = level + 1
+			a.NextPIDs.Set(int(op.PID))
+			res.Active = true
+		}
+		if s.dist[op.Idx] == level+1 {
+			s.sigma[op.Idx] += math.Float64frombits(op.Val)
+			res.Updates++
+		}
+	}
+}
+
 // RunSPBack is the backward kernel: vertices at the current level pull
 // dependencies from their successors one level deeper (Brandes'
 // delta(v) = sum over successors w of sigma(v)/sigma(w) * (1 + delta(w))).
-func (k *BC) RunSPBack(a *Args) Result {
+func (k *BC) RunSPBack(a *Args) Result { return k.runSPBack(a, nil) }
+
+// GatherSPBack implements GatherBackwardKernel: the backward sweep reads
+// dist/sigma (frozen after the forward pass) and delta of level+1 vertices,
+// while it writes delta of level vertices — reads and writes are on
+// disjoint levels, so every term is phase-stable and defers exactly.
+func (k *BC) GatherSPBack(a *Args, d *Deferred) Result { return k.runSPBack(a, d) }
+
+func (k *BC) runSPBack(a *Args, d *Deferred) Result {
 	s := a.State.(*bcState)
 	pg := a.Page
 	n := pg.NumSlots()
@@ -165,7 +216,7 @@ func (k *BC) RunSPBack(a *Args) Result {
 		}
 		adj := pg.Adj(slot)
 		lanes.add(adj.Len())
-		k.backward(s, vid, adj, level, &res)
+		k.backward(s, vid, adj, level, &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
@@ -174,7 +225,12 @@ func (k *BC) RunSPBack(a *Args) Result {
 
 // RunLPBack is the backward kernel for a large vertex's page-local
 // adjacency.
-func (k *BC) RunLPBack(a *Args) Result {
+func (k *BC) RunLPBack(a *Args) Result { return k.runLPBack(a, nil) }
+
+// GatherLPBack implements GatherBackwardKernel.
+func (k *BC) GatherLPBack(a *Args, d *Deferred) Result { return k.runLPBack(a, d) }
+
+func (k *BC) runLPBack(a *Args, d *Deferred) Result {
 	s := a.State.(*bcState)
 	vid, _ := a.Page.Slot(0)
 	var lanes laneAcc
@@ -182,21 +238,36 @@ func (k *BC) RunLPBack(a *Args) Result {
 	if s.dist[vid] == int16(a.Level) && a.owns(vid) {
 		adj := a.Page.Adj(0)
 		lanes.add(adj.Len())
-		k.backward(s, vid, adj, int16(a.Level), &res)
+		k.backward(s, vid, adj, int16(a.Level), &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
 	return res
 }
 
-func (k *BC) backward(s *bcState, vid uint64, adj slottedpage.AdjView, level int16, res *Result) {
+func (k *BC) backward(s *bcState, vid uint64, adj slottedpage.AdjView, level int16, res *Result, d *Deferred) {
 	for i := 0; i < adj.Len(); i++ {
 		nvid := k.g.VIDOf(adj.At(i))
 		if s.dist[nvid] == level+1 && s.sigma[nvid] > 0 {
+			if d != nil {
+				d.push(Op{Idx: vid, Val: math.Float64bits(s.sigma[vid] / s.sigma[nvid] * (1 + s.delta[nvid]))})
+				continue
+			}
 			s.delta[vid] += s.sigma[vid] / s.sigma[nvid] * (1 + s.delta[nvid])
 			res.Updates++
 			res.Active = true
 		}
+	}
+}
+
+// ApplyBack implements GatherBackwardKernel: replay the dependency adds in
+// recorded order.
+func (k *BC) ApplyBack(a *Args, d *Deferred, res *Result) {
+	s := a.State.(*bcState)
+	for _, op := range d.Ops {
+		s.delta[op.Idx] += math.Float64frombits(op.Val)
+		res.Updates++
+		res.Active = true
 	}
 }
 

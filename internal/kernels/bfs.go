@@ -59,7 +59,14 @@ func (k *BFS) BeginLevel([]State, int32) {}
 // RunSP implements K_BFS_SP (Algorithm 2): each warp takes one slot; if the
 // vertex is on the current frontier its adjacency expands, discovering
 // unvisited neighbors and marking their pages in the local nextPIDSet.
-func (k *BFS) RunSP(a *Args) Result {
+func (k *BFS) RunSP(a *Args) Result { return k.runSP(a, nil) }
+
+// GatherSP implements GatherKernel: the frontier check (lv == level) and
+// lane counts are phase-stable (same-phase writes only move vertices from
+// unvisited to level+1), so cycles and edges are exact; discoveries defer.
+func (k *BFS) GatherSP(a *Args, d *Deferred) Result { return k.runSP(a, d) }
+
+func (k *BFS) runSP(a *Args, d *Deferred) Result {
 	s := a.State.(*bfsState)
 	pg := a.Page
 	n := pg.NumSlots()
@@ -73,7 +80,7 @@ func (k *BFS) RunSP(a *Args) Result {
 		}
 		adj := pg.Adj(slot)
 		lanes.add(adj.Len())
-		k.expand(a, s, adj, level, &res)
+		k.expand(a, s, adj, level, &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
@@ -82,7 +89,12 @@ func (k *BFS) RunSP(a *Args) Result {
 
 // RunLP implements K_BFS_LP (Algorithm 3): the page holds one frontier
 // vertex's partial adjacency, expanded by many warps together.
-func (k *BFS) RunLP(a *Args) Result {
+func (k *BFS) RunLP(a *Args) Result { return k.runLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *BFS) GatherLP(a *Args, d *Deferred) Result { return k.runLP(a, d) }
+
+func (k *BFS) runLP(a *Args, d *Deferred) Result {
 	s := a.State.(*bfsState)
 	vid, _ := a.Page.Slot(0)
 	var res Result
@@ -90,7 +102,7 @@ func (k *BFS) RunLP(a *Args) Result {
 	if s.lv[vid] == int16(a.Level) {
 		adj := a.Page.Adj(0)
 		lanes.add(adj.Len())
-		k.expand(a, s, adj, int16(a.Level), &res)
+		k.expand(a, s, adj, int16(a.Level), &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
@@ -98,8 +110,10 @@ func (k *BFS) RunLP(a *Args) Result {
 }
 
 // expand is the expand_warp device routine: visit every adjacency entry,
-// set LV and the next page set for undiscovered neighbors.
-func (k *BFS) expand(a *Args, s *bfsState, adj slottedpage.AdjView, level int16, res *Result) {
+// set LV and the next page set for undiscovered neighbors. With d non-nil
+// the discoveries are deferred instead of committed: unvisited-at-gather is
+// a superset of unvisited-at-apply, and Apply re-tests.
+func (k *BFS) expand(a *Args, s *bfsState, adj slottedpage.AdjView, level int16, res *Result, d *Deferred) {
 	for i := 0; i < adj.Len(); i++ {
 		rid := adj.At(i)
 		nvid := k.g.VIDOf(rid)
@@ -107,11 +121,30 @@ func (k *BFS) expand(a *Args, s *bfsState, adj slottedpage.AdjView, level int16,
 			continue
 		}
 		if s.lv[nvid] == unvisited {
+			if d != nil {
+				d.push(Op{Idx: nvid, Val: uint64(level + 1), PID: int32(rid.PID)})
+				continue
+			}
 			s.lv[nvid] = level + 1
 			a.NextPIDs.Set(int(rid.PID))
 			res.Updates++
 			res.Active = true
 		}
+	}
+}
+
+// Apply implements GatherKernel: commit still-unvisited discoveries in
+// recorded order.
+func (k *BFS) Apply(a *Args, d *Deferred, res *Result) {
+	s := a.State.(*bfsState)
+	for _, op := range d.Ops {
+		if s.lv[op.Idx] != unvisited {
+			continue
+		}
+		s.lv[op.Idx] = int16(op.Val)
+		a.NextPIDs.Set(int(op.PID))
+		res.Updates++
+		res.Active = true
 	}
 }
 

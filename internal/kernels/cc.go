@@ -64,7 +64,15 @@ func (k *CC) BeginLevel([]State, int32) {}
 // RunSP propagates labels across each edge in both directions: the
 // neighbor inherits the vertex's label and vice versa, whichever is
 // smaller.
-func (k *CC) RunSP(a *Args) Result {
+func (k *CC) RunSP(a *Args) Result { return k.runSP(a, nil) }
+
+// GatherSP implements GatherKernel: candidate labels read only prev
+// (stable per iteration); the min-writes to next are conditional-monotone,
+// so gather-time candidates are a superset of serial writes and Apply
+// re-tests against live state.
+func (k *CC) GatherSP(a *Args, d *Deferred) Result { return k.runSP(a, d) }
+
+func (k *CC) runSP(a *Args, d *Deferred) Result {
 	s := a.State.(*ccState)
 	pg := a.Page
 	n := pg.NumSlots()
@@ -74,7 +82,7 @@ func (k *CC) RunSP(a *Args) Result {
 		vid, _ := pg.Slot(slot)
 		adj := pg.Adj(slot)
 		lanes.add(adj.Len())
-		k.propagate(a, s, vid, adj, &res)
+		k.propagate(a, s, vid, adj, &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
@@ -82,30 +90,55 @@ func (k *CC) RunSP(a *Args) Result {
 }
 
 // RunLP propagates labels for one large vertex's page-local adjacency.
-func (k *CC) RunLP(a *Args) Result {
+func (k *CC) RunLP(a *Args) Result { return k.runLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *CC) GatherLP(a *Args, d *Deferred) Result { return k.runLP(a, d) }
+
+func (k *CC) runLP(a *Args, d *Deferred) Result {
 	s := a.State.(*ccState)
 	vid, _ := a.Page.Slot(0)
 	adj := a.Page.Adj(0)
 	var lanes laneAcc
 	lanes.add(adj.Len())
 	var res Result
-	k.propagate(a, s, vid, adj, &res)
+	k.propagate(a, s, vid, adj, &res, d)
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
 	return res
 }
 
-func (k *CC) propagate(a *Args, s *ccState, vid uint64, adj slottedpage.AdjView, res *Result) {
+func (k *CC) propagate(a *Args, s *ccState, vid uint64, adj slottedpage.AdjView, res *Result, d *Deferred) {
 	cv := s.prev[vid]
 	for i := 0; i < adj.Len(); i++ {
 		nvid := k.g.VIDOf(adj.At(i))
 		if a.owns(nvid) && cv < s.next[nvid] {
-			s.next[nvid] = cv
-			res.Updates++
-			res.Active = true
+			if d != nil {
+				d.push(Op{Idx: nvid, Val: uint64(cv)})
+			} else {
+				s.next[nvid] = cv
+				res.Updates++
+				res.Active = true
+			}
 		}
 		if cn := s.prev[nvid]; a.owns(vid) && cn < s.next[vid] {
-			s.next[vid] = cn
+			if d != nil {
+				d.push(Op{Idx: vid, Val: uint64(cn)})
+			} else {
+				s.next[vid] = cn
+				res.Updates++
+				res.Active = true
+			}
+		}
+	}
+}
+
+// Apply implements GatherKernel: commit the still-smaller labels in order.
+func (k *CC) Apply(a *Args, d *Deferred, res *Result) {
+	s := a.State.(*ccState)
+	for _, op := range d.Ops {
+		if c := uint32(op.Val); c < s.next[op.Idx] {
+			s.next[op.Idx] = c
 			res.Updates++
 			res.Active = true
 		}

@@ -1,6 +1,10 @@
 package kernels
 
-import "repro/internal/slottedpage"
+import (
+	"math"
+
+	"repro/internal/slottedpage"
+)
 
 // This file implements the further algorithms the paper's §3.3 lists in its
 // two classes beyond the evaluated five: Random Walk with Restart and
@@ -89,7 +93,13 @@ func (k *RWR) Init(st State, source uint64) {
 func (k *RWR) BeginLevel([]State, int32) {}
 
 // RunSP scatters (1-c) * prev[v]/deg(v) along out-edges.
-func (k *RWR) RunSP(a *Args) Result {
+func (k *RWR) RunSP(a *Args) Result { return k.runSP(a, nil) }
+
+// GatherSP implements GatherKernel: contributions read only prev (stable
+// for the iteration); Apply replays the float32 adds in serial order.
+func (k *RWR) GatherSP(a *Args, d *Deferred) Result { return k.runSP(a, d) }
+
+func (k *RWR) runSP(a *Args, d *Deferred) Result {
 	s := a.State.(*rwrState)
 	pg := a.Page
 	n := pg.NumSlots()
@@ -99,20 +109,13 @@ func (k *RWR) RunSP(a *Args) Result {
 	for slot := 0; slot < n; slot++ {
 		vid, _ := pg.Slot(slot)
 		adj := pg.Adj(slot)
-		d := adj.Len()
-		lanes.add(d)
-		if d == 0 || s.prev[vid] == 0 {
+		deg := adj.Len()
+		lanes.add(deg)
+		if deg == 0 || s.prev[vid] == 0 {
 			continue
 		}
-		contrib := walk * s.prev[vid] / float32(d)
-		for i := 0; i < d; i++ {
-			nvid := k.g.VIDOf(adj.At(i))
-			if !a.owns(nvid) {
-				continue
-			}
-			s.next[nvid] += contrib
-			res.Updates++
-		}
+		contrib := walk * s.prev[vid] / float32(deg)
+		k.scatter(a, s, adj, contrib, &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
@@ -121,7 +124,12 @@ func (k *RWR) RunSP(a *Args) Result {
 }
 
 // RunLP scatters one large vertex's page-local portion.
-func (k *RWR) RunLP(a *Args) Result {
+func (k *RWR) RunLP(a *Args) Result { return k.runLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *RWR) GatherLP(a *Args, d *Deferred) Result { return k.runLP(a, d) }
+
+func (k *RWR) runLP(a *Args, d *Deferred) Result {
 	s := a.State.(*rwrState)
 	vid, _ := a.Page.Slot(0)
 	adj := a.Page.Adj(0)
@@ -130,19 +138,36 @@ func (k *RWR) RunLP(a *Args) Result {
 	var res Result
 	if s.prev[vid] != 0 {
 		contrib := float32(1-k.restart) * s.prev[vid] / float32(k.lpDeg[vid])
-		for i := 0; i < adj.Len(); i++ {
-			nvid := k.g.VIDOf(adj.At(i))
-			if !a.owns(nvid) {
-				continue
-			}
-			s.next[nvid] += contrib
-			res.Updates++
-		}
+		k.scatter(a, s, adj, contrib, &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
 	res.Active = true
 	return res
+}
+
+func (k *RWR) scatter(a *Args, s *rwrState, adj slottedpage.AdjView, contrib float32, res *Result, d *Deferred) {
+	for i := 0; i < adj.Len(); i++ {
+		nvid := k.g.VIDOf(adj.At(i))
+		if !a.owns(nvid) {
+			continue
+		}
+		if d != nil {
+			d.push(Op{Idx: nvid, Val: uint64(math.Float32bits(contrib))})
+			continue
+		}
+		s.next[nvid] += contrib
+		res.Updates++
+	}
+}
+
+// Apply implements GatherKernel.
+func (k *RWR) Apply(a *Args, d *Deferred, res *Result) {
+	s := a.State.(*rwrState)
+	for _, op := range d.Ops {
+		s.next[op.Idx] += math.Float32frombits(uint32(op.Val))
+		res.Updates++
+	}
 }
 
 // MergeStates implements Kernel: base-relative additive merge, like
@@ -227,8 +252,22 @@ func (k *DegreeDist) Init(st State, _ uint64) {
 // BeginLevel implements Kernel.
 func (k *DegreeDist) BeginLevel([]State, int32) {}
 
+// degOpSet and degOpAdd discriminate DegreeDist's two deferred writes: SP
+// pages set a small vertex's degree outright; LP pages accumulate one large
+// vertex's page-local partial counts.
+const (
+	degOpSet OpKind = iota
+	degOpAdd
+)
+
 // RunSP records each slot's ADJLIST_SZ.
-func (k *DegreeDist) RunSP(a *Args) Result {
+func (k *DegreeDist) RunSP(a *Args) Result { return k.runSP(a, nil) }
+
+// GatherSP implements GatherKernel: degrees come straight from topology, so
+// every write defers unconditionally.
+func (k *DegreeDist) GatherSP(a *Args, d *Deferred) Result { return k.runSP(a, d) }
+
+func (k *DegreeDist) runSP(a *Args, d *Deferred) Result {
 	s := a.State.(*degState)
 	pg := a.Page
 	n := pg.NumSlots()
@@ -236,6 +275,10 @@ func (k *DegreeDist) RunSP(a *Args) Result {
 	for slot := 0; slot < n; slot++ {
 		vid, _ := pg.Slot(slot)
 		if !a.owns(vid) {
+			continue
+		}
+		if d != nil {
+			d.push(Op{Idx: vid, Val: uint64(pg.Adj(slot).Len()), Kind: degOpSet})
 			continue
 		}
 		s.deg[vid] = int32(pg.Adj(slot).Len())
@@ -248,18 +291,40 @@ func (k *DegreeDist) RunSP(a *Args) Result {
 }
 
 // RunLP accumulates an LP run's page-local counts.
-func (k *DegreeDist) RunLP(a *Args) Result {
+func (k *DegreeDist) RunLP(a *Args) Result { return k.runLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *DegreeDist) GatherLP(a *Args, d *Deferred) Result { return k.runLP(a, d) }
+
+func (k *DegreeDist) runLP(a *Args, d *Deferred) Result {
 	s := a.State.(*degState)
 	vid, _ := a.Page.Slot(0)
 	var res Result
 	if a.owns(vid) {
-		s.deg[vid] += int32(a.Page.Adj(0).Len())
-		res.Updates++
+		if d != nil {
+			d.push(Op{Idx: vid, Val: uint64(a.Page.Adj(0).Len()), Kind: degOpAdd})
+		} else {
+			s.deg[vid] += int32(a.Page.Adj(0).Len())
+			res.Updates++
+		}
 	}
 	var lanes laneAcc
 	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
 	res.Active = true
 	return res
+}
+
+// Apply implements GatherKernel.
+func (k *DegreeDist) Apply(a *Args, d *Deferred, res *Result) {
+	s := a.State.(*degState)
+	for _, op := range d.Ops {
+		if op.Kind == degOpAdd {
+			s.deg[op.Idx] += int32(op.Val)
+		} else {
+			s.deg[op.Idx] = int32(op.Val)
+		}
+		res.Updates++
+	}
 }
 
 // MergeStates implements Kernel: each replica touched disjoint pages, so
@@ -376,7 +441,13 @@ func (k *KCore) BeginLevel(sts []State, _ int32) {
 }
 
 // RunSP counts alive neighbors across each edge in both directions.
-func (k *KCore) RunSP(a *Args) Result {
+func (k *KCore) RunSP(a *Args) Result { return k.runSP(a, nil) }
+
+// GatherSP implements GatherKernel: alive flags only change in
+// EndIteration, never mid-phase, so the tallies defer unconditionally.
+func (k *KCore) GatherSP(a *Args, d *Deferred) Result { return k.runSP(a, d) }
+
+func (k *KCore) runSP(a *Args, d *Deferred) Result {
 	s := a.State.(*kcoreState)
 	pg := a.Page
 	n := pg.NumSlots()
@@ -386,7 +457,7 @@ func (k *KCore) RunSP(a *Args) Result {
 		vid, _ := pg.Slot(slot)
 		adj := pg.Adj(slot)
 		lanes.add(adj.Len())
-		k.tally(a, s, vid, adj, &res)
+		k.tally(a, s, vid, adj, &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
@@ -395,31 +466,53 @@ func (k *KCore) RunSP(a *Args) Result {
 }
 
 // RunLP counts one large vertex's page-local adjacency.
-func (k *KCore) RunLP(a *Args) Result {
+func (k *KCore) RunLP(a *Args) Result { return k.runLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *KCore) GatherLP(a *Args, d *Deferred) Result { return k.runLP(a, d) }
+
+func (k *KCore) runLP(a *Args, d *Deferred) Result {
 	s := a.State.(*kcoreState)
 	vid, _ := a.Page.Slot(0)
 	adj := a.Page.Adj(0)
 	var lanes laneAcc
 	lanes.add(adj.Len())
 	var res Result
-	k.tally(a, s, vid, adj, &res)
+	k.tally(a, s, vid, adj, &res, d)
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
 	res.Active = true
 	return res
 }
 
-func (k *KCore) tally(a *Args, s *kcoreState, vid uint64, adj slottedpage.AdjView, res *Result) {
+func (k *KCore) tally(a *Args, s *kcoreState, vid uint64, adj slottedpage.AdjView, res *Result, d *Deferred) {
 	for i := 0; i < adj.Len(); i++ {
 		nvid := k.g.VIDOf(adj.At(i))
 		if s.alive[vid] && a.owns(nvid) {
-			s.count[nvid]++
-			res.Updates++
+			if d != nil {
+				d.push(Op{Idx: nvid})
+			} else {
+				s.count[nvid]++
+				res.Updates++
+			}
 		}
 		if s.alive[nvid] && a.owns(vid) {
-			s.count[vid]++
-			res.Updates++
+			if d != nil {
+				d.push(Op{Idx: vid})
+			} else {
+				s.count[vid]++
+				res.Updates++
+			}
 		}
+	}
+}
+
+// Apply implements GatherKernel.
+func (k *KCore) Apply(a *Args, d *Deferred, res *Result) {
+	s := a.State.(*kcoreState)
+	for _, op := range d.Ops {
+		s.count[op.Idx]++
+		res.Updates++
 	}
 }
 

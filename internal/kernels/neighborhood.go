@@ -45,7 +45,13 @@ func (k *Neighborhood) BeginLevel([]State, int32) {}
 
 // RunSP expands frontier vertices but stops proposing pages once the next
 // level would exceed the hop cap.
-func (k *Neighborhood) RunSP(a *Args) Result {
+func (k *Neighborhood) RunSP(a *Args) Result { return k.runSP(a, nil) }
+
+// GatherSP implements GatherKernel: same stability argument as BFS; the hop
+// cap is a constant, baked into the op's PID (-1 = outside the ball).
+func (k *Neighborhood) GatherSP(a *Args, d *Deferred) Result { return k.runSP(a, d) }
+
+func (k *Neighborhood) runSP(a *Args, d *Deferred) Result {
 	s := a.State.(*bfsState)
 	pg := a.Page
 	n := pg.NumSlots()
@@ -59,7 +65,7 @@ func (k *Neighborhood) RunSP(a *Args) Result {
 		}
 		adj := pg.Adj(slot)
 		lanes.add(adj.Len())
-		k.expand(a, s, adj, level, &res)
+		k.expand(a, s, adj, level, &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
@@ -67,7 +73,12 @@ func (k *Neighborhood) RunSP(a *Args) Result {
 }
 
 // RunLP expands one large frontier vertex's page-local adjacency.
-func (k *Neighborhood) RunLP(a *Args) Result {
+func (k *Neighborhood) RunLP(a *Args) Result { return k.runLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *Neighborhood) GatherLP(a *Args, d *Deferred) Result { return k.runLP(a, d) }
+
+func (k *Neighborhood) runLP(a *Args, d *Deferred) Result {
 	s := a.State.(*bfsState)
 	vid, _ := a.Page.Slot(0)
 	var lanes laneAcc
@@ -75,14 +86,14 @@ func (k *Neighborhood) RunLP(a *Args) Result {
 	if s.lv[vid] == int16(a.Level) {
 		adj := a.Page.Adj(0)
 		lanes.add(adj.Len())
-		k.expand(a, s, adj, int16(a.Level), &res)
+		k.expand(a, s, adj, int16(a.Level), &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
 	return res
 }
 
-func (k *Neighborhood) expand(a *Args, s *bfsState, adj slottedpage.AdjView, level int16, res *Result) {
+func (k *Neighborhood) expand(a *Args, s *bfsState, adj slottedpage.AdjView, level int16, res *Result, d *Deferred) {
 	for i := 0; i < adj.Len(); i++ {
 		rid := adj.At(i)
 		nvid := k.g.VIDOf(rid)
@@ -90,6 +101,14 @@ func (k *Neighborhood) expand(a *Args, s *bfsState, adj slottedpage.AdjView, lev
 			continue
 		}
 		if s.lv[nvid] == unvisited {
+			if d != nil {
+				pid := int32(-1)
+				if level+1 < k.maxHops {
+					pid = int32(rid.PID)
+				}
+				d.push(Op{Idx: nvid, Val: uint64(level + 1), PID: pid})
+				continue
+			}
 			s.lv[nvid] = level + 1
 			res.Updates++
 			res.Active = true
@@ -97,6 +116,22 @@ func (k *Neighborhood) expand(a *Args, s *bfsState, adj slottedpage.AdjView, lev
 				// Only propose further expansion inside the ball.
 				a.NextPIDs.Set(int(rid.PID))
 			}
+		}
+	}
+}
+
+// Apply implements GatherKernel.
+func (k *Neighborhood) Apply(a *Args, d *Deferred, res *Result) {
+	s := a.State.(*bfsState)
+	for _, op := range d.Ops {
+		if s.lv[op.Idx] != unvisited {
+			continue
+		}
+		s.lv[op.Idx] = int16(op.Val)
+		res.Updates++
+		res.Active = true
+		if op.PID >= 0 {
+			a.NextPIDs.Set(int(op.PID))
 		}
 	}
 }
@@ -180,7 +215,13 @@ func (k *CrossEdges) Init(st State, _ uint64) {
 func (k *CrossEdges) BeginLevel([]State, int32) {}
 
 // RunSP tallies crossing edges for the page's vertices.
-func (k *CrossEdges) RunSP(a *Args) Result {
+func (k *CrossEdges) RunSP(a *Args) Result { return k.runSP(a, nil) }
+
+// GatherSP implements GatherKernel: the bipartition predicate is pure, so
+// the tally is a function of topology alone — every increment defers.
+func (k *CrossEdges) GatherSP(a *Args, d *Deferred) Result { return k.runSP(a, d) }
+
+func (k *CrossEdges) runSP(a *Args, d *Deferred) Result {
 	s := a.State.(*crossState)
 	pg := a.Page
 	n := pg.NumSlots()
@@ -190,7 +231,7 @@ func (k *CrossEdges) RunSP(a *Args) Result {
 		vid, _ := pg.Slot(slot)
 		adj := pg.Adj(slot)
 		lanes.add(adj.Len())
-		k.tally(a, s, vid, adj, &res)
+		k.tally(a, s, vid, adj, &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
@@ -199,30 +240,48 @@ func (k *CrossEdges) RunSP(a *Args) Result {
 }
 
 // RunLP tallies one large vertex's page-local adjacency.
-func (k *CrossEdges) RunLP(a *Args) Result {
+func (k *CrossEdges) RunLP(a *Args) Result { return k.runLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *CrossEdges) GatherLP(a *Args, d *Deferred) Result { return k.runLP(a, d) }
+
+func (k *CrossEdges) runLP(a *Args, d *Deferred) Result {
 	s := a.State.(*crossState)
 	vid, _ := a.Page.Slot(0)
 	adj := a.Page.Adj(0)
 	var lanes laneAcc
 	lanes.add(adj.Len())
 	var res Result
-	k.tally(a, s, vid, adj, &res)
+	k.tally(a, s, vid, adj, &res, d)
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
 	res.Active = true
 	return res
 }
 
-func (k *CrossEdges) tally(a *Args, s *crossState, vid uint64, adj slottedpage.AdjView, res *Result) {
+func (k *CrossEdges) tally(a *Args, s *crossState, vid uint64, adj slottedpage.AdjView, res *Result, d *Deferred) {
 	if !a.owns(vid) {
 		return
 	}
 	vs := k.side(vid)
 	for i := 0; i < adj.Len(); i++ {
 		if k.side(k.g.VIDOf(adj.At(i))) != vs {
+			if d != nil {
+				d.push(Op{Idx: vid})
+				continue
+			}
 			s.count[vid]++
 			res.Updates++
 		}
+	}
+}
+
+// Apply implements GatherKernel.
+func (k *CrossEdges) Apply(a *Args, d *Deferred, res *Result) {
+	s := a.State.(*crossState)
+	for _, op := range d.Ops {
+		s.count[op.Idx]++
+		res.Updates++
 	}
 }
 

@@ -1,6 +1,10 @@
 package kernels
 
-import "repro/internal/slottedpage"
+import (
+	"math"
+
+	"repro/internal/slottedpage"
+)
 
 // PageRank implements the paper's K_PR_SP and K_PR_LP kernels (Algorithms 4
 // and 5). Per the paper's split, nextPR is the read/write attribute vector
@@ -85,7 +89,14 @@ func (k *PageRank) BeginLevel([]State, int32) {}
 // RunSP implements K_PR_SP (Algorithm 4): each frontier-free full scan; a
 // warp takes one slot and atomically adds df*prevPR[v]/deg(v) to every
 // out-neighbor's nextPR.
-func (k *PageRank) RunSP(a *Args) Result {
+func (k *PageRank) RunSP(a *Args) Result { return k.runSP(a, nil) }
+
+// GatherSP implements GatherKernel: contributions read only prevPR (stable
+// for the whole iteration), so they defer exactly; Apply replays the adds
+// in serial order, keeping float32 accumulation bit-identical.
+func (k *PageRank) GatherSP(a *Args, d *Deferred) Result { return k.runSP(a, d) }
+
+func (k *PageRank) runSP(a *Args, d *Deferred) Result {
 	s := a.State.(*prState)
 	pg := a.Page
 	n := pg.NumSlots()
@@ -95,13 +106,13 @@ func (k *PageRank) RunSP(a *Args) Result {
 	for slot := 0; slot < n; slot++ {
 		vid, _ := pg.Slot(slot)
 		adj := pg.Adj(slot)
-		d := adj.Len()
-		lanes.add(d)
-		if d == 0 {
+		deg := adj.Len()
+		lanes.add(deg)
+		if deg == 0 {
 			continue
 		}
-		contrib := df * s.prevPR[vid] / float32(d)
-		k.scatter(a, s, adj, contrib, &res)
+		contrib := df * s.prevPR[vid] / float32(deg)
+		k.scatter(a, s, adj, contrib, &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
@@ -112,7 +123,12 @@ func (k *PageRank) RunSP(a *Args) Result {
 // RunLP implements K_PR_LP (Algorithm 5): the page holds part of one
 // vertex's adjacency; the contribution divides by the vertex's *total*
 // degree, not the page-local count.
-func (k *PageRank) RunLP(a *Args) Result {
+func (k *PageRank) RunLP(a *Args) Result { return k.runLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *PageRank) GatherLP(a *Args, d *Deferred) Result { return k.runLP(a, d) }
+
+func (k *PageRank) runLP(a *Args, d *Deferred) Result {
 	s := a.State.(*prState)
 	vid, _ := a.Page.Slot(0)
 	adj := a.Page.Adj(0)
@@ -120,21 +136,35 @@ func (k *PageRank) RunLP(a *Args) Result {
 	lanes.add(adj.Len())
 	var res Result
 	contrib := float32(k.damping) * s.prevPR[vid] / float32(k.lpDeg[vid])
-	k.scatter(a, s, adj, contrib, &res)
+	k.scatter(a, s, adj, contrib, &res, d)
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
 	res.Active = true
 	return res
 }
 
-// scatter performs the atomicAdd loop shared by both kernels.
-func (k *PageRank) scatter(a *Args, s *prState, adj slottedpage.AdjView, contrib float32, res *Result) {
+// scatter performs the atomicAdd loop shared by both kernels; with d
+// non-nil the adds are deferred in adjacency order.
+func (k *PageRank) scatter(a *Args, s *prState, adj slottedpage.AdjView, contrib float32, res *Result, d *Deferred) {
 	for i := 0; i < adj.Len(); i++ {
 		nvid := k.g.VIDOf(adj.At(i))
 		if !a.owns(nvid) {
 			continue
 		}
+		if d != nil {
+			d.push(Op{Idx: nvid, Val: uint64(math.Float32bits(contrib))})
+			continue
+		}
 		s.nextPR[nvid] += contrib
+		res.Updates++
+	}
+}
+
+// Apply implements GatherKernel: replay the deferred adds in order.
+func (k *PageRank) Apply(a *Args, d *Deferred, res *Result) {
+	s := a.State.(*prState)
+	for _, op := range d.Ops {
+		s.nextPR[op.Idx] += math.Float32frombits(uint32(op.Val))
 		res.Updates++
 	}
 }

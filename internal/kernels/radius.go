@@ -115,7 +115,15 @@ func (k *Radius) Init(st State, _ uint64) {
 func (k *Radius) BeginLevel([]State, int32) {}
 
 // RunSP ORs each vertex's out-neighbors' sketches into its own.
-func (k *Radius) RunSP(a *Args) Result {
+func (k *Radius) RunSP(a *Args) Result { return k.runSP(a, nil) }
+
+// GatherSP implements GatherKernel: the OR-in source (prev) is stable; the
+// "did the sketch grow" condition against next is conditional-monotone
+// (bits only set), so gather-time candidates are a superset of serial
+// writes and Apply recomputes the merge against live state.
+func (k *Radius) GatherSP(a *Args, d *Deferred) Result { return k.runSP(a, d) }
+
+func (k *Radius) runSP(a *Args, d *Deferred) Result {
 	s := a.State.(*radiusState)
 	pg := a.Page
 	n := pg.NumSlots()
@@ -125,7 +133,7 @@ func (k *Radius) RunSP(a *Args) Result {
 		vid, _ := pg.Slot(slot)
 		adj := pg.Adj(slot)
 		lanes.add(adj.Len())
-		k.absorb(a, s, vid, adj, &res)
+		k.absorb(a, s, vid, adj, &res, d)
 	}
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
@@ -133,20 +141,25 @@ func (k *Radius) RunSP(a *Args) Result {
 }
 
 // RunLP handles one large vertex's page-local adjacency.
-func (k *Radius) RunLP(a *Args) Result {
+func (k *Radius) RunLP(a *Args) Result { return k.runLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *Radius) GatherLP(a *Args, d *Deferred) Result { return k.runLP(a, d) }
+
+func (k *Radius) runLP(a *Args, d *Deferred) Result {
 	s := a.State.(*radiusState)
 	vid, _ := a.Page.Slot(0)
 	adj := a.Page.Adj(0)
 	var lanes laneAcc
 	lanes.add(adj.Len())
 	var res Result
-	k.absorb(a, s, vid, adj, &res)
+	k.absorb(a, s, vid, adj, &res, d)
 	res.Edges = lanes.edges
 	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
 	return res
 }
 
-func (k *Radius) absorb(a *Args, s *radiusState, vid uint64, adj slottedpage.AdjView, res *Result) {
+func (k *Radius) absorb(a *Args, s *radiusState, vid uint64, adj slottedpage.AdjView, res *Result, d *Deferred) {
 	if !a.owns(vid) {
 		return
 	}
@@ -158,10 +171,28 @@ func (k *Radius) absorb(a *Args, s *radiusState, vid uint64, adj slottedpage.Adj
 			old := s.next[base+j]
 			merged := old | s.prev[nb+j]
 			if merged != old {
+				if d != nil {
+					d.push(Op{Idx: uint64(base + j), Val: uint64(s.prev[nb+j])})
+					continue
+				}
 				s.next[base+j] = merged
 				res.Updates++
 				res.Active = true
 			}
+		}
+	}
+}
+
+// Apply implements GatherKernel: redo the merge against live sketches.
+func (k *Radius) Apply(a *Args, d *Deferred, res *Result) {
+	s := a.State.(*radiusState)
+	for _, op := range d.Ops {
+		old := s.next[op.Idx]
+		merged := old | uint32(op.Val)
+		if merged != old {
+			s.next[op.Idx] = merged
+			res.Updates++
+			res.Active = true
 		}
 	}
 }

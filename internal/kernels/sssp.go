@@ -13,6 +13,14 @@ import (
 //
 // Edge weights come from kernels.Weight (deterministic, derived from the
 // endpoints) because the slotted page format carries topology only.
+//
+// SSSP deliberately does NOT implement GatherKernel (see deferred.go): a
+// relaxation can improve a vertex that is *on the current frontier*
+// (re-marking it active for this very level via active[nvid] = Level+1
+// while dist keeps improving), so a later page's frontier check — and with
+// it the page's simulated cycle/edge counts — depends on earlier pages'
+// same-phase writes. That violates the gather contract's stability
+// requirement, so SSSP always runs on the serial path.
 type SSSP struct {
 	g    *slottedpage.Graph
 	cost costParams

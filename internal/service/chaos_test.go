@@ -16,7 +16,10 @@ import (
 
 // chaosServer hosts two pools over the same graph: "chaos" runs under a
 // moderate fault plan the engine's retry budget can absorb, and "doomed"
-// under a persistent transfer fault that exhausts it on every run.
+// under a persistent transfer fault that exhausts it on every run. Both
+// pools run the host-parallel kernel path (HostWorkers=8) so the byte
+// comparisons against the serial fault-free reference also pin the
+// deterministic merge under faults and concurrency.
 func chaosServer(t *testing.T) (*httptest.Server, *gts.Graph) {
 	t.Helper()
 	g, _ := testGraphPair(t)
@@ -24,7 +27,7 @@ func chaosServer(t *testing.T) (*httptest.Server, *gts.Graph) {
 
 	absorb := &gts.FaultPlan{Seed: 7, TransferErrorRate: 0.05, TransferStallRate: 0.05,
 		StorageErrorRate: 0.05, CorruptionRate: 0.05}
-	chaosPool, err := gts.NewSystemPool(g, gts.Config{Faults: absorb}, 2)
+	chaosPool, err := gts.NewSystemPool(g, gts.Config{Faults: absorb, HostWorkers: 8}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +35,7 @@ func chaosServer(t *testing.T) (*httptest.Server, *gts.Graph) {
 		t.Fatal(err)
 	}
 	doomed := &gts.FaultPlan{Seed: 7, TransferErrorRate: 1}
-	doomedPool, err := gts.NewSystemPool(g, gts.Config{Faults: doomed}, 2)
+	doomedPool, err := gts.NewSystemPool(g, gts.Config{Faults: doomed, HostWorkers: 8}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,8 +55,10 @@ func chaosServer(t *testing.T) (*httptest.Server, *gts.Graph) {
 func TestChaosConcurrentClients(t *testing.T) {
 	ts, g := chaosServer(t)
 
-	// Fault-free references for every request shape the clients send.
-	clean, err := gts.NewSystem(g, gts.Config{})
+	// Fault-free references for every request shape the clients send,
+	// computed on the serial path: the service's HostWorkers=8 pools must
+	// reproduce these bytes exactly.
+	clean, err := gts.NewSystem(g, gts.Config{HostWorkers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,6 +215,10 @@ func TestChaosConcurrentClients(t *testing.T) {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("/metrics missing %s", want)
 		}
+	}
+	// Both pools were configured with HostWorkers=8; the gauge must say so.
+	if !strings.Contains(string(metrics), "gtsd_host_workers 8") {
+		t.Error("/metrics missing gtsd_host_workers 8")
 	}
 	if !metricAbove(string(metrics), "gtsd_faults_injected_total", 0) {
 		t.Error("gtsd_faults_injected_total is zero after a chaos run")

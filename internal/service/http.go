@@ -54,6 +54,9 @@ type loadRequest struct {
 	GPUs     int    `json:"gpus,omitempty"`
 	Strategy string `json:"strategy,omitempty"`
 	Streams  int    `json:"streams,omitempty"`
+	// HostWorkers sizes the host kernel worker pool per engine
+	// (0 = GOMAXPROCS, 1 = serial; results identical at every setting).
+	HostWorkers int `json:"host_workers,omitempty"`
 	// Faults arms deterministic fault injection on every engine in this
 	// graph's pool (chaos testing; see gts.FaultPlan).
 	Faults *gts.FaultPlan `json:"faults,omitempty"`
@@ -74,7 +77,7 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	cfg := gts.Config{GPUs: req.GPUs, Streams: req.Streams, Faults: req.Faults}
+	cfg := gts.Config{GPUs: req.GPUs, Streams: req.Streams, HostWorkers: req.HostWorkers, Faults: req.Faults}
 	if strings.EqualFold(req.Strategy, "s") {
 		cfg.Strategy = gts.StrategyS
 	}

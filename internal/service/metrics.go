@@ -126,6 +126,9 @@ type Stats struct {
 	CacheMisses uint64               `json:"cache_misses"`
 	CacheSize   int                  `json:"cache_size"`
 	Graphs      int                  `json:"graphs"`
+	// HostWorkers is the largest effective engine host worker-pool size
+	// across the loaded graphs (0 when no graph is loaded).
+	HostWorkers int `json:"host_workers"`
 	Faults      gts.FaultStats       `json:"faults"`
 	HWFailures  uint64               `json:"hw_failures"`
 	PerAlgo     map[string]AlgoStats `json:"per_algo"`
@@ -153,6 +156,7 @@ func (m *metrics) write(w io.Writer, s Stats) {
 	gauge("gtsd_queue_capacity", "Admission queue capacity.", s.QueueCap)
 	gauge("gtsd_inflight_jobs", "Jobs currently executing on an engine.", s.InFlight)
 	gauge("gtsd_graphs_loaded", "Graphs in the registry.", s.Graphs)
+	gauge("gtsd_host_workers", "Largest effective engine host worker-pool size across loaded graphs.", s.HostWorkers)
 	counter("gtsd_jobs_submitted_total", "Jobs admitted to the queue or served from cache.", s.Submitted)
 	counter("gtsd_jobs_completed_total", "Jobs answered successfully (computed or cached).", s.Completed)
 	counter("gtsd_jobs_failed_total", "Jobs that errored during execution.", s.Failed)

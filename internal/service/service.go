@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -245,6 +246,19 @@ type GraphInfo struct {
 	Vertices uint64 `json:"vertices"`
 	Edges    uint64 `json:"edges"`
 	Pool     int    `json:"pool"`
+	// HostWorkers is the effective host worker-pool size this graph's
+	// engines execute kernels with (the engine's HostWorkers after
+	// defaulting 0 to GOMAXPROCS).
+	HostWorkers int `json:"host_workers"`
+}
+
+// effectiveHostWorkers resolves a pool's HostWorkers setting the way the
+// engine does: 0 means one worker per CPU.
+func effectiveHostWorkers(cfg gts.Config) int {
+	if cfg.HostWorkers > 0 {
+		return cfg.HostWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Server is the concurrent analytics service. Create with New, populate
@@ -325,7 +339,10 @@ func (s *Server) Graphs() []GraphInfo {
 	out := make([]GraphInfo, 0, len(s.graphs))
 	for _, e := range s.graphs {
 		g := e.pool.Graph()
-		out = append(out, GraphInfo{Name: e.name, Vertices: g.NumVertices(), Edges: g.NumEdges(), Pool: e.pool.Size()})
+		out = append(out, GraphInfo{
+			Name: e.name, Vertices: g.NumVertices(), Edges: g.NumEdges(),
+			Pool: e.pool.Size(), HostWorkers: effectiveHostWorkers(e.pool.Config()),
+		})
 	}
 	sortGraphInfo(out)
 	return out
@@ -479,6 +496,12 @@ func (s *Server) Stats() Stats {
 	hits, misses, size := s.cache.stats()
 	s.mu.Lock()
 	graphs := len(s.graphs)
+	hostWorkers := 0
+	for _, e := range s.graphs {
+		if hw := effectiveHostWorkers(e.pool.Config()); hw > hostWorkers {
+			hostWorkers = hw
+		}
+	}
 	s.mu.Unlock()
 	m := s.met
 	m.mu.Lock()
@@ -495,6 +518,7 @@ func (s *Server) Stats() Stats {
 		CacheMisses: misses,
 		CacheSize:   size,
 		Graphs:      graphs,
+		HostWorkers: hostWorkers,
 		Faults:      m.faults,
 		HWFailures:  m.hwFailures,
 	}
