@@ -1,9 +1,9 @@
 # Tier-1 verification lives here so CI and humans run the same thing:
-#   make ci        — build + tests + race pass + vet + fuzz smoke
+#   make ci        — build + tests + race pass + vet + coverage gate + fuzz smoke
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test test-race vet fuzz bench bench-smoke ci
+.PHONY: build test test-race vet cover fuzz bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -12,16 +12,32 @@ test: build
 	$(GO) test ./...
 
 # The concurrency-bearing packages (the gtsd service layer, the shared
-# trace recorder, the host-parallel kernel path in internal/core, and the
-# root package's System/SystemPool guards) must stay clean under the race
-# detector. The chaos test (fault-injected gtsd under concurrent clients)
-# runs here too.
+# trace recorder and histograms, the host-parallel kernel path in
+# internal/core, the hardware model, and the root package's
+# System/SystemPool guards) must stay clean under the race detector. The
+# chaos tests (fault-injected gtsd under concurrent clients; trace export
+# racing live span emission) run here too.
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/service/... ./internal/trace
+	$(GO) test -race ./internal/core/... ./internal/service/... ./internal/trace/... ./internal/hw/... ./internal/obs/...
 	$(GO) test -race -run 'System|Pool|Open|Concurrent|Chaos' .
 
 vet:
 	$(GO) vet ./...
+
+# Coverage gate over the observability stack: the trace recorder and
+# exporters, the histogram math, and the service job path. Floors sit a few
+# points under the measured baseline (89/94/87 at introduction) so real
+# regressions fail while small refactors don't.
+cover:
+	@set -e; for spec in ./internal/trace=85 ./internal/obs=90 ./internal/service=80; do \
+		pkg=$${spec%=*}; floor=$${spec#*=}; \
+		$(GO) test -coverprofile=coverage.tmp.out $$pkg >/dev/null; \
+		pct=$$($(GO) tool cover -func=coverage.tmp.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+		rm -f coverage.tmp.out; \
+		echo "coverage $$pkg: $$pct% (floor $$floor%)"; \
+		awk -v p="$$pct" -v f="$$floor" 'BEGIN { exit (p+0 < f+0) }' || \
+			{ echo "FAIL: $$pkg coverage $$pct% below floor $$floor%"; exit 1; }; \
+	done
 
 # Short fuzz smoke over the slotted-page codec: each target gets FUZZTIME
 # of coverage-guided input on top of the checked-in corpora in
@@ -41,4 +57,4 @@ bench:
 bench-smoke: build
 	$(GO) run ./cmd/gtsbench -json -shrink 16 -bench-runs 3
 
-ci: build test test-race vet fuzz bench-smoke
+ci: build test test-race vet cover fuzz bench-smoke

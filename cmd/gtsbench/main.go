@@ -7,6 +7,8 @@
 //	gtsbench -exp fig6 -shrink 13     # one experiment at a given scale
 //	gtsbench -exp fig9 -csv out/      # also write CSV files
 //	gtsbench -json -shrink 16         # write BENCH_<rev>.json regression record
+//	gtsbench -trace out.json          # one traced BFS run -> Chrome trace JSON
+//	gtsbench -trace pr.jsonl -trace-algo pagerank
 package main
 
 import (
@@ -29,7 +31,18 @@ func main() {
 	benchDataset := flag.String("bench-dataset", "RMAT27", "dataset for -json mode")
 	benchRuns := flag.Int("bench-runs", 3, "measured runs per kernel in -json mode")
 	benchOut := flag.String("bench-out", ".", "directory BENCH_<rev>.json is written to")
+	traceOut := flag.String("trace", "", "write one traced run to this file (Chrome trace JSON, or JSONL if it ends in .jsonl) and exit")
+	traceAlgo := flag.String("trace-algo", "bfs", "algorithm for -trace ("+strings.Join(traceAlgoNames, ", ")+")")
+	traceWorkers := flag.Int("trace-workers", 0, "host workers for -trace (0 = GOMAXPROCS; the trace is byte-identical at every setting)")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := runTrace(*benchDataset, *shrink, *traceAlgo, *iters, *traceWorkers, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "gtsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonMode {
 		path, err := runBenchJSON(*benchDataset, *shrink, *benchRuns, *benchOut)

@@ -7,6 +7,7 @@
 //
 //	gtsd -listen :8090 -load social=Twitter@12 -load web=UK2007@12
 //	gtsd -listen :8090 -load big=rmat30.gts -pool 8 -workers 8 -gpus 2
+//	gtsd -listen :8090 -load social=Twitter@12 -pprof -trace-jobs 16
 //
 //	curl -X POST localhost:8090/v1/graphs/social/pagerank -d '{"iterations":10}'
 //	curl -X POST 'localhost:8090/v1/graphs/web/bfs?mode=async' -d '{"source":0}'
@@ -67,6 +68,8 @@ func main() {
 	faultStorage := flag.Float64("fault-storage", 0, "probability of a storage read error per page [0,1]")
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "probability of page corruption per storage read [0,1]")
 	faultOOM := flag.Int64("fault-oom", 0, "kernel-launch ordinal that fails with device OOM (0 = never)")
+	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes stacks and heap contents)")
+	traceJobs := flag.Int("trace-jobs", 0, "retain Chrome trace JSON for the N most recent computed jobs at /debug/trace/{id} (0 = off)")
 	flag.Parse()
 
 	engineCfg := gts.Config{GPUs: *gpus, Streams: *streams, HostWorkers: *hostWorkers}
@@ -93,6 +96,7 @@ func main() {
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
+		TraceJobs:      *traceJobs,
 	})
 	for _, l := range loads {
 		name, spec, ok := strings.Cut(l, "=")
@@ -111,7 +115,12 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofFlag {
+		handler = service.WithPprof(handler)
+		log.Printf("gtsd: pprof enabled on /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *listen, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("gtsd: serving %d graphs, %d algorithms on %s", len(srv.Graphs()), len(service.Algorithms()), *listen)

@@ -6,6 +6,12 @@
 //
 //	gtsinspect graph.gts
 //	gtsinspect -stream graph.gts   # constant-memory scan of a huge store
+//
+// It also renders exported run traces (see gtsbench -trace and gtsd's
+// /debug/trace/{id}) as an ASCII timeline:
+//
+//	gtsinspect trace run.json
+//	gtsinspect trace -width 120 run.jsonl
 package main
 
 import (
@@ -18,10 +24,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceInspect(os.Args[2:])
+		return
+	}
 	stream := flag.Bool("stream", false, "scan the store page-by-page in constant memory")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gtsinspect [-stream] <file.gts>")
+		fmt.Fprintln(os.Stderr, "usage: gtsinspect [-stream] <file.gts> | gtsinspect trace <trace.json>")
 		os.Exit(2)
 	}
 	if *stream {

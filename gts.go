@@ -239,13 +239,25 @@ func NewSystem(g *Graph, cfg Config) (*System, error) {
 // Graph returns the system's graph.
 func (s *System) Graph() *Graph { return s.graph }
 
+// SetTrace swaps the recorder subsequent runs emit spans into and returns
+// the previous one, serialized against in-flight runs by the same mutex
+// that guards them. It is how a pooled System is retargeted to record a
+// request-scoped trace for one job and restored afterwards.
+func (s *System) SetTrace(rec *trace.Recorder) *trace.Recorder {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	prev := s.cfg.Trace
+	s.cfg.Trace = rec
+	return prev
+}
+
 func (c Config) options() core.Options {
 	return core.Options{
-		Strategy:   c.Strategy,
-		Streams:    c.Streams,
-		Technique:  c.Tech,
-		CacheBytes: c.CacheBytes,
-		MMBufBytes: c.MMBufBytes,
+		Strategy:    c.Strategy,
+		Streams:     c.Streams,
+		Technique:   c.Tech,
+		CacheBytes:  c.CacheBytes,
+		MMBufBytes:  c.MMBufBytes,
 		Prefetch:    c.Prefetch,
 		Trace:       c.Trace,
 		Faults:      c.Faults,
@@ -288,17 +300,17 @@ type Metrics struct {
 
 func metricsOf(r *core.Report) Metrics {
 	return Metrics{
-		Elapsed:       r.Elapsed,
-		Levels:        r.Levels,
-		PagesStreamed: r.PagesStreamed,
-		CacheHitRate:  r.CacheHitRate,
-		BufferHitRate: r.BufferHitRate,
-		BytesToGPU:    r.BytesToGPU,
-		StorageBytes:  r.StorageBytes,
-		TransferTime:  r.TransferTime,
-		KernelTime:    r.KernelTime,
-		WABytes:       r.WABytes,
-		MTEPS:         r.MTEPS,
+		Elapsed:        r.Elapsed,
+		Levels:         r.Levels,
+		PagesStreamed:  r.PagesStreamed,
+		CacheHitRate:   r.CacheHitRate,
+		BufferHitRate:  r.BufferHitRate,
+		BytesToGPU:     r.BytesToGPU,
+		StorageBytes:   r.StorageBytes,
+		TransferTime:   r.TransferTime,
+		KernelTime:     r.KernelTime,
+		WABytes:        r.WABytes,
+		MTEPS:          r.MTEPS,
 		LevelPages:     r.LevelPages,
 		LevelBytes:     r.LevelBytes,
 		Faults:         r.Faults,

@@ -52,7 +52,9 @@ func kernelCases() []kernelCase {
 			}},
 		{"Neighborhood",
 			func(sp *slottedpage.Graph) kernels.Kernel { return kernels.NewNeighborhood(sp, 3) },
-			func(k kernels.Kernel, st kernels.State) []byte { return encodeVec(k.(*kernels.Neighborhood).Members(st)) }},
+			func(k kernels.Kernel, st kernels.State) []byte {
+				return encodeVec(k.(*kernels.Neighborhood).Members(st))
+			}},
 		{"CrossEdges",
 			func(sp *slottedpage.Graph) kernels.Kernel {
 				return kernels.NewCrossEdges(sp, func(v uint64) bool { return v%2 == 0 })

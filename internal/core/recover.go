@@ -33,7 +33,7 @@ func (r *run) fail(err error) {
 // traceMark records a zero-duration marker span (fault/retry instants).
 func (r *run) traceMark(kind trace.Kind, gpu, stream int, page int64) {
 	now := r.env.Now()
-	r.eng.opts.Trace.Add(trace.Span{GPU: gpu, Stream: stream, Kind: kind, Page: page, Start: now, End: now})
+	r.eng.opts.Trace.Add(trace.Span{GPU: gpu, Stream: stream, Kind: kind, Page: page, Level: r.curLevel, Start: now, End: now})
 }
 
 // withRetry runs fn until it succeeds or the attempt budget is exhausted,
@@ -106,7 +106,7 @@ func (r *run) readPage(p *sim.Proc, pid slottedpage.PageID, gpuIdx, stream int) 
 		t0 := r.env.Now()
 		corrupt, err := r.machine.Storage.ReadPage(p, uint64(pid))
 		r.eng.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.StorageIO,
-			Page: int64(pid), Start: t0, End: r.env.Now()})
+			Page: int64(pid), Level: r.curLevel, Start: t0, End: r.env.Now()})
 		if err == nil && corrupt {
 			// The injector damaged the bytes in flight. Run the real
 			// verification machinery against a corrupted copy of the page

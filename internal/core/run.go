@@ -66,6 +66,12 @@ type run struct {
 	waPerVertex int64
 	levels      int32
 
+	// curLevel is the superstep currently executing, stamped onto every
+	// span the run emits; -1 outside any superstep (WA upload, final
+	// copy-back). The sim scheduler runs one process at a time and host
+	// workers never emit spans, so no locking is needed.
+	curLevel int32
+
 	// phaseConsumed counts pages processed in the current phase, which
 	// throttles the prefetcher's lead.
 	phaseConsumed int64
@@ -84,7 +90,7 @@ type run struct {
 
 // Run executes kernel k to completion and reports timing and metrics.
 func (e *Engine) Run(k kernels.Kernel) (*Report, error) {
-	r := &run{eng: e, k: k, env: sim.NewEnv(), inflight: map[slottedpage.PageID]*sim.Signal{}}
+	r := &run{eng: e, k: k, env: sim.NewEnv(), inflight: map[slottedpage.PageID]*sim.Signal{}, curLevel: -1}
 	r.workers = e.opts.HostWorkers
 	numPages := e.graph.NumPages()
 	r.pidPool.New = func() any { return bitset.New(numPages) }
@@ -242,7 +248,7 @@ func (r *run) framework(p *sim.Proc) error {
 			return
 		}
 		r.bytesToGPU += r.perGPUWA
-		e.opts.Trace.Add(trace.Span{GPU: i, Stream: -1, Kind: trace.CopyWA, Page: -1, Start: t0, End: r.env.Now()})
+		e.opts.Trace.Add(trace.Span{GPU: i, Stream: -1, Kind: trace.CopyWA, Page: -1, Level: r.curLevel, Start: t0, End: r.env.Now()})
 	})
 	if r.abort != nil {
 		return r.abort
@@ -271,6 +277,8 @@ func (r *run) framework(p *sim.Proc) error {
 		if level > 32000 {
 			return fmt.Errorf("core: traversal exceeded 32000 levels (level vectors are int16)")
 		}
+		r.curLevel = level
+		stepStart := r.env.Now()
 		k.BeginLevel(r.states, level)
 		for i := range locals {
 			locals[i] = r.getPidSet()
@@ -280,6 +288,9 @@ func (r *run) framework(p *sim.Proc) error {
 		r.levelPages = append(r.levelPages, r.pagesStreamed-beforePages)
 		r.levelBytes = append(r.levelBytes, r.bytesToGPU-beforeBytes)
 		r.sync(p, level, bfsLike)
+		// The Superstep container span: one traversal level / iteration
+		// including its cross-GPU sync, on the framework track.
+		e.opts.Trace.Add(trace.Span{GPU: -1, Stream: -1, Kind: trace.Superstep, Page: -1, Level: level, Start: stepStart, End: r.env.Now()})
 		if r.abort != nil {
 			return r.abort
 		}
@@ -329,12 +340,15 @@ func (r *run) framework(p *sim.Proc) error {
 	if wantBackward {
 		backKernel.BeginBackward(r.states, level-1)
 		for l := len(levelSets) - 1; l >= 0; l-- {
+			r.curLevel = int32(l)
+			stepStart := r.env.Now()
 			k.BeginLevel(r.states, int32(l))
 			for i := range locals {
 				locals[i] = r.getPidSet()
 			}
 			r.superstep(p, levelSets[l], int32(l), locals, true)
 			r.sync(p, int32(l), true)
+			e.opts.Trace.Add(trace.Span{GPU: -1, Stream: -1, Kind: trace.Superstep, Page: -1, Level: int32(l), Start: stepStart, End: r.env.Now()})
 			for i := range locals {
 				r.putPidSet(locals[i])
 				locals[i] = nil
@@ -346,11 +360,15 @@ func (r *run) framework(p *sim.Proc) error {
 	}
 
 	// Final WA copy-back (data synchronization, Fig. 2 step 3).
+	r.curLevel = -1
 	r.copyWAOut(p)
 	if r.abort != nil {
 		return r.abort
 	}
 	r.levels = level
+	// The Run container span covers the whole execution on the framework
+	// track, closing the run → superstep → stream hierarchy.
+	e.opts.Trace.Add(trace.Span{GPU: -1, Stream: -1, Kind: trace.Run, Page: -1, Level: -1, Start: 0, End: r.env.Now()})
 	return nil
 }
 

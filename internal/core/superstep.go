@@ -187,7 +187,7 @@ func (r *run) page(p *sim.Proc, gpuIdx, stream int, pid slottedpage.PageID, leve
 		r.fail(err)
 		return false
 	}
-	e.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.Kernel, Page: int64(pid), Start: t0, End: r.env.Now()})
+	e.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.Kernel, Page: int64(pid), Level: level, Start: t0, End: r.env.Now()})
 	r.edgesTraversed += res.Edges
 	r.updates += res.Updates
 	r.levelUpdates += res.Updates
@@ -232,7 +232,7 @@ func (r *run) streamCopy(p *sim.Proc, gpu *hw.GPU, gpuIdx, stream int, pid slott
 	if err != nil {
 		return err
 	}
-	r.eng.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.CopyPage, Page: int64(pid), Start: t0, End: r.env.Now()})
+	r.eng.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.CopyPage, Page: int64(pid), Level: r.curLevel, Start: t0, End: r.env.Now()})
 	r.bytesToGPU += n
 	r.transferTime += r.eng.spec.PCIe.Latency + sim.ByteTime(n, r.eng.spec.PCIe.StreamRate)
 	return nil
@@ -280,7 +280,7 @@ func (r *run) copyWAOut(p *sim.Proc) {
 			r.fail(err)
 			return
 		}
-		r.eng.opts.Trace.Add(trace.Span{GPU: 0, Stream: -1, Kind: trace.Sync, Page: -1, Start: t0, End: r.env.Now()})
+		r.eng.opts.Trace.Add(trace.Span{GPU: 0, Stream: -1, Kind: trace.Sync, Page: -1, Level: r.curLevel, Start: t0, End: r.env.Now()})
 		return
 	}
 	r.parallelGPUs(p, func(p *sim.Proc, i int) {
@@ -292,7 +292,7 @@ func (r *run) copyWAOut(p *sim.Proc) {
 			r.fail(err)
 			return
 		}
-		r.eng.opts.Trace.Add(trace.Span{GPU: i, Stream: -1, Kind: trace.Sync, Page: -1, Start: t0, End: r.env.Now()})
+		r.eng.opts.Trace.Add(trace.Span{GPU: i, Stream: -1, Kind: trace.Sync, Page: -1, Level: r.curLevel, Start: t0, End: r.env.Now()})
 	})
 }
 
@@ -331,7 +331,7 @@ func (r *run) sync(p *sim.Proc, level int32, bfsLike bool) {
 				r.fail(err)
 				return
 			}
-			r.eng.opts.Trace.Add(trace.Span{GPU: i, Stream: -1, Kind: trace.Sync, Page: -1, Start: t0, End: r.env.Now()})
+			r.eng.opts.Trace.Add(trace.Span{GPU: i, Stream: -1, Kind: trace.Sync, Page: -1, Level: level, Start: t0, End: r.env.Now()})
 		}
 		r.k.MergeStates(r.states)
 	case StrategyS:

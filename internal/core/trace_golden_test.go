@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/slottedpage"
+	"repro/internal/trace"
+)
+
+// traceGoldenCase is one pinned trace fixture: an algorithm over the seeded
+// RMAT27 proxy graph on a 1-GPU/1-SSD machine (so storage I/O spans appear),
+// clean and under the chaos fault plan.
+type traceGoldenCase struct {
+	name    string
+	faulted bool
+	make    func(sp *slottedpage.Graph) kernels.Kernel
+}
+
+func traceGoldenCases() []traceGoldenCase {
+	mkBFS := func(sp *slottedpage.Graph) kernels.Kernel { return kernels.NewBFS(sp) }
+	mkPR := func(sp *slottedpage.Graph) kernels.Kernel { return kernels.NewPageRank(sp, 0.85, 5) }
+	return []traceGoldenCase{
+		{"bfs_clean", false, mkBFS},
+		{"bfs_faulted", true, mkBFS},
+		{"pagerank_clean", false, mkPR},
+		{"pagerank_faulted", true, mkPR},
+	}
+}
+
+// traceExports runs one case at the given worker count and returns the two
+// export encodings: Chrome trace_event JSON and gts-trace JSONL.
+func traceExports(t *testing.T, sp *slottedpage.Graph, tc traceGoldenCase, workers int) (chrome, jsonl []byte) {
+	t.Helper()
+	rec := trace.NewWithID(tc.name)
+	opts := Options{Source: 0, HostWorkers: workers, Trace: rec}
+	if tc.faulted {
+		opts.Faults = chaosPlan()
+	}
+	mustRun(t, newEngine(t, sp, opts, 1, 1), tc.make(sp))
+	var cb, jb bytes.Buffer
+	if err := rec.WriteChrome(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes()
+}
+
+func traceGoldenPath(name, ext string) string {
+	return filepath.Join("testdata", "trace_"+name+"."+ext)
+}
+
+// TestGoldenTraces pins the exported timelines byte-for-byte: the virtual
+// machine is deterministic and host workers never emit spans, so both the
+// Chrome JSON and the JSONL exports must be identical across reruns AND
+// across HostWorkers settings — clean and mid-fault alike. A diff means the
+// observable execution schedule changed; if intentional, re-pin with
+// `go test ./internal/core/ -run GoldenTraces -update-golden`.
+func TestGoldenTraces(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+
+	if *updateGolden {
+		for _, tc := range traceGoldenCases() {
+			chrome, jsonl := traceExports(t, sp, tc, 1)
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(traceGoldenPath(tc.name, "json"), chrome, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(traceGoldenPath(tc.name, "jsonl"), jsonl, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (.json %d bytes, .jsonl %d bytes)", traceGoldenPath(tc.name, "*"), len(chrome), len(jsonl))
+		}
+		return
+	}
+
+	for _, tc := range traceGoldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			wantChrome, err := os.ReadFile(traceGoldenPath(tc.name, "json"))
+			if err != nil {
+				t.Fatalf("reading golden (run -update-golden to create): %v", err)
+			}
+			wantJSONL, err := os.ReadFile(traceGoldenPath(tc.name, "jsonl"))
+			if err != nil {
+				t.Fatalf("reading golden (run -update-golden to create): %v", err)
+			}
+			for _, workers := range []int{1, 8} {
+				chrome, jsonl := traceExports(t, sp, tc, workers)
+				if !bytes.Equal(chrome, wantChrome) {
+					t.Errorf("workers=%d: Chrome export differs from golden (%d vs %d bytes)", workers, len(chrome), len(wantChrome))
+				}
+				if !bytes.Equal(jsonl, wantJSONL) {
+					t.Errorf("workers=%d: JSONL export differs from golden (%d vs %d bytes)", workers, len(jsonl), len(wantJSONL))
+				}
+			}
+			// The pinned bytes must round-trip through the parser: spans
+			// survive both encodings with identical kind/level structure.
+			recC, err := trace.Parse(wantChrome)
+			if err != nil {
+				t.Fatalf("golden Chrome export unparseable: %v", err)
+			}
+			recJ, err := trace.Parse(wantJSONL)
+			if err != nil {
+				t.Fatalf("golden JSONL export unparseable: %v", err)
+			}
+			if recC.ID() != tc.name || recJ.ID() != tc.name {
+				t.Errorf("parsed IDs = %q / %q, want %q", recC.ID(), recJ.ID(), tc.name)
+			}
+			assertTraceShape(t, tc, recJ)
+		})
+	}
+}
+
+// assertTraceShape checks the hierarchy invariants of a pinned trace: one
+// run span, at least one superstep, kernels and copies inside supersteps
+// (level >= 0), storage reads present (the machine has an SSD), and fault
+// markers exactly when the chaos plan was armed.
+func assertTraceShape(t *testing.T, tc traceGoldenCase, rec *trace.Recorder) {
+	t.Helper()
+	var runs, steps, kernelsN, copies, storage, faults int
+	for _, s := range rec.Spans() {
+		switch s.Kind {
+		case trace.Run:
+			runs++
+		case trace.Superstep:
+			steps++
+			if s.Level < 0 {
+				t.Errorf("superstep span with level %d", s.Level)
+			}
+		case trace.Kernel:
+			kernelsN++
+			if s.Level < 0 {
+				t.Errorf("kernel span outside any superstep (level %d)", s.Level)
+			}
+		case trace.CopyPage:
+			copies++
+		case trace.StorageIO:
+			storage++
+		case trace.Fault:
+			faults++
+		}
+		if s.End < s.Start {
+			t.Errorf("span %v ends before it starts: [%v, %v]", s.Kind, s.Start, s.End)
+		}
+	}
+	if runs != 1 {
+		t.Errorf("run spans = %d, want exactly 1", runs)
+	}
+	if steps == 0 || kernelsN == 0 || copies == 0 {
+		t.Errorf("missing hierarchy spans: supersteps=%d kernels=%d copies=%d", steps, kernelsN, copies)
+	}
+	if storage == 0 {
+		t.Errorf("no storage I/O spans on a 1-SSD machine")
+	}
+	if tc.faulted && faults == 0 {
+		t.Errorf("chaos run recorded no fault spans")
+	}
+	if !tc.faulted && faults != 0 {
+		t.Errorf("clean run recorded %d fault spans", faults)
+	}
+}
+
+// TestTraceRenderDeterministic pins the human-facing view too: the ASCII
+// timeline rendered from a golden trace is itself stable.
+func TestTraceRenderDeterministic(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	tc := traceGoldenCases()[0]
+	var first string
+	for i := 0; i < 2; i++ {
+		chrome, _ := traceExports(t, sp, tc, 1+i*7)
+		rec, err := trace.Parse(chrome)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rec.RenderTimeline(&buf, 72); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.String()
+			if first == "" {
+				t.Fatal("empty timeline")
+			}
+			continue
+		}
+		if got := buf.String(); got != first {
+			t.Errorf("timeline differs between runs:\n%s\nvs\n%s", first, got)
+		}
+	}
+}

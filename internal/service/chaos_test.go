@@ -12,6 +12,7 @@ import (
 
 	gts "repro"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // chaosServer hosts two pools over the same graph: "chaos" runs under a
@@ -225,6 +226,82 @@ func TestChaosConcurrentClients(t *testing.T) {
 	}
 	if !metricAbove(string(metrics), "gtsd_hw_failures_total", 0) {
 		t.Error("gtsd_hw_failures_total is zero despite the doomed pool")
+	}
+}
+
+// TestChaosTraceExportMidFault proves the recorder is race-free under
+// concurrent span emission: while a fault-injected HostWorkers=8 engine is
+// mid-run (streams emitting copy/kernel/fault spans), a second goroutine
+// continuously exports the live recorder in both encodings and aggregates
+// it. Run under -race via `make test-race`. The final export must still be
+// a complete, parseable timeline containing the injected faults.
+func TestChaosTraceExportMidFault(t *testing.T) {
+	g, _ := testGraphPair(t)
+	rec := trace.New()
+	rec.SetID("chaos-mid-fault")
+	sys, err := gts.NewSystem(g, gts.Config{HostWorkers: 8, Trace: rec,
+		Faults: &gts.FaultPlan{Seed: 7, TransferErrorRate: 0.05, TransferStallRate: 0.05,
+			StorageErrorRate: 0.05, CorruptionRate: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	exported := make(chan int)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-done:
+				exported <- n
+				return
+			default:
+			}
+			if err := rec.WriteChrome(io.Discard); err != nil {
+				t.Errorf("mid-run WriteChrome: %v", err)
+			}
+			if err := rec.WriteJSONL(io.Discard); err != nil {
+				t.Errorf("mid-run WriteJSONL: %v", err)
+			}
+			rec.Summary()
+			n++
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if _, err := sys.BFS(uint64(i)); err != nil {
+			t.Fatalf("BFS(%d) under absorbable faults: %v", i, err)
+		}
+	}
+	close(done)
+	if n := <-exported; n == 0 {
+		t.Fatal("exporter goroutine never ran — the test is vacuous")
+	}
+
+	var buf strings.Builder
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := trace.Parse([]byte(buf.String()))
+	if err != nil {
+		t.Fatalf("final export unparseable: %v", err)
+	}
+	if parsed.Len() != rec.Len() {
+		t.Errorf("parsed %d spans, recorder holds %d", parsed.Len(), rec.Len())
+	}
+	var faults, runs int
+	for _, s := range parsed.Spans() {
+		switch s.Kind {
+		case trace.Fault:
+			faults++
+		case trace.Run:
+			runs++
+		}
+	}
+	if faults == 0 {
+		t.Error("chaos run exported no fault spans")
+	}
+	if runs != 3 {
+		t.Errorf("exported %d run spans, want 3", runs)
 	}
 }
 

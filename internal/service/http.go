@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -23,6 +24,8 @@ import (
 //	                                   ?mode=async returns 202 + job ID;
 //	                                   ?timeout=500ms bounds the deadline)
 //	GET  /v1/jobs/{id}                 job status / result
+//	GET  /debug/trace/{id}             per-job Chrome trace JSON
+//	                                   (404 unless Config.TraceJobs > 0)
 //
 // Typed service errors map to statuses: ErrOverloaded → 429, unknown
 // graph/algorithm/job → 404, ErrTimeout → 504, ErrShuttingDown → 503.
@@ -41,6 +44,34 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /v1/graphs/{name}", s.handleLoadGraph)
 	mux.HandleFunc("POST /v1/graphs/{name}/{algo}", s.handleRun)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	return mux
+}
+
+// handleTrace serves a traced job's Chrome trace_event JSON, loadable in
+// chrome://tracing or Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	b, err := s.JobTrace(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
+// WithPprof wraps a handler, additionally serving the net/http/pprof
+// profiling surface under /debug/pprof/. cmd/gtsd mounts it behind the
+// -pprof flag: profiling endpoints expose stacks and heap contents, so
+// they are opt-in.
+func WithPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

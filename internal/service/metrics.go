@@ -8,42 +8,22 @@ import (
 	"time"
 
 	gts "repro"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
-
-// latencyBuckets are the upper bounds (seconds) of the wall-clock latency
-// histogram, exponential so one set covers sub-millisecond cache hits and
-// multi-second storage-backed runs.
-var latencyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
-
-// histogram is a fixed-bucket latency histogram.
-type histogram struct {
-	counts []uint64 // len(latencyBuckets)+1; last bucket = +Inf
-	sum    float64
-	total  uint64
-}
-
-func (h *histogram) observe(seconds float64) {
-	if h.counts == nil {
-		h.counts = make([]uint64, len(latencyBuckets)+1)
-	}
-	i := sort.SearchFloat64s(latencyBuckets, seconds)
-	h.counts[i]++
-	h.sum += seconds
-	h.total++
-}
 
 // algoMetrics accumulates one algorithm's serving stats.
 type algoMetrics struct {
 	jobs    uint64
 	wall    time.Duration // wall-clock compute time, cache hits excluded
 	virtual sim.Time      // virtual time on the modeled hardware
-	latency histogram     // per-job wall latency, cache hits included
+	latency obs.Histogram // per-job wall latency, cache hits included
 }
 
-// metrics is the server's observability state. Everything is guarded by
-// one mutex: observation paths are short and the contention is dwarfed by
-// the runs themselves.
+// metrics is the server's observability state. The counters are guarded by
+// one mutex (observation paths are short and the contention is dwarfed by
+// the runs themselves); the latency distributions live in mergeable
+// log-bucketed obs.Histograms, which carry their own locks.
 type metrics struct {
 	mu        sync.Mutex
 	submitted uint64
@@ -58,6 +38,11 @@ type metrics struct {
 	faults     gts.FaultStats
 	hwFailures uint64
 	perAlgo    map[string]*algoMetrics
+
+	// queueWait is dequeue-time minus submission for every job that went
+	// through the queue; runWall the engine compute time of computed jobs.
+	queueWait obs.Histogram
+	runWall   obs.Histogram
 }
 
 func newMetrics() *metrics {
@@ -81,6 +66,9 @@ func (m *metrics) addFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
 func (m *metrics) runStarted()  { m.mu.Lock(); m.inFlight++; m.mu.Unlock() }
 func (m *metrics) runFinished() { m.mu.Lock(); m.inFlight--; m.mu.Unlock() }
 
+func (m *metrics) observeQueueWait(d time.Duration) { m.queueWait.ObserveDuration(d) }
+func (m *metrics) observeRunWall(d time.Duration)   { m.runWall.ObserveDuration(d) }
+
 // addFaults folds one run's fault/recovery counters into the totals.
 func (m *metrics) addFaults(fs gts.FaultStats) {
 	m.mu.Lock()
@@ -95,13 +83,13 @@ func (m *metrics) addHWFailure() { m.mu.Lock(); m.hwFailures++; m.mu.Unlock() }
 // only the end-to-end latency lands in the histogram.
 func (m *metrics) jobCompleted(algo string, latency, wall time.Duration, virtual sim.Time) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.completed++
 	a := m.algo(algo)
 	a.jobs++
 	a.wall += wall
 	a.virtual += virtual
-	a.latency.observe(latency.Seconds())
+	m.mu.Unlock()
+	a.latency.ObserveDuration(latency)
 }
 
 // AlgoStats is the public per-algorithm slice of a Stats snapshot.
@@ -109,29 +97,51 @@ type AlgoStats struct {
 	Jobs           uint64        `json:"jobs"`
 	WallCompute    time.Duration `json:"wall_compute"`
 	VirtualElapsed sim.Time      `json:"virtual_elapsed"`
+	// LatencyP50/P90/P99 are end-to-end job latency quantiles in seconds
+	// (upper bounds, within one log bucket of exact — see internal/obs).
+	LatencyP50 float64 `json:"latency_p50"`
+	LatencyP90 float64 `json:"latency_p90"`
+	LatencyP99 float64 `json:"latency_p99"`
+}
+
+// LatencySummary is the quantile view of one latency histogram, in seconds.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+func summarize(h *obs.Histogram) LatencySummary {
+	s := h.Snapshot()
+	return LatencySummary{Count: s.Count, P50: s.Quantile(0.5), P90: s.Quantile(0.9), P99: s.Quantile(0.99)}
 }
 
 // Stats is a point-in-time snapshot of the server's counters, exposed both
 // programmatically and (rendered) at /metrics.
 type Stats struct {
-	QueueDepth  int                  `json:"queue_depth"`
-	QueueCap    int                  `json:"queue_cap"`
-	InFlight    int64                `json:"in_flight"`
-	Submitted   uint64               `json:"submitted"`
-	Completed   uint64               `json:"completed"`
-	Failed      uint64               `json:"failed"`
-	Rejected    uint64               `json:"rejected"`
-	TimedOut    uint64               `json:"timed_out"`
-	CacheHits   uint64               `json:"cache_hits"`
-	CacheMisses uint64               `json:"cache_misses"`
-	CacheSize   int                  `json:"cache_size"`
-	Graphs      int                  `json:"graphs"`
+	QueueDepth  int    `json:"queue_depth"`
+	QueueCap    int    `json:"queue_cap"`
+	InFlight    int64  `json:"in_flight"`
+	Submitted   uint64 `json:"submitted"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	Rejected    uint64 `json:"rejected"`
+	TimedOut    uint64 `json:"timed_out"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	CacheSize   int    `json:"cache_size"`
+	Graphs      int    `json:"graphs"`
 	// HostWorkers is the largest effective engine host worker-pool size
 	// across the loaded graphs (0 when no graph is loaded).
-	HostWorkers int `json:"host_workers"`
-	Faults      gts.FaultStats       `json:"faults"`
-	HWFailures  uint64               `json:"hw_failures"`
-	PerAlgo     map[string]AlgoStats `json:"per_algo"`
+	HostWorkers int            `json:"host_workers"`
+	Faults      gts.FaultStats `json:"faults"`
+	HWFailures  uint64         `json:"hw_failures"`
+	// QueueWait and RunWall summarize the admission-queue wait and engine
+	// compute-time distributions.
+	QueueWait LatencySummary       `json:"queue_wait"`
+	RunWall   LatencySummary       `json:"run_wall"`
+	PerAlgo   map[string]AlgoStats `json:"per_algo"`
 }
 
 // CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -143,8 +153,8 @@ func (s Stats) CacheHitRate() float64 {
 }
 
 // writeMetrics renders the Prometheus text exposition of a snapshot plus
-// the per-algorithm histograms. Hand-rolled: the repo takes no
-// dependencies beyond the standard library.
+// the latency histograms. Hand-rolled: the repo takes no dependencies
+// beyond the standard library.
 func (m *metrics) write(w io.Writer, s Stats) {
 	gauge := func(name, help string, v any) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
@@ -172,59 +182,57 @@ func (m *metrics) write(w io.Writer, s Stats) {
 	counter("gtsd_fault_degradations_total", "Device-OOM spills from the cached to the streaming path.", uint64(s.Faults.Degradations))
 	counter("gtsd_hw_failures_total", "Jobs abandoned after the engine's retry budget was exhausted.", s.HWFailures)
 
+	fmt.Fprintf(w, "# HELP gtsd_job_queue_wait_seconds Admission-queue wait per dequeued job.\n# TYPE gtsd_job_queue_wait_seconds histogram\n")
+	_ = m.queueWait.WritePrometheus(w, "gtsd_job_queue_wait_seconds", "")
+	fmt.Fprintf(w, "# HELP gtsd_job_run_wall_seconds Engine compute wall time per computed job.\n# TYPE gtsd_job_run_wall_seconds histogram\n")
+	_ = m.runWall.WritePrometheus(w, "gtsd_job_run_wall_seconds", "")
+
+	// Copy the counter fields under the lock; the latency histograms carry
+	// their own locks, so only their pointers are captured here.
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	names := make([]string, 0, len(m.perAlgo))
-	for name := range m.perAlgo {
+	walls := make(map[string]float64, len(m.perAlgo))
+	virtuals := make(map[string]float64, len(m.perAlgo))
+	algos := make(map[string]*algoMetrics, len(m.perAlgo))
+	for name, a := range m.perAlgo {
 		names = append(names, name)
+		walls[name] = a.wall.Seconds()
+		virtuals[name] = a.virtual.Seconds()
+		algos[name] = a
 	}
+	m.mu.Unlock()
 	sort.Strings(names)
 
 	fmt.Fprintf(w, "# HELP gtsd_job_wall_seconds_total Wall-clock compute time per algorithm (cache hits excluded).\n# TYPE gtsd_job_wall_seconds_total counter\n")
 	for _, name := range names {
-		fmt.Fprintf(w, "gtsd_job_wall_seconds_total{algo=%q} %.6f\n", name, m.perAlgo[name].wall.Seconds())
+		fmt.Fprintf(w, "gtsd_job_wall_seconds_total{algo=%q} %.6f\n", name, walls[name])
 	}
 	fmt.Fprintf(w, "# HELP gtsd_job_virtual_seconds_total Virtual time on the modeled hardware per algorithm.\n# TYPE gtsd_job_virtual_seconds_total counter\n")
 	for _, name := range names {
-		fmt.Fprintf(w, "gtsd_job_virtual_seconds_total{algo=%q} %.6f\n", name, m.perAlgo[name].virtual.Seconds())
+		fmt.Fprintf(w, "gtsd_job_virtual_seconds_total{algo=%q} %.6f\n", name, virtuals[name])
 	}
 	fmt.Fprintf(w, "# HELP gtsd_job_latency_seconds End-to-end job latency per algorithm.\n# TYPE gtsd_job_latency_seconds histogram\n")
 	for _, name := range names {
-		h := &m.perAlgo[name].latency
-		if h.counts == nil {
-			continue
-		}
-		var cum uint64
-		for i, le := range latencyBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "gtsd_job_latency_seconds_bucket{algo=%q,le=%q} %d\n", name, trimFloat(le), cum)
-		}
-		cum += h.counts[len(latencyBuckets)]
-		fmt.Fprintf(w, "gtsd_job_latency_seconds_bucket{algo=%q,le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(w, "gtsd_job_latency_seconds_sum{algo=%q} %.6f\n", name, h.sum)
-		fmt.Fprintf(w, "gtsd_job_latency_seconds_count{algo=%q} %d\n", name, h.total)
+		_ = algos[name].latency.WritePrometheus(w, "gtsd_job_latency_seconds", fmt.Sprintf("algo=%q", name))
 	}
 }
 
 // snapshotPerAlgo copies the per-algorithm totals for Stats.
 func (m *metrics) snapshotPerAlgo() map[string]AlgoStats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]AlgoStats, len(m.perAlgo))
+	algos := make(map[string]*algoMetrics, len(m.perAlgo))
+	counts := make(map[string]AlgoStats, len(m.perAlgo))
 	for name, a := range m.perAlgo {
-		out[name] = AlgoStats{Jobs: a.jobs, WallCompute: a.wall, VirtualElapsed: a.virtual}
+		algos[name] = a
+		counts[name] = AlgoStats{Jobs: a.jobs, WallCompute: a.wall, VirtualElapsed: a.virtual}
+	}
+	m.mu.Unlock()
+	out := make(map[string]AlgoStats, len(algos))
+	for name, a := range algos {
+		st := counts[name]
+		sum := summarize(&a.latency)
+		st.LatencyP50, st.LatencyP90, st.LatencyP99 = sum.P50, sum.P90, sum.P99
+		out[name] = st
 	}
 	return out
-}
-
-// trimFloat formats bucket bounds the Prometheus way ("0.001", not "1e-03").
-func trimFloat(f float64) string {
-	s := fmt.Sprintf("%.4f", f)
-	for len(s) > 1 && s[len(s)-1] == '0' {
-		s = s[:len(s)-1]
-	}
-	if s[len(s)-1] == '.' {
-		s = s[:len(s)-1]
-	}
-	return s
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	gts "repro"
+	"repro/internal/trace"
 )
 
 // Typed errors; the HTTP layer maps each to a status code.
@@ -66,6 +67,11 @@ type Config struct {
 	// JobHistory bounds how many finished jobs remain queryable by ID
 	// (default 1024).
 	JobHistory int
+	// TraceJobs, when positive, records a request-scoped engine trace for
+	// each computed job and retains the Chrome trace_event JSON of the most
+	// recent TraceJobs jobs, served at /debug/trace/{id}. 0 disables
+	// tracing.
+	TraceJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -265,10 +271,11 @@ func effectiveHostWorkers(cfg gts.Config) int {
 // with AddGraph/LoadGraph, submit with Submit (async) or Run (sync), and
 // stop with Shutdown.
 type Server struct {
-	cfg   Config
-	queue chan *Job
-	cache *resultCache
-	met   *metrics
+	cfg    Config
+	queue  chan *Job
+	cache  *resultCache
+	met    *metrics
+	traces *traceStore // nil when Config.TraceJobs == 0
 
 	mu       sync.Mutex // graphs, jobs, nextID, nextGen, closed
 	graphs   map[string]*graphEntry
@@ -291,6 +298,9 @@ func New(cfg Config) *Server {
 		met:    newMetrics(),
 		graphs: make(map[string]*graphEntry),
 		jobs:   make(map[string]*Job),
+	}
+	if cfg.TraceJobs > 0 {
+		s.traces = newTraceStore(cfg.TraceJobs)
 	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -523,6 +533,8 @@ func (s *Server) Stats() Stats {
 		HWFailures:  m.hwFailures,
 	}
 	m.mu.Unlock()
+	st.QueueWait = summarize(&m.queueWait)
+	st.RunWall = summarize(&m.runWall)
 	st.PerAlgo = m.snapshotPerAlgo()
 	return st
 }
@@ -564,6 +576,7 @@ func (s *Server) worker() {
 // execute runs one dequeued job to a terminal state.
 func (s *Server) execute(job *Job) {
 	defer job.cancel()
+	s.met.observeQueueWait(time.Since(job.submitted))
 	if job.ctx.Err() != nil {
 		s.met.addTimedOut()
 		job.fail(fmt.Errorf("%w (queued %v)", ErrTimeout, time.Since(job.submitted).Round(time.Microsecond)), JobTimedOut)
@@ -584,11 +597,26 @@ func (s *Server) execute(job *Job) {
 		return
 	}
 	job.setRunning()
+	// Request-scoped tracing: retarget the pooled System's recorder to this
+	// job for the duration of the run, then export and restore. The trace
+	// is stored even for failed runs — a timeline that ends mid-fault is
+	// the one worth looking at.
+	var rec *trace.Recorder
+	var prevRec *trace.Recorder
+	if s.traces != nil {
+		rec = trace.NewWithID(job.id)
+		prevRec = sys.SetTrace(rec)
+	}
 	s.met.runStarted()
 	start := time.Now()
 	out, m, err := job.algo.run(sys, job.req.Params)
 	wall := time.Since(start)
 	s.met.runFinished()
+	s.met.observeRunWall(wall)
+	if rec != nil {
+		sys.SetTrace(prevRec)
+		s.traces.put(job.id, rec)
+	}
 	job.entry.pool.Release(sys)
 	if err != nil {
 		s.met.addFailed()

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// ErrNoTrace reports a trace query the store cannot answer: tracing is
+// disabled, the job was never traced (cache hit, timed out in queue), or
+// its trace was evicted by newer jobs.
+var ErrNoTrace = fmt.Errorf("service: no trace for job")
+
+// traceStore retains the exported Chrome trace_event JSON of the most
+// recently traced jobs, bounded by capacity in job count. Traces are
+// rendered to bytes at put time so the store holds no live recorders.
+type traceStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // insertion order, oldest first
+	data  map[string][]byte
+}
+
+func newTraceStore(capacity int) *traceStore {
+	return &traceStore{cap: capacity, data: make(map[string][]byte, capacity)}
+}
+
+// put renders rec to Chrome trace JSON and stores it under the job ID,
+// evicting the oldest traces beyond capacity.
+func (t *traceStore) put(id string, rec *trace.Recorder) {
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.data[id]; !exists {
+		t.order = append(t.order, id)
+	}
+	t.data[id] = buf.Bytes()
+	for len(t.order) > t.cap {
+		delete(t.data, t.order[0])
+		t.order = t.order[1:]
+	}
+}
+
+// get returns the stored Chrome trace JSON for a job ID.
+func (t *traceStore) get(id string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.data[id]
+	return b, ok
+}
+
+// JobTrace returns the Chrome trace_event JSON recorded for a computed
+// job, if tracing is enabled and the trace is still retained.
+func (s *Server) JobTrace(id string) ([]byte, error) {
+	if s.traces == nil {
+		return nil, fmt.Errorf("%w: tracing disabled (Config.TraceJobs)", ErrNoTrace)
+	}
+	if b, ok := s.traces.get(id); ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("%w %q", ErrNoTrace, id)
+}

@@ -1,8 +1,12 @@
-// Package trace records per-stream activity spans during a GTS run so the
-// paper's Figure 4 timelines (copy vs. kernel bars per GPU stream) can be
-// regenerated, and aggregates the transfer/kernel totals behind Table 1.
-// Summary and MTEPS are the metric-export hooks the service layer
-// (internal/service) scrapes into its /metrics endpoint.
+// Package trace records hierarchical, request-scoped activity spans during
+// a GTS run so the paper's Figure 4 timelines (copy vs. kernel bars per GPU
+// stream) can be regenerated, and aggregates the transfer/kernel totals
+// behind Table 1. Spans nest run → superstep → (GPU, stream) →
+// copy/kernel/io/fault via the Level field and the Run/Superstep container
+// kinds; export.go turns a recorder into Chrome trace_event JSON (loadable
+// in chrome://tracing and Perfetto) or a compact JSONL stream, and parses
+// both back. Summary and MTEPS are the metric-export hooks the service
+// layer (internal/service) scrapes into its /metrics endpoint.
 package trace
 
 import (
@@ -27,12 +31,15 @@ const (
 	Sync                  // WA synchronization back to the host
 	Fault                 // injected fault (zero-duration marker at the injection instant)
 	Retry                 // recovery re-attempt (zero-duration marker)
+	Run                   // the whole run, emitted once at completion
+	Superstep             // one traversal level / iteration, superstep + sync
 )
 
 // NumKinds is the count of span kinds (for Summary.Busy indexing).
-const NumKinds = int(Retry) + 1
+const NumKinds = int(Superstep) + 1
 
-// String names the kind.
+// String names the kind. Unknown values format as "kind(N)" rather than
+// silently aliasing a real kind.
 func (k Kind) String() string {
 	switch k {
 	case CopyWA:
@@ -43,35 +50,116 @@ func (k Kind) String() string {
 		return "kernel"
 	case StorageIO:
 		return "io"
+	case Sync:
+		return "sync"
 	case Fault:
 		return "fault"
 	case Retry:
 		return "retry"
+	case Run:
+		return "run"
+	case Superstep:
+		return "superstep"
 	default:
-		return "sync"
+		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
-// Span is one recorded activity interval.
+// KindByName resolves a kind name produced by Kind.String; ok is false for
+// names no kind produces (including the "kind(N)" unknown form).
+func KindByName(name string) (Kind, bool) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Span is one recorded activity interval. GPU and Stream are -1 for spans
+// that belong to the framework rather than a device track (Run, Superstep)
+// or to a whole device rather than a stream (CopyWA, Sync). Level is the
+// superstep (traversal level or iteration) the span belongs to, -1 for
+// spans outside any superstep — it is what nests a copy/kernel/io span
+// under its Superstep container, and every Superstep under the Run.
 type Span struct {
 	GPU    int
 	Stream int
 	Kind   Kind
 	Page   int64 // page ID, or -1
+	Level  int32 // superstep index, or -1
 	Start  sim.Time
 	End    sim.Time
 }
 
-// Recorder accumulates spans. A nil *Recorder is valid and records nothing,
-// so engines can trace unconditionally. A Recorder is safe for concurrent
-// use: a pooled service may share one recorder across parallel runs.
+// Recorder accumulates the spans of one traced run under a TraceID. A nil
+// *Recorder is valid and records nothing, so engines can trace
+// unconditionally. A Recorder is safe for concurrent use: a pooled service
+// may share one recorder across parallel runs, and exports may run while
+// spans are still being added.
 type Recorder struct {
-	mu    sync.Mutex
-	spans []Span
+	mu      sync.Mutex
+	id      string
+	spans   []Span
+	sink    io.Writer
+	sinkErr error
 }
 
-// New returns an empty recorder.
+// New returns an empty recorder with no trace ID.
 func New() *Recorder { return &Recorder{} }
+
+// NewWithID returns an empty recorder whose exports carry the given trace
+// ID (a job ID, a benchmark name, ...).
+func NewWithID(id string) *Recorder { return &Recorder{id: id} }
+
+// ID returns the trace ID ("" when unset).
+func (r *Recorder) ID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.id
+}
+
+// SetID changes the trace ID carried by subsequent exports.
+func (r *Recorder) SetID(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.id = id
+	r.mu.Unlock()
+}
+
+// StreamTo attaches a streaming JSONL sink: the header line is written
+// immediately and every subsequent Add appends one span line under the
+// recorder's lock, so a trace survives even if the process dies mid-run.
+// Passing nil detaches the sink. The first write error latches into
+// SinkErr and stops further writes.
+func (r *Recorder) StreamTo(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = w
+	r.sinkErr = nil
+	if w == nil {
+		return nil
+	}
+	return r.writeJSONLHeaderLocked(w)
+}
+
+// SinkErr reports the first error a streaming sink write returned.
+func (r *Recorder) SinkErr() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
+}
 
 // Add records one span.
 func (r *Recorder) Add(s Span) {
@@ -80,6 +168,9 @@ func (r *Recorder) Add(s Span) {
 	}
 	r.mu.Lock()
 	r.spans = append(r.spans, s)
+	if r.sink != nil && r.sinkErr == nil {
+		r.sinkErr = writeSpanLine(r.sink, s)
+	}
 	r.mu.Unlock()
 }
 

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -89,8 +90,8 @@ func TestMTEPS(t *testing.T) {
 	}{
 		{2_000_000, sim.Second, 2},
 		{68_000_000_000, 1675 * sim.Second, 68e9 / 1675 / 1e6}, // the paper's RMAT32 PageRank scale
-		{1_000_000, 0, 0},  // no elapsed time exports 0, not +Inf
-		{1_000_000, -1, 0}, // defensive: negative time exports 0
+		{1_000_000, 0, 0},                                      // no elapsed time exports 0, not +Inf
+		{1_000_000, -1, 0},                                     // defensive: negative time exports 0
 		{0, sim.Second, 0},
 	}
 	for _, c := range cases {
@@ -158,11 +159,44 @@ func TestSpansReturnsCopy(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	want := map[Kind]string{CopyWA: "copyWA", CopyPage: "copy", Kernel: "kernel", StorageIO: "io", Sync: "sync"}
+	want := map[Kind]string{CopyWA: "copyWA", CopyPage: "copy", Kernel: "kernel",
+		StorageIO: "io", Sync: "sync", Fault: "fault", Retry: "retry",
+		Run: "run", Superstep: "superstep"}
 	for k, s := range want {
 		if k.String() != s {
 			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
 		}
+	}
+}
+
+// TestKindStringExhaustive guards against the silent-fallthrough bug class:
+// every declared kind must have its own unique name (none may alias the
+// default case), and values outside the range must format as "kind(N)"
+// rather than borrowing a real kind's name.
+func TestKindStringExhaustive(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		name := k.String()
+		if strings.HasPrefix(name, "kind(") {
+			t.Errorf("kind %d fell through to the default case: %q", k, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
+		back, ok := KindByName(name)
+		if !ok || back != k {
+			t.Errorf("KindByName(%q) = %v, %v; want %v, true", name, back, ok, k)
+		}
+	}
+	for _, k := range []Kind{Kind(NumKinds), Kind(NumKinds + 7), Kind(-1)} {
+		want := fmt.Sprintf("kind(%d)", int(k))
+		if got := k.String(); got != want {
+			t.Errorf("out-of-range kind %d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if _, ok := KindByName("kind(3)"); ok {
+		t.Error("KindByName accepted the unknown-kind form")
 	}
 }
 
