@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test test-race vet cover fuzz bench bench-smoke ci
+.PHONY: build test test-race vet cover fuzz bench bench-smoke bench-diff ci
 
 build:
 	$(GO) build ./...
@@ -18,18 +18,19 @@ test: build
 # chaos tests (fault-injected gtsd under concurrent clients; trace export
 # racing live span emission) run here too.
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/service/... ./internal/trace/... ./internal/hw/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/sched/... ./internal/service/... ./internal/trace/... ./internal/hw/... ./internal/obs/...
 	$(GO) test -race -run 'System|Pool|Open|Concurrent|Chaos' .
 
 vet:
 	$(GO) vet ./...
 
-# Coverage gate over the observability stack: the trace recorder and
-# exporters, the histogram math, and the service job path. Floors sit a few
-# points under the measured baseline (89/94/87 at introduction) so real
-# regressions fail while small refactors don't.
+# Coverage gate over the observability stack and the wave-group scheduler:
+# the trace recorder and exporters, the histogram math, the service job
+# path, and the multi-query stream scheduler. Floors sit a few points under
+# the measured baseline (89/94/87/66 at introduction) so real regressions
+# fail while small refactors don't.
 cover:
-	@set -e; for spec in ./internal/trace=85 ./internal/obs=90 ./internal/service=80; do \
+	@set -e; for spec in ./internal/trace=85 ./internal/obs=90 ./internal/service=80 ./internal/sched=60; do \
 		pkg=$${spec%=*}; floor=$${spec#*=}; \
 		$(GO) test -coverprofile=coverage.tmp.out $$pkg >/dev/null; \
 		pct=$$($(GO) tool cover -func=coverage.tmp.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
@@ -57,4 +58,12 @@ bench:
 bench-smoke: build
 	$(GO) run ./cmd/gtsbench -json -shrink 16 -bench-runs 3
 
-ci: build test test-race vet cover fuzz bench-smoke
+# bench-diff regenerates this revision's record (via bench-smoke) and fails
+# when any kernel or multi-job MTEPS figure drops more than 10% below the
+# previous revision's BENCH_*.json. Intentional changes are blessed with
+# GTSBENCH_BLESS=1 (diff warns instead of failing) and committing the new
+# record as the next baseline.
+bench-diff: bench-smoke
+	$(GO) run ./cmd/gtsbench -diff
+
+ci: build test test-race vet cover fuzz bench-diff

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	gts "repro"
+	"repro/internal/kernels"
 )
 
 // benchEntry is one kernel x worker-count measurement in the regression
@@ -35,6 +36,28 @@ type benchEntry struct {
 	Runs        int    `json:"runs"`
 }
 
+// multiJobEntry is one concurrent-job sharing measurement: n same-kernel
+// jobs with distinct sources served by one wave group (System.RunShared).
+type multiJobEntry struct {
+	Jobs   int    `json:"jobs"`
+	Kernel string `json:"kernel"`
+	// AggregateMTEPS is the group's total traversed edges over its virtual
+	// makespan — the multi-query throughput figure.
+	AggregateMTEPS float64 `json:"aggregate_mteps"`
+	// BytesPerJob is the group's host-to-device traffic amortized per
+	// member; SoloBytes is one solo run's traffic for comparison.
+	BytesPerJob float64 `json:"bytes_per_job"`
+	SoloBytes   int64   `json:"solo_bytes"`
+	// SharedPageCopies counts member servings satisfied by a page another
+	// member paid to stream; BytesSaved the traffic that sharing avoided.
+	SharedPageCopies int64 `json:"shared_page_copies"`
+	BytesSaved       int64 `json:"bytes_saved"`
+	Waves            int64 `json:"waves"`
+	// WallSeconds is the mean real time of one full group run.
+	WallSeconds float64 `json:"wall_seconds"`
+	Runs        int     `json:"runs"`
+}
+
 // benchReport is the BENCH_<rev>.json document.
 type benchReport struct {
 	Rev        string       `json:"rev"`
@@ -43,6 +66,9 @@ type benchReport struct {
 	Shrink     int          `json:"shrink"`
 	GoMaxProcs int          `json:"gomaxprocs"`
 	Entries    []benchEntry `json:"entries"`
+	// MultiJob records the concurrent-job sharing measurements (empty when
+	// -jobs is 0).
+	MultiJob []multiJobEntry `json:"multi_job,omitempty"`
 }
 
 // gitRev resolves the short commit hash, or "dev" outside a git checkout.
@@ -140,9 +166,68 @@ func measureKernel(g *gts.Graph, name string, run func(*gts.System) (gts.Metrics
 	}, nil
 }
 
+// measureMultiJob runs `jobs` distinct-source BFS jobs as one wave group
+// `runs` times and reports the sharing economics: aggregate throughput,
+// amortized traffic per member, and the bytes the group avoided streaming.
+func measureMultiJob(g *gts.Graph, jobs, runs int) (multiJobEntry, error) {
+	sys, err := gts.NewSystem(g, gts.Config{ShareStreams: true})
+	if err != nil {
+		return multiJobEntry{}, err
+	}
+	solo, err := sys.BFS(0)
+	if err != nil {
+		return multiJobEntry{}, err
+	}
+	nv := g.NumVertices()
+	stride := nv / uint64(jobs)
+	if stride == 0 {
+		stride = 1
+	}
+	group := func() ([]gts.SharedOutcome, gts.SharedStats, error) {
+		sj := make([]gts.SharedJob, jobs)
+		for i := range sj {
+			sj[i] = gts.SharedJob{Kernel: kernels.NewBFS(g), Source: (uint64(i) * stride) % nv}
+		}
+		return sys.RunShared(sj, nil)
+	}
+	// Warm up once so pools and caches are populated before measuring.
+	if _, _, err := group(); err != nil {
+		return multiJobEntry{}, err
+	}
+	var wall time.Duration
+	var last gts.SharedStats
+	for i := 0; i < runs; i++ {
+		t0 := time.Now()
+		outs, stats, err := group()
+		if err != nil {
+			return multiJobEntry{}, err
+		}
+		for j, o := range outs {
+			if o.Err != nil {
+				return multiJobEntry{}, fmt.Errorf("member %d: %w", j, o.Err)
+			}
+		}
+		wall += time.Since(t0)
+		last = stats
+	}
+	return multiJobEntry{
+		Jobs:             jobs,
+		Kernel:           "BFS",
+		AggregateMTEPS:   last.AggregateMTEPS(),
+		BytesPerJob:      last.AmortizedBytesPerJob(),
+		SoloBytes:        solo.Metrics.BytesToGPU,
+		SharedPageCopies: last.SharedPageCopies,
+		BytesSaved:       last.BytesSaved,
+		Waves:            last.Waves,
+		WallSeconds:      wall.Seconds() / float64(runs),
+		Runs:             runs,
+	}, nil
+}
+
 // runBenchJSON executes the regression suite and writes BENCH_<rev>.json
-// into outDir, returning the path written.
-func runBenchJSON(dataset string, shrink, runs int, outDir string) (string, error) {
+// into outDir, returning the path written. jobs > 1 additionally records
+// the concurrent-job sharing measurement.
+func runBenchJSON(dataset string, shrink, runs, jobs int, outDir string) (string, error) {
 	g, err := gts.Generate(dataset, shrink)
 	if err != nil {
 		return "", err
@@ -162,6 +247,13 @@ func runBenchJSON(dataset string, shrink, runs int, outDir string) (string, erro
 			}
 			rep.Entries = append(rep.Entries, e)
 		}
+	}
+	if jobs > 1 {
+		e, err := measureMultiJob(g, jobs, runs)
+		if err != nil {
+			return "", fmt.Errorf("multi-job jobs=%d: %w", jobs, err)
+		}
+		rep.MultiJob = append(rep.MultiJob, e)
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return "", err

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// diffRatio is the regression gate: a kernel (or multi-job group) fails
+// the diff when its MTEPS drops below this fraction of the baseline's.
+const diffRatio = 0.9
+
+// readReport parses one BENCH_<rev>.json file.
+func readReport(path string) (benchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return benchReport{}, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return benchReport{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareReports checks every (kernel, workers) entry and every
+// (kernel, jobs) multi-job entry of cur against base, returning one problem
+// string per MTEPS figure that fell below ratio x baseline. Entries without
+// a baseline counterpart (new kernels, new sweep points) pass silently.
+func compareReports(cur, base benchReport, ratio float64) []string {
+	var problems []string
+	baseline := make(map[string]float64, len(base.Entries))
+	for _, e := range base.Entries {
+		baseline[fmt.Sprintf("%s/workers=%d", e.Kernel, e.Workers)] = e.MTEPS
+	}
+	for _, e := range cur.Entries {
+		key := fmt.Sprintf("%s/workers=%d", e.Kernel, e.Workers)
+		if b, ok := baseline[key]; ok && b > 0 && e.MTEPS < b*ratio {
+			problems = append(problems, fmt.Sprintf("%s: MTEPS %.2f < %.0f%% of baseline %.2f",
+				key, e.MTEPS, ratio*100, b))
+		}
+	}
+	multiBase := make(map[string]float64, len(base.MultiJob))
+	for _, e := range base.MultiJob {
+		multiBase[fmt.Sprintf("%s/jobs=%d", e.Kernel, e.Jobs)] = e.AggregateMTEPS
+	}
+	for _, e := range cur.MultiJob {
+		key := fmt.Sprintf("%s/jobs=%d", e.Kernel, e.Jobs)
+		if b, ok := multiBase[key]; ok && b > 0 && e.AggregateMTEPS < b*ratio {
+			problems = append(problems, fmt.Sprintf("%s: aggregate MTEPS %.2f < %.0f%% of baseline %.2f",
+				key, e.AggregateMTEPS, ratio*100, b))
+		}
+	}
+	return problems
+}
+
+// findBaseline picks the most recent BENCH_*.json in dir (by its recorded
+// date) that matches cur's dataset and shrink and is not cur itself.
+func findBaseline(dir string, cur benchReport, curPath string) (benchReport, string, bool) {
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	var best benchReport
+	bestPath := ""
+	for _, p := range matches {
+		if filepath.Clean(p) == filepath.Clean(curPath) {
+			continue
+		}
+		rep, err := readReport(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gtsbench: skipping unreadable record %s: %v\n", p, err)
+			continue
+		}
+		if rep.Dataset != cur.Dataset || rep.Shrink != cur.Shrink {
+			continue
+		}
+		if bestPath == "" || rep.Date > best.Date { // RFC3339 sorts lexically
+			best, bestPath = rep, p
+		}
+	}
+	return best, bestPath, bestPath != ""
+}
+
+// runDiff compares this revision's BENCH_<rev>.json against the previous
+// revision's record and fails on >10% MTEPS regressions. Blessing a known,
+// intentional change: set GTSBENCH_BLESS=1 (the diff then only warns), land
+// the new BENCH_<rev>.json, and the next revision diffs against it.
+func runDiff(dir string) error {
+	rev := gitRev()
+	curPath := filepath.Join(dir, "BENCH_"+rev+".json")
+	cur, err := readReport(curPath)
+	if err != nil {
+		return fmt.Errorf("no current record for rev %s (run `make bench-smoke` first): %w", rev, err)
+	}
+	base, basePath, ok := findBaseline(dir, cur, curPath)
+	if !ok {
+		fmt.Printf("gtsbench: no baseline record matches %s (dataset %s, shrink %d) — nothing to diff\n",
+			curPath, cur.Dataset, cur.Shrink)
+		return nil
+	}
+	problems := compareReports(cur, base, diffRatio)
+	if len(problems) == 0 {
+		fmt.Printf("gtsbench: %s vs %s — no MTEPS regressions (%d kernel entries, %d multi-job entries)\n",
+			curPath, basePath, len(cur.Entries), len(cur.MultiJob))
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "gtsbench: REGRESSION %s\n", p)
+	}
+	if os.Getenv("GTSBENCH_BLESS") == "1" {
+		fmt.Printf("gtsbench: %d regressions vs %s blessed via GTSBENCH_BLESS=1 — commit %s as the new baseline\n",
+			len(problems), basePath, curPath)
+		return nil
+	}
+	return fmt.Errorf("%d MTEPS regressions vs %s (intentional? rerun with GTSBENCH_BLESS=1 and commit the new record)",
+		len(problems), basePath)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(entries []benchEntry, multi []multiJobEntry) benchReport {
+	return benchReport{Rev: "r", Dataset: "RMAT27", Shrink: 16, Entries: entries, MultiJob: multi}
+}
+
+// TestCompareReports pins the regression gate: within-tolerance drift
+// passes, >10% MTEPS drops fail, and entries without a baseline
+// counterpart are ignored.
+func TestCompareReports(t *testing.T) {
+	base := report(
+		[]benchEntry{
+			{Kernel: "BFS", Workers: 1, MTEPS: 100},
+			{Kernel: "PageRank", Workers: 1, MTEPS: 200},
+		},
+		[]multiJobEntry{{Kernel: "BFS", Jobs: 8, AggregateMTEPS: 500}},
+	)
+
+	// Identical numbers: clean.
+	if p := compareReports(base, base, diffRatio); len(p) != 0 {
+		t.Errorf("self-diff found problems: %v", p)
+	}
+
+	// 5% slower is within the 10% tolerance.
+	ok := report(
+		[]benchEntry{
+			{Kernel: "BFS", Workers: 1, MTEPS: 95},
+			{Kernel: "PageRank", Workers: 1, MTEPS: 195},
+		},
+		[]multiJobEntry{{Kernel: "BFS", Jobs: 8, AggregateMTEPS: 475}},
+	)
+	if p := compareReports(ok, base, diffRatio); len(p) != 0 {
+		t.Errorf("5%% drift flagged: %v", p)
+	}
+
+	// One kernel 20% down and the multi-job figure 50% down: two problems.
+	bad := report(
+		[]benchEntry{
+			{Kernel: "BFS", Workers: 1, MTEPS: 80},
+			{Kernel: "PageRank", Workers: 1, MTEPS: 200},
+		},
+		[]multiJobEntry{{Kernel: "BFS", Jobs: 8, AggregateMTEPS: 250}},
+	)
+	p := compareReports(bad, base, diffRatio)
+	if len(p) != 2 {
+		t.Fatalf("problems = %v, want 2", p)
+	}
+	if !strings.Contains(p[0], "BFS/workers=1") {
+		t.Errorf("first problem %q does not name BFS/workers=1", p[0])
+	}
+	if !strings.Contains(p[1], "BFS/jobs=8") {
+		t.Errorf("second problem %q does not name BFS/jobs=8", p[1])
+	}
+
+	// Entries the baseline lacks (new sweep point, new multi-job shape)
+	// pass without a counterpart.
+	novel := report(
+		[]benchEntry{{Kernel: "BFS", Workers: 16, MTEPS: 1}},
+		[]multiJobEntry{{Kernel: "BFS", Jobs: 32, AggregateMTEPS: 1}},
+	)
+	if p := compareReports(novel, base, diffRatio); len(p) != 0 {
+		t.Errorf("novel entries flagged: %v", p)
+	}
+}

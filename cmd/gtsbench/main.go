@@ -7,6 +7,8 @@
 //	gtsbench -exp fig6 -shrink 13     # one experiment at a given scale
 //	gtsbench -exp fig9 -csv out/      # also write CSV files
 //	gtsbench -json -shrink 16         # write BENCH_<rev>.json regression record
+//	gtsbench -json -shrink 16 -jobs 32  # ... with a 32-job sharing measurement
+//	gtsbench -diff                    # fail on >10% MTEPS regression vs baseline
 //	gtsbench -trace out.json          # one traced BFS run -> Chrome trace JSON
 //	gtsbench -trace pr.jsonl -trace-algo pagerank
 package main
@@ -31,6 +33,8 @@ func main() {
 	benchDataset := flag.String("bench-dataset", "RMAT27", "dataset for -json mode")
 	benchRuns := flag.Int("bench-runs", 3, "measured runs per kernel in -json mode")
 	benchOut := flag.String("bench-out", ".", "directory BENCH_<rev>.json is written to")
+	benchJobs := flag.Int("jobs", 8, "concurrent distinct-source BFS jobs for -json's wave-group sharing record (0 disables)")
+	diffMode := flag.Bool("diff", false, "compare this revision's BENCH_<rev>.json against the previous record and fail on >10% MTEPS regressions (GTSBENCH_BLESS=1 downgrades to warnings)")
 	traceOut := flag.String("trace", "", "write one traced run to this file (Chrome trace JSON, or JSONL if it ends in .jsonl) and exit")
 	traceAlgo := flag.String("trace-algo", "bfs", "algorithm for -trace ("+strings.Join(traceAlgoNames, ", ")+")")
 	traceWorkers := flag.Int("trace-workers", 0, "host workers for -trace (0 = GOMAXPROCS; the trace is byte-identical at every setting)")
@@ -44,8 +48,16 @@ func main() {
 		return
 	}
 
+	if *diffMode {
+		if err := runDiff(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "gtsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *jsonMode {
-		path, err := runBenchJSON(*benchDataset, *shrink, *benchRuns, *benchOut)
+		path, err := runBenchJSON(*benchDataset, *shrink, *benchRuns, *benchJobs, *benchOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gtsbench: %v\n", err)
 			os.Exit(1)

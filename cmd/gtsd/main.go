@@ -62,6 +62,7 @@ func main() {
 	streams := flag.Int("streams", 0, "GPU streams per engine (0 = default 32)")
 	hostWorkers := flag.Int("host-workers", 0, "host goroutines executing kernel work per run (0 = GOMAXPROCS, 1 = serial; results identical at every setting)")
 	strategy := flag.String("strategy", "p", "multi-GPU strategy: p (performance) | s (scalability)")
+	shareStreams := flag.Bool("share-streams", false, "coalesce concurrent jobs per graph into shared topology stream wave groups (results identical to solo runs)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault-injection seed (chaos testing; replayable)")
 	faultTransfer := flag.Float64("fault-transfer", 0, "probability of a PCI-E transfer error per DMA [0,1]")
 	faultStall := flag.Float64("fault-stall", 0, "probability of a PCI-E transfer stall per DMA [0,1]")
@@ -72,7 +73,7 @@ func main() {
 	traceJobs := flag.Int("trace-jobs", 0, "retain Chrome trace JSON for the N most recent computed jobs at /debug/trace/{id} (0 = off)")
 	flag.Parse()
 
-	engineCfg := gts.Config{GPUs: *gpus, Streams: *streams, HostWorkers: *hostWorkers}
+	engineCfg := gts.Config{GPUs: *gpus, Streams: *streams, HostWorkers: *hostWorkers, ShareStreams: *shareStreams}
 	if strings.EqualFold(*strategy, "s") {
 		engineCfg.Strategy = gts.StrategyS
 	}
@@ -89,6 +90,9 @@ func main() {
 	if plan.Enabled() {
 		engineCfg.Faults = &plan
 		log.Printf("gtsd: fault injection armed (seed %d)", plan.Seed)
+	}
+	if *shareStreams {
+		log.Printf("gtsd: multi-query topology stream sharing enabled")
 	}
 
 	srv := service.New(service.Config{

@@ -113,6 +113,13 @@ type Config struct {
 	// kernel work. 0 = GOMAXPROCS, 1 = serial. Results are byte-identical
 	// at every setting (see core.Options.HostWorkers).
 	HostWorkers int
+	// ShareStreams opts the serving layer into multi-query topology
+	// sharing: concurrently admitted jobs on the same graph coalesce into
+	// wave groups that stream each topology page once per superstep and
+	// fan the resident bytes out to every member's kernels (see
+	// System.RunShared and internal/sched). Results stay byte-identical to
+	// solo runs; only virtual timing and data-movement accounting change.
+	ShareStreams bool
 }
 
 // FaultPlan is a deterministic, seedable fault-injection plan (see
@@ -125,6 +132,10 @@ type FaultStats = fault.Stats
 // ErrHardwareFault reports that a hardware fault persisted beyond the
 // engine's retry budget; the run was abandoned with no partial results.
 var ErrHardwareFault = core.ErrHardwareFault
+
+// ErrWontFit reports that a configuration's working set (WA + stream
+// buffers) exceeds the machine's device memory.
+var ErrWontFit = core.ErrWontFit
 
 // CacheDisabled turns the device page cache off (Config.CacheBytes).
 const CacheDisabled = core.CacheDisabled
@@ -566,3 +577,70 @@ func (s *System) RunKernel(k Kernel, source uint64) (KernelState, Metrics, error
 
 // KernelClass separates traversal kernels from full-scan kernels.
 type KernelClass = kernels.Class
+
+// SharedJob is one member of a RunShared wave group. A nil Faults inherits
+// the system's Config.Faults; a nil Trace inherits Config.Trace.
+type SharedJob struct {
+	Kernel Kernel
+	Source uint64
+	Faults *FaultPlan
+	Trace  *trace.Recorder
+}
+
+// SharedOutcome is one member's result from RunShared. Exactly one of
+// State/Metrics, Err, or Declined is meaningful: Declined members did not
+// fit the shared machine (their WA would not fit even after dropping the
+// page cache) and should be re-run solo.
+type SharedOutcome struct {
+	State    KernelState
+	Metrics  Metrics
+	Err      error
+	Declined bool
+}
+
+// SharedStats aggregates a wave group's accounting (shared page copies,
+// bytes saved, amortized traffic per member); see core.SharedStats.
+type SharedStats = core.SharedStats
+
+// RunShared executes jobs as one wave group on a single simulated machine:
+// every superstep, the union of the members' page demands streams to the
+// GPUs once and each resident page serves every demanding member's kernel.
+// Each member's final state is byte-identical to what its solo run would
+// produce. admit, when non-nil, is polled at wave boundaries for late
+// joiners; outcomes are indexed in admission order (initial jobs first).
+// Like all algorithm entry points it serializes on the System's run mutex.
+func (s *System) RunShared(jobs []SharedJob, admit func() []SharedJob) ([]SharedOutcome, SharedStats, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	eng, err := core.New(s.cfg.machineSpec(), s.graph, s.cfg.options())
+	if err != nil {
+		return nil, SharedStats{}, err
+	}
+	convert := func(in []SharedJob) []core.SharedJob {
+		out := make([]core.SharedJob, len(in))
+		for i, j := range in {
+			out[i] = core.SharedJob{Kernel: j.Kernel, Source: j.Source, Faults: j.Faults, Trace: j.Trace}
+			if out[i].Faults == nil {
+				out[i].Faults = s.cfg.Faults
+			}
+		}
+		return out
+	}
+	var coreAdmit func() []core.SharedJob
+	if admit != nil {
+		coreAdmit = func() []core.SharedJob { return convert(admit()) }
+	}
+	outs, stats, err := eng.RunShared(convert(jobs), coreAdmit)
+	if err != nil {
+		return nil, SharedStats{}, err
+	}
+	res := make([]SharedOutcome, len(outs))
+	for i, o := range outs {
+		res[i] = SharedOutcome{Err: o.Err, Declined: o.Declined}
+		if o.Report != nil {
+			res[i].State = o.Report.State
+			res[i].Metrics = metricsOf(o.Report)
+		}
+	}
+	return res, stats, nil
+}

@@ -42,6 +42,7 @@ func (r *run) traceMark(kind trace.Kind, gpu, stream int, page int64) {
 func (r *run) withRetry(p *sim.Proc, gpu, stream int, what string, fn func() error) error {
 	backoff := retryBackoff
 	for attempt := 1; ; attempt++ {
+		r.armFaults()
 		err := fn()
 		if err == nil {
 			if attempt > 1 {
@@ -69,6 +70,7 @@ func (r *run) launchKernel(p *sim.Proc, gpuIdx, stream int, pid slottedpage.Page
 	gpu := r.machine.GPUs[gpuIdx]
 	backoff := retryBackoff
 	for attempt := 1; ; attempt++ {
+		r.armFaults()
 		err := gpu.LaunchKernel(p, cycles, nil)
 		if err == nil {
 			if attempt > 1 {
@@ -103,6 +105,7 @@ func (r *run) readPage(p *sim.Proc, pid slottedpage.PageID, gpuIdx, stream int) 
 	g := r.eng.graph
 	backoff := retryBackoff
 	for attempt := 1; ; attempt++ {
+		r.armFaults()
 		t0 := r.env.Now()
 		corrupt, err := r.machine.Storage.ReadPage(p, uint64(pid))
 		r.eng.opts.Trace.Add(trace.Span{GPU: gpuIdx, Stream: stream, Kind: trace.StorageIO,

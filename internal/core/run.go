@@ -61,6 +61,13 @@ type run struct {
 	fstats fault.Stats // recovery counters (injection counts live in inj)
 	abort  error
 
+	// sharedMode marks this run as one member of a multi-query wave group
+	// (see shared.go): the machine, caches, main-memory buffer and inflight
+	// map are shared with sibling members, and every hardware operation
+	// re-arms the machine's injectors with this member's (armFaults) so
+	// fault attribution stays per-job.
+	sharedMode bool
+
 	perGPUWA    int64
 	raPerV      int64
 	waPerVertex int64
@@ -86,6 +93,26 @@ type run struct {
 	levelUpdates   int64
 	updates        int64
 	transferTime   sim.Time
+	// Shared-mode accumulators: pages this member consumed off a sibling's
+	// copy, bytes it read from storage, and its kernels' summed service
+	// time (a shared machine's GPU stats aggregate all members, so member
+	// reports need their own).
+	sharedPagesIn int64
+	storageRead   int64
+	kernelBusy    sim.Time
+}
+
+// armFaults points the shared machine's fault injectors at this member.
+// Solo runs arm the machine once at Run and never re-arm; shared members
+// re-arm immediately before every hardware operation attempt so injected
+// faults are drawn from — and attributed to — the member whose virtual
+// operation is in flight. The sim scheduler runs one process at a time
+// and the hw models read their injector synchronously at call entry, so
+// arming here cannot race a sibling's in-flight operation.
+func (r *run) armFaults() {
+	if r.sharedMode {
+		r.machine.InjectFaults(r.inj)
+	}
 }
 
 // Run executes kernel k to completion and reports timing and metrics.
@@ -125,10 +152,39 @@ func (e *Engine) Run(k kernels.Kernel) (*Report, error) {
 // streaming buffers and the page cache in each GPU's device memory, create
 // the attribute states, and size the main-memory buffer.
 func (r *run) setup() error {
-	e, k, m := r.eng, r.k, r.machine
-	nGPU := len(m.GPUs)
-	nV := e.graph.NumVertices()
+	e, m := r.eng, r.machine
 	pageSize := int64(e.graph.Config().PageSize)
+
+	r.setupStates()
+
+	// Streaming buffers: SPBuf + LPBuf per stream plus an RABuf sized for
+	// the densest page's subvector. A solo run reserves WA and buffers in
+	// one allocation; shared runs allocate group buffers once and per-member
+	// WA separately (see shared.go).
+	raBuf := int64(e.graph.Config().MaxSlotsPerPage()) * r.raPerV
+	bufBytes := int64(e.opts.Streams) * (2*pageSize + raBuf)
+	for _, g := range m.GPUs {
+		if err := g.Alloc(r.perGPUWA + bufBytes); err != nil {
+			hint := "use Strategy-S to spread WA across GPUs or add GPUs"
+			if e.opts.Strategy == StrategyS {
+				hint = "the graph's WA exceeds the machine's total device memory"
+			}
+			return fmt.Errorf("%w: WA %d + buffers %d on %s (%s): %v",
+				ErrWontFit, r.perGPUWA, bufBytes, g.Spec.Name, hint, err)
+		}
+	}
+
+	return r.setupMachine()
+}
+
+// setupStates derives the per-job half of setup from the strategy: the
+// kernel's attribute states (one replica per GPU under Strategy-P, a single
+// shared state under Strategy-S), the per-GPU ownership ranges, and the
+// WA/RA sizing. It performs no device allocation.
+func (r *run) setupStates() {
+	e, k := r.eng, r.k
+	nGPU := len(r.machine.GPUs)
+	nV := e.graph.NumVertices()
 
 	proto := k.NewState()
 	k.Init(proto, e.opts.Source)
@@ -164,21 +220,16 @@ func (r *run) setup() error {
 			r.owned = append(r.owned, [2]uint64{lo, hi})
 		}
 	}
+}
 
-	// Streaming buffers: SPBuf + LPBuf per stream plus an RABuf sized for
-	// the densest page's subvector.
-	raBuf := int64(e.graph.Config().MaxSlotsPerPage()) * r.raPerV
-	bufBytes := int64(e.opts.Streams) * (2*pageSize + raBuf)
-	for _, g := range m.GPUs {
-		if err := g.Alloc(r.perGPUWA + bufBytes); err != nil {
-			hint := "use Strategy-S to spread WA across GPUs or add GPUs"
-			if e.opts.Strategy == StrategyS {
-				hint = "the graph's WA exceeds the machine's total device memory"
-			}
-			return fmt.Errorf("%w: WA %d + buffers %d on %s (%s): %v",
-				ErrWontFit, r.perGPUWA, bufBytes, g.Spec.Name, hint, err)
-		}
-	}
+// setupMachine builds the machine-plant half of setup — the per-GPU page
+// caches and the main-memory buffer — which depends only on the engine
+// options and the memory left after WA/stream-buffer allocation. Shared
+// runs call it once for the whole group.
+func (r *run) setupMachine() error {
+	e, m := r.eng, r.machine
+	nGPU := len(m.GPUs)
+	pageSize := int64(e.graph.Config().PageSize)
 
 	// Page cache in the remaining device memory (paper §3.3).
 	r.caches = make([]*hw.BufferPool, nGPU)

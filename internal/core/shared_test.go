@@ -1,0 +1,428 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/slottedpage"
+	"repro/internal/trace"
+)
+
+// sharedEngine builds an engine for RunShared (the engine-level Source is
+// irrelevant; members carry their own).
+func sharedEngine(t *testing.T, sp *slottedpage.Graph, opts Options, gpus, ssds int) *Engine {
+	t.Helper()
+	return newEngine(t, sp, opts, gpus, ssds)
+}
+
+func mustRunShared(t *testing.T, e *Engine, jobs []SharedJob, admit func() []SharedJob) ([]SharedOutcome, SharedStats) {
+	t.Helper()
+	outs, stats, err := e.RunShared(jobs, admit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs, stats
+}
+
+// TestSharedMatchesSoloAllKernels is the tentpole's acceptance test: a
+// mixed wave group running every built-in kernel at once must leave each
+// member's final state byte-identical to its solo run — topology sharing
+// perturbs virtual timing only, never results.
+func TestSharedMatchesSoloAllKernels(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	cases := kernelCases()
+	opts := Options{Source: 7}
+
+	var jobs []SharedJob
+	made := make([]kernels.Kernel, len(cases))
+	for i, kc := range cases {
+		made[i] = kc.make(sp)
+		jobs = append(jobs, SharedJob{Kernel: made[i], Source: 7})
+	}
+	outs, stats := mustRunShared(t, sharedEngine(t, sp, opts, 1, 0), jobs, nil)
+	if stats.Members != len(cases) {
+		t.Fatalf("Members = %d, want %d", stats.Members, len(cases))
+	}
+	if stats.Waves == 0 {
+		t.Fatal("no waves executed")
+	}
+	for i, kc := range cases {
+		if outs[i].Err != nil || outs[i].Declined {
+			t.Fatalf("%s: outcome err=%v declined=%v", kc.name, outs[i].Err, outs[i].Declined)
+		}
+		soloDigest, soloRep := runDigest(t, sp, kc, opts, 1, 0)
+		got := kc.enc(made[i], outs[i].Report.State)
+		if !bytes.Equal(got, soloDigest) {
+			t.Errorf("%s: shared state differs from solo", kc.name)
+		}
+		if outs[i].Report.Levels != soloRep.Levels {
+			t.Errorf("%s: Levels = %d, solo %d", kc.name, outs[i].Report.Levels, soloRep.Levels)
+		}
+		if outs[i].Report.EdgesTraversed != soloRep.EdgesTraversed {
+			t.Errorf("%s: EdgesTraversed = %d, solo %d", kc.name, outs[i].Report.EdgesTraversed, soloRep.EdgesTraversed)
+		}
+		if outs[i].Report.Updates != soloRep.Updates {
+			t.Errorf("%s: Updates = %d, solo %d", kc.name, outs[i].Report.Updates, soloRep.Updates)
+		}
+	}
+	// Mixed algorithms still share: at least some pages must have been
+	// served to more than one member.
+	if stats.SharedPageCopies == 0 {
+		t.Error("mixed group recorded no shared page copies")
+	}
+	if stats.BytesSaved <= 0 {
+		t.Error("BytesSaved not accounted")
+	}
+}
+
+// bfsSources returns n distinct BFS sources spread across the vertex set.
+// Distinct sources matter: at the service layer identical requests would be
+// absorbed by single-flight dedup rather than exercising wave sharing.
+func bfsSources(n int, nV uint64) []uint64 {
+	stride := nV / uint64(n)
+	if stride == 0 {
+		stride = 1
+	}
+	src := make([]uint64, n)
+	for i := range src {
+		src[i] = uint64(i) * stride % nV
+	}
+	return src
+}
+
+// TestShared32BFSAmortizesBytes is the ISSUE's headline acceptance: 32
+// concurrent BFS jobs from distinct sources on one graph must stream at
+// most 2x the topology bytes of one solo run, record shared copies, and
+// leave every member byte-identical to its solo counterpart.
+func TestShared32BFSAmortizesBytes(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	pageSize := int64(sp.Config().PageSize)
+	sources := bfsSources(32, sp.NumVertices())
+
+	solo := make(map[uint64][]int16)
+	var soloBytes int64
+	for _, s := range sources {
+		if _, ok := solo[s]; ok {
+			continue
+		}
+		k := kernels.NewBFS(sp)
+		rep := mustRun(t, newEngine(t, sp, Options{Source: s}, 1, 0), k)
+		solo[s] = append([]int16(nil), k.Levels(rep.State)...)
+		if b := rep.PagesStreamed * pageSize; b > soloBytes {
+			soloBytes = b
+		}
+	}
+
+	var jobs []SharedJob
+	made := make([]*kernels.BFS, len(sources))
+	for i, s := range sources {
+		made[i] = kernels.NewBFS(sp)
+		jobs = append(jobs, SharedJob{Kernel: made[i], Source: s})
+	}
+	outs, stats := mustRunShared(t, sharedEngine(t, sp, Options{}, 1, 0), jobs, nil)
+
+	for i, s := range sources {
+		if outs[i].Err != nil || outs[i].Declined {
+			t.Fatalf("job %d: err=%v declined=%v", i, outs[i].Err, outs[i].Declined)
+		}
+		got := made[i].Levels(outs[i].Report.State)
+		want := solo[s]
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("job %d (source %d): vertex %d level = %d, solo %d", i, s, v, got[v], want[v])
+			}
+		}
+	}
+	if stats.SharedPageCopies == 0 {
+		t.Error("32-way BFS group recorded no shared page copies")
+	}
+	if stats.PageBytesStreamed > 2*soloBytes {
+		t.Errorf("group streamed %d topology bytes, want <= 2x solo (%d)", stats.PageBytesStreamed, 2*soloBytes)
+	}
+	if got := stats.AmortizedBytesPerJob(); got <= 0 {
+		t.Errorf("AmortizedBytesPerJob = %v", got)
+	}
+	// The whole point: each member paid far less than a solo run's traffic.
+	if stats.BytesSaved == 0 {
+		t.Error("no bytes saved across 32 members")
+	}
+}
+
+// TestSharedFaultedMatchesClean: members with per-member chaos plans must
+// produce results byte-identical to a clean shared run and to solo runs.
+func TestSharedFaultedMatchesClean(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	sources := []uint64{0, 512, 1024, 1536}
+
+	run := func(withFaults bool) ([][]int16, SharedStats) {
+		var jobs []SharedJob
+		made := make([]*kernels.BFS, len(sources))
+		for i, s := range sources {
+			made[i] = kernels.NewBFS(sp)
+			j := SharedJob{Kernel: made[i], Source: s}
+			if withFaults {
+				plan := chaosPlan()
+				plan.Seed = int64(100 + i) // distinct fault sequences per member
+				j.Faults = plan
+			}
+			jobs = append(jobs, j)
+		}
+		outs, stats := mustRunShared(t, sharedEngine(t, sp, Options{}, 1, 1), jobs, nil)
+		res := make([][]int16, len(sources))
+		for i := range sources {
+			if outs[i].Err != nil {
+				t.Fatalf("job %d: %v", i, outs[i].Err)
+			}
+			res[i] = append([]int16(nil), made[i].Levels(outs[i].Report.State)...)
+			if withFaults && outs[i].Report.Faults.Injected() == 0 && i == 0 {
+				t.Log("note: member 0 drew no injections (rates are low)")
+			}
+		}
+		return res, stats
+	}
+
+	clean, _ := run(false)
+	faulted, _ := run(true)
+	for i := range sources {
+		if !bytes.Equal(encodeVec(clean[i]), encodeVec(faulted[i])) {
+			t.Errorf("member %d: faulted shared run differs from clean shared run", i)
+		}
+	}
+	for i, s := range sources {
+		k := kernels.NewBFS(sp)
+		rep := mustRun(t, newEngine(t, sp, Options{Source: s}, 1, 1), k)
+		if !bytes.Equal(encodeVec(k.Levels(rep.State)), encodeVec(clean[i])) {
+			t.Errorf("member %d: shared run differs from solo", i)
+		}
+	}
+}
+
+// TestSharedFaultedMemberDoesNotStallGroup: a member whose storage reads
+// always corrupt exhausts its retry budget and aborts, but the next live
+// demander of each page takes over the copy with a fresh budget, so the
+// rest of the group completes and matches solo.
+func TestSharedFaultedMemberDoesNotStallGroup(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	poison := &fault.Plan{Seed: 7, CorruptionRate: 1}
+
+	// The poisoned member joins FIRST, so it is the issuer for every page
+	// the group demands at wave 1 until it aborts.
+	jobs := []SharedJob{
+		{Kernel: kernels.NewBFS(sp), Source: 0, Faults: poison},
+		{Kernel: kernels.NewBFS(sp), Source: 0},
+		{Kernel: kernels.NewBFS(sp), Source: 512},
+	}
+	outs, stats := mustRunShared(t, sharedEngine(t, sp, Options{}, 1, 1), jobs, nil)
+
+	if outs[0].Err == nil {
+		t.Fatal("poisoned member did not fail")
+	}
+	if !errors.Is(outs[0].Err, ErrHardwareFault) {
+		t.Fatalf("poisoned member error = %v, want ErrHardwareFault", outs[0].Err)
+	}
+	for i := 1; i < 3; i++ {
+		if outs[i].Err != nil || outs[i].Declined {
+			t.Fatalf("survivor %d: err=%v declined=%v", i, outs[i].Err, outs[i].Declined)
+		}
+	}
+	for i, src := range []uint64{0, 512} {
+		k := kernels.NewBFS(sp)
+		rep := mustRun(t, newEngine(t, sp, Options{Source: src}, 1, 1), k)
+		got := jobs[i+1].Kernel.(*kernels.BFS).Levels(outs[i+1].Report.State)
+		if !bytes.Equal(encodeVec(got), encodeVec(k.Levels(rep.State))) {
+			t.Errorf("survivor %d differs from solo", i+1)
+		}
+	}
+	if stats.Elapsed <= 0 {
+		t.Error("group made no progress")
+	}
+}
+
+// TestSharedAdmitJoinsAtWaveBoundary: a job handed to the admit callback
+// mid-run joins at the next wave boundary and still matches its solo run.
+func TestSharedAdmitJoinsAtWaveBoundary(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+
+	bfs := kernels.NewBFS(sp)
+	pr := kernels.NewPageRank(sp, 0.85, 5)
+	polls := 0
+	admit := func() []SharedJob {
+		polls++
+		if polls == 2 {
+			return []SharedJob{{Kernel: pr, Source: 0}}
+		}
+		return nil
+	}
+	outs, stats := mustRunShared(t, sharedEngine(t, sp, Options{}, 1, 0),
+		[]SharedJob{{Kernel: bfs, Source: 0}}, admit)
+
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(outs))
+	}
+	if stats.Members != 2 {
+		t.Fatalf("Members = %d, want 2", stats.Members)
+	}
+	for i, o := range outs {
+		if o.Err != nil || o.Declined {
+			t.Fatalf("outcome %d: err=%v declined=%v", i, o.Err, o.Declined)
+		}
+	}
+	soloBFS := kernels.NewBFS(sp)
+	repB := mustRun(t, newEngine(t, sp, Options{Source: 0}, 1, 0), soloBFS)
+	if !bytes.Equal(encodeVec(bfs.Levels(outs[0].Report.State)), encodeVec(soloBFS.Levels(repB.State))) {
+		t.Error("initial BFS member differs from solo")
+	}
+	soloPR := kernels.NewPageRank(sp, 0.85, 5)
+	repP := mustRun(t, newEngine(t, sp, Options{Source: 0}, 1, 0), soloPR)
+	if !bytes.Equal(encodeVec(pr.Ranks(outs[1].Report.State)), encodeVec(soloPR.Ranks(repP.State))) {
+		t.Error("late-joining PageRank member differs from solo")
+	}
+}
+
+// TestSharedMultiGPUStrategies: wave groups must stay byte-identical to
+// solo under both placement strategies with multiple GPUs and storage.
+func TestSharedMultiGPUStrategies(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	for _, cfg := range []config{
+		{"P-2gpu-mem", StrategyP, 2, 0},
+		{"S-2gpu-mem", StrategyS, 2, 0},
+		{"P-2gpu-2ssd", StrategyP, 2, 2},
+		{"S-2gpu-2ssd", StrategyS, 2, 2},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			opts := Options{Strategy: cfg.strategy}
+			bfs := kernels.NewBFS(sp)
+			pr := kernels.NewPageRank(sp, 0.85, 5)
+			outs, _ := mustRunShared(t, sharedEngine(t, sp, opts, cfg.gpus, cfg.ssds), []SharedJob{
+				{Kernel: bfs, Source: 0},
+				{Kernel: pr, Source: 0},
+			}, nil)
+			for i, o := range outs {
+				if o.Err != nil || o.Declined {
+					t.Fatalf("outcome %d: err=%v declined=%v", i, o.Err, o.Declined)
+				}
+			}
+			soloBFS := kernels.NewBFS(sp)
+			opts.Source = 0
+			repB := mustRun(t, newEngine(t, sp, opts, cfg.gpus, cfg.ssds), soloBFS)
+			if !bytes.Equal(encodeVec(bfs.Levels(outs[0].Report.State)), encodeVec(soloBFS.Levels(repB.State))) {
+				t.Error("BFS differs from solo")
+			}
+			soloPR := kernels.NewPageRank(sp, 0.85, 5)
+			repP := mustRun(t, newEngine(t, sp, opts, cfg.gpus, cfg.ssds), soloPR)
+			if !bytes.Equal(encodeVec(pr.Ranks(outs[1].Report.State)), encodeVec(soloPR.Ranks(repP.State))) {
+				t.Error("PageRank differs from solo")
+			}
+		})
+	}
+}
+
+// TestSharedDeclineWhenWAWontFit: when a joiner's WA cannot fit even after
+// the cache is gone, it is declined (solo fallback) rather than sinking the
+// group.
+func TestSharedDeclineWhenWAWontFit(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	pageSize := int64(sp.Config().PageSize)
+
+	probe := kernels.NewPageRank(sp, 0.85, 5)
+	st := probe.NewState()
+	probe.Init(st, 0)
+	wa := st.WABytes()
+
+	raBuf := int64(sp.Config().MaxSlotsPerPage()) * sharedRABudget
+	bufBytes := 1 * (2*pageSize + raBuf) // Streams: 1 below
+	spec := hw.Workstation(1, 0)
+	spec.GPUs[0].DeviceMemory = bufBytes + 2*wa + wa/2 // room for two WAs, not three
+
+	e, err := New(spec, sp, Options{Streams: 1, CacheBytes: CacheDisabled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []SharedJob{
+		{Kernel: kernels.NewPageRank(sp, 0.85, 5), Source: 0},
+		{Kernel: kernels.NewPageRank(sp, 0.85, 5), Source: 0},
+		{Kernel: kernels.NewPageRank(sp, 0.85, 5), Source: 0},
+	}
+	outs, stats, err := e.RunShared(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Err != nil || outs[1].Err != nil {
+		t.Fatalf("fitting members failed: %v / %v", outs[0].Err, outs[1].Err)
+	}
+	if !outs[2].Declined {
+		t.Fatalf("third member not declined: %+v", outs[2])
+	}
+	if stats.Declined != 1 || stats.Members != 2 {
+		t.Errorf("stats Declined=%d Members=%d, want 1/2", stats.Declined, stats.Members)
+	}
+}
+
+// TestSharedDeterminism: the same group replayed from scratch lands on the
+// identical virtual makespan and accounting.
+func TestSharedDeterminism(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	sources := bfsSources(8, sp.NumVertices())
+
+	run := func() SharedStats {
+		var jobs []SharedJob
+		for _, s := range sources {
+			jobs = append(jobs, SharedJob{Kernel: kernels.NewBFS(sp), Source: s})
+		}
+		_, stats := mustRunShared(t, sharedEngine(t, sp, Options{}, 1, 1), jobs, nil)
+		return stats
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("replay diverged:\n  a = %+v\n  b = %+v", a, b)
+	}
+}
+
+// TestSharedEmitsWaveSpans: per-member recorders carry the new Wave and
+// SharedCopy span kinds.
+func TestSharedEmitsWaveSpans(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	rec0 := trace.NewWithID("member0")
+	rec1 := trace.NewWithID("member1")
+	jobs := []SharedJob{
+		{Kernel: kernels.NewBFS(sp), Source: 0, Trace: rec0},
+		{Kernel: kernels.NewBFS(sp), Source: 512, Trace: rec1},
+	}
+	outs, stats := mustRunShared(t, sharedEngine(t, sp, Options{}, 1, 0), jobs, nil)
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("outcome %d: %v", i, o.Err)
+		}
+	}
+	count := func(rec *trace.Recorder, kind trace.Kind) int {
+		n := 0
+		for _, s := range rec.Spans() {
+			if s.Kind == kind {
+				n++
+			}
+		}
+		return n
+	}
+	if count(rec0, trace.Wave) == 0 {
+		t.Error("member 0 recorded no wave spans")
+	}
+	if stats.SharedPageCopies > 0 && count(rec0, trace.SharedCopy)+count(rec1, trace.SharedCopy) == 0 {
+		t.Error("shared copies happened but no SharedCopy spans recorded")
+	}
+	if count(rec0, trace.Run) != 1 {
+		t.Errorf("member 0 Run spans = %d, want 1", count(rec0, trace.Run))
+	}
+}

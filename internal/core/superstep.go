@@ -258,6 +258,7 @@ func (r *run) fetch(p *sim.Proc, pid slottedpage.PageID, gpuIdx, stream int) err
 		err := r.readPage(p, pid, gpuIdx, stream)
 		if err == nil {
 			r.buffer.Insert(uint64(pid))
+			r.storageRead += int64(r.eng.graph.Config().PageSize)
 		}
 		delete(r.inflight, pid)
 		sig.Fire()

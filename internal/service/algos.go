@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	gts "repro"
+	"repro/internal/kernels"
 )
 
 // Params carries one algorithm request's inputs. Unset fields take
@@ -29,7 +30,7 @@ type Params struct {
 	MaxHops  int `json:"maxhops,omitempty"`
 }
 
-// algorithm binds a name to its parameter normalization and its run path.
+// algorithm binds a name to its parameter normalization and its run paths.
 type algorithm struct {
 	// normalize fills defaults and zeroes unused fields, returning the
 	// canonical Params that key the result cache.
@@ -37,6 +38,10 @@ type algorithm struct {
 	// run executes on a (serialized) System; output is the public result
 	// struct the matching gts.System method returns.
 	run func(*gts.System, Params) (output any, m gts.Metrics, err error)
+	// shared builds the job's kernel for a wave-group run plus a decoder
+	// that assembles the same public result struct from the group outcome.
+	// The decoder is bound to the kernel instance it is returned with.
+	shared func(g *gts.Graph, p Params) (k gts.Kernel, source uint64, decode func(gts.KernelState, gts.Metrics) any)
 }
 
 var algorithms = map[string]algorithm{
@@ -48,6 +53,12 @@ var algorithms = map[string]algorithm{
 				return nil, gts.Metrics{}, err
 			}
 			return r, r.Metrics, nil
+		},
+		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+			k := kernels.NewBFS(g)
+			return k, p.Source, func(st gts.KernelState, m gts.Metrics) any {
+				return &gts.BFSResult{Metrics: m, Levels: k.Levels(st)}
+			}
 		},
 	},
 	"pagerank": {
@@ -68,6 +79,12 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
+		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+			k := kernels.NewPageRank(g, p.Damping, p.Iterations)
+			return k, 0, func(st gts.KernelState, m gts.Metrics) any {
+				return &gts.PageRankResult{Metrics: m, Ranks: k.Ranks(st)}
+			}
+		},
 	},
 	"sssp": {
 		normalize: func(p Params) Params { return Params{Source: p.Source} },
@@ -77,6 +94,12 @@ var algorithms = map[string]algorithm{
 				return nil, gts.Metrics{}, err
 			}
 			return r, r.Metrics, nil
+		},
+		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+			k := kernels.NewSSSP(g)
+			return k, p.Source, func(st gts.KernelState, m gts.Metrics) any {
+				return &gts.SSSPResult{Metrics: m, Dist: k.Distances(st)}
+			}
 		},
 	},
 	"cc": {
@@ -88,6 +111,12 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
+		shared: func(g *gts.Graph, _ Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+			k := kernels.NewCC(g)
+			return k, 0, func(st gts.KernelState, m gts.Metrics) any {
+				return &gts.CCResult{Metrics: m, Labels: k.Components(st)}
+			}
+		},
 	},
 	"bc": {
 		normalize: func(p Params) Params { return Params{Source: p.Source} },
@@ -97,6 +126,12 @@ var algorithms = map[string]algorithm{
 				return nil, gts.Metrics{}, err
 			}
 			return r, r.Metrics, nil
+		},
+		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+			k := kernels.NewBC(g)
+			return k, p.Source, func(st gts.KernelState, m gts.Metrics) any {
+				return &gts.BCResult{Metrics: m, Scores: k.Centrality(st, p.Source)}
+			}
 		},
 	},
 	"rwr": {
@@ -117,6 +152,12 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
+		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+			k := kernels.NewRWR(g, p.Restart, p.Iterations)
+			return k, p.Source, func(st gts.KernelState, m gts.Metrics) any {
+				return &gts.RWRResult{Metrics: m, Scores: k.Scores(st)}
+			}
+		},
 	},
 	"degree": {
 		normalize: func(Params) Params { return Params{} },
@@ -126,6 +167,12 @@ var algorithms = map[string]algorithm{
 				return nil, gts.Metrics{}, err
 			}
 			return r, r.Metrics, nil
+		},
+		shared: func(g *gts.Graph, _ Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+			k := kernels.NewDegreeDist(g)
+			return k, 0, func(st gts.KernelState, m gts.Metrics) any {
+				return &gts.DegreeResult{Metrics: m, Degrees: k.Degrees(st), Histogram: k.Histogram(st)}
+			}
 		},
 	},
 	"kcore": {
@@ -142,6 +189,12 @@ var algorithms = map[string]algorithm{
 				return nil, gts.Metrics{}, err
 			}
 			return r, r.Metrics, nil
+		},
+		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+			k := kernels.NewKCore(g, p.K)
+			return k, 0, func(st gts.KernelState, m gts.Metrics) any {
+				return &gts.KCoreResult{Metrics: m, InCore: k.InCore(st)}
+			}
 		},
 	},
 	"radius": {
@@ -162,6 +215,12 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
+		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+			k := kernels.NewRadius(g, p.Sketches, p.MaxHops)
+			return k, 0, func(st gts.KernelState, m gts.Metrics) any {
+				return &gts.RadiusResult{Metrics: m, Radii: k.Radii(st), EffectiveDiameter: k.EffectiveDiameter(st, 0.9)}
+			}
+		},
 	},
 	"ball": {
 		normalize: func(p Params) Params {
@@ -177,6 +236,12 @@ var algorithms = map[string]algorithm{
 				return nil, gts.Metrics{}, err
 			}
 			return r, r.Metrics, nil
+		},
+		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+			k := kernels.NewNeighborhood(g, p.Hops)
+			return k, p.Source, func(st gts.KernelState, m gts.Metrics) any {
+				return &gts.NeighborhoodResult{Metrics: m, Hops: k.Members(st)}
+			}
 		},
 	},
 }

@@ -91,6 +91,10 @@ type loadRequest struct {
 	// Faults arms deterministic fault injection on every engine in this
 	// graph's pool (chaos testing; see gts.FaultPlan).
 	Faults *gts.FaultPlan `json:"faults,omitempty"`
+	// ShareStreams opts this graph into multi-query topology sharing:
+	// concurrent jobs coalesce into wave groups that stream each page once
+	// (see gts.Config.ShareStreams).
+	ShareStreams bool `json:"share_streams,omitempty"`
 }
 
 func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
@@ -108,7 +112,7 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	cfg := gts.Config{GPUs: req.GPUs, Streams: req.Streams, HostWorkers: req.HostWorkers, Faults: req.Faults}
+	cfg := gts.Config{GPUs: req.GPUs, Streams: req.Streams, HostWorkers: req.HostWorkers, Faults: req.Faults, ShareStreams: req.ShareStreams}
 	if strings.EqualFold(req.Strategy, "s") {
 		cfg.Strategy = gts.StrategyS
 	}

@@ -31,6 +31,9 @@ type metrics struct {
 	failed    uint64
 	rejected  uint64
 	timedOut  uint64
+	// coalesced counts submissions answered by piggybacking on an identical
+	// in-flight job (single-flight dedup) instead of computing again.
+	coalesced uint64
 	inFlight  int64
 	// faults accumulates the engine's fault-injection and recovery
 	// counters across runs; hwFailures counts jobs abandoned because a
@@ -62,6 +65,7 @@ func (m *metrics) addSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
 func (m *metrics) addRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
 func (m *metrics) addTimedOut()  { m.mu.Lock(); m.timedOut++; m.mu.Unlock() }
 func (m *metrics) addFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+func (m *metrics) addCoalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
 
 func (m *metrics) runStarted()  { m.mu.Lock(); m.inFlight++; m.mu.Unlock() }
 func (m *metrics) runFinished() { m.mu.Lock(); m.inFlight--; m.mu.Unlock() }
@@ -117,17 +121,47 @@ func summarize(h *obs.Histogram) LatencySummary {
 	return LatencySummary{Count: s.Count, P50: s.Quantile(0.5), P90: s.Quantile(0.9), P99: s.Quantile(0.99)}
 }
 
+// SharingStats aggregates the per-graph wave-group schedulers' lifetime
+// counters (zero when no graph serves with ShareStreams).
+type SharingStats struct {
+	// WaveGroups is how many shared groups ran; GroupJobs how many jobs they
+	// served; SoloFallbacks how many declined jobs re-ran privately.
+	WaveGroups    int64 `json:"wave_groups"`
+	GroupJobs     int64 `json:"group_jobs"`
+	SoloFallbacks int64 `json:"solo_fallbacks"`
+	// Waves counts superstep waves across groups; PageCopies host-to-device
+	// page transfers; SharedPageCopies the member servings satisfied by a
+	// page another member already paid to stream (the sharing win).
+	Waves            int64 `json:"waves"`
+	PageCopies       int64 `json:"page_copies"`
+	SharedPageCopies int64 `json:"shared_page_copies"`
+	BytesSaved       int64 `json:"bytes_saved"`
+	BytesToGPU       int64 `json:"bytes_to_gpu"`
+}
+
+// AmortizedBytesPerJob is the mean host-to-device traffic per group-served
+// job.
+func (s SharingStats) AmortizedBytesPerJob() float64 {
+	if s.GroupJobs == 0 {
+		return 0
+	}
+	return float64(s.BytesToGPU) / float64(s.GroupJobs)
+}
+
 // Stats is a point-in-time snapshot of the server's counters, exposed both
 // programmatically and (rendered) at /metrics.
 type Stats struct {
-	QueueDepth  int    `json:"queue_depth"`
-	QueueCap    int    `json:"queue_cap"`
-	InFlight    int64  `json:"in_flight"`
-	Submitted   uint64 `json:"submitted"`
-	Completed   uint64 `json:"completed"`
-	Failed      uint64 `json:"failed"`
-	Rejected    uint64 `json:"rejected"`
-	TimedOut    uint64 `json:"timed_out"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	InFlight   int64  `json:"in_flight"`
+	Submitted  uint64 `json:"submitted"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Rejected   uint64 `json:"rejected"`
+	TimedOut   uint64 `json:"timed_out"`
+	// Coalesced counts submissions deduplicated onto an identical in-flight
+	// job (single-flight).
+	Coalesced   uint64 `json:"coalesced"`
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
 	CacheSize   int    `json:"cache_size"`
@@ -137,6 +171,9 @@ type Stats struct {
 	HostWorkers int            `json:"host_workers"`
 	Faults      gts.FaultStats `json:"faults"`
 	HWFailures  uint64         `json:"hw_failures"`
+	// Sharing aggregates wave-group activity across graphs serving with
+	// ShareStreams.
+	Sharing SharingStats `json:"sharing"`
 	// QueueWait and RunWall summarize the admission-queue wait and engine
 	// compute-time distributions.
 	QueueWait LatencySummary       `json:"queue_wait"`
@@ -181,6 +218,16 @@ func (m *metrics) write(w io.Writer, s Stats) {
 	counter("gtsd_fault_recoveries_total", "Faulted operations that eventually succeeded.", uint64(s.Faults.Recoveries))
 	counter("gtsd_fault_degradations_total", "Device-OOM spills from the cached to the streaming path.", uint64(s.Faults.Degradations))
 	counter("gtsd_hw_failures_total", "Jobs abandoned after the engine's retry budget was exhausted.", s.HWFailures)
+	counter("gtsd_jobs_coalesced_total", "Submissions deduplicated onto an identical in-flight job.", s.Coalesced)
+	counter("gtsd_wave_groups_total", "Shared wave groups run across ShareStreams graphs.", uint64(s.Sharing.WaveGroups))
+	counter("gtsd_wave_group_jobs_total", "Jobs served inside shared wave groups.", uint64(s.Sharing.GroupJobs))
+	counter("gtsd_solo_fallbacks_total", "Declined wave-group members re-run privately.", uint64(s.Sharing.SoloFallbacks))
+	counter("gtsd_waves_total", "Superstep waves across shared groups.", uint64(s.Sharing.Waves))
+	counter("gtsd_page_copies_total", "Topology pages streamed to GPUs by shared groups.", uint64(s.Sharing.PageCopies))
+	counter("gtsd_shared_page_copies_total", "Member page servings satisfied by a copy another member paid for.", uint64(s.Sharing.SharedPageCopies))
+	counter("gtsd_shared_bytes_saved_total", "Host-to-device bytes avoided by multi-query page sharing.", uint64(s.Sharing.BytesSaved))
+	counter("gtsd_shared_bytes_to_gpu_total", "Host-to-device bytes moved by shared groups.", uint64(s.Sharing.BytesToGPU))
+	gauge("gtsd_amortized_bytes_per_job", "Mean host-to-device bytes per wave-group job.", fmt.Sprintf("%.1f", s.Sharing.AmortizedBytesPerJob()))
 
 	fmt.Fprintf(w, "# HELP gtsd_job_queue_wait_seconds Admission-queue wait per dequeued job.\n# TYPE gtsd_job_queue_wait_seconds histogram\n")
 	_ = m.queueWait.WritePrometheus(w, "gtsd_job_queue_wait_seconds", "")

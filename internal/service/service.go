@@ -27,6 +27,7 @@ import (
 	"time"
 
 	gts "repro"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -244,6 +245,9 @@ type graphEntry struct {
 	name string
 	gen  uint64 // load generation, part of the cache key
 	pool *gts.SystemPool
+	// sched coalesces concurrent jobs into shared wave groups; nil unless
+	// the pool was configured with ShareStreams.
+	sched *sched.Scheduler
 }
 
 // GraphInfo describes a registered graph for listings.
@@ -277,27 +281,32 @@ type Server struct {
 	met    *metrics
 	traces *traceStore // nil when Config.TraceJobs == 0
 
-	mu       sync.Mutex // graphs, jobs, nextID, nextGen, closed
+	mu       sync.Mutex // graphs, jobs, inflight, nextID, nextGen, closed
 	graphs   map[string]*graphEntry
 	jobs     map[string]*Job
 	jobOrder []*Job
+	// inflight maps a cache key to the queued or running job computing it;
+	// identical concurrent submissions coalesce behind it (single-flight).
+	inflight map[string]*Job
 	nextID   uint64
 	nextGen  uint64
 	closed   bool
 
-	workers sync.WaitGroup
+	workers   sync.WaitGroup
+	followers sync.WaitGroup // coalesced-job mirror goroutines
 }
 
 // New starts a Server with cfg's worker pool running.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		queue:  make(chan *Job, cfg.QueueDepth),
-		cache:  newResultCache(cfg.CacheEntries),
-		met:    newMetrics(),
-		graphs: make(map[string]*graphEntry),
-		jobs:   make(map[string]*Job),
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		cache:    newResultCache(cfg.CacheEntries),
+		met:      newMetrics(),
+		graphs:   make(map[string]*graphEntry),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
 	}
 	if cfg.TraceJobs > 0 {
 		s.traces = newTraceStore(cfg.TraceJobs)
@@ -313,6 +322,8 @@ func New(cfg Config) *Server {
 // must not be mutated afterwards (slotted-page graphs are immutable once
 // built). Re-registering a name replaces the previous graph and, via the
 // generation in the cache key, implicitly invalidates its cached results.
+// Pools configured with gts.Config.ShareStreams get a wave-group scheduler:
+// concurrent jobs on the graph coalesce into shared topology streams.
 func (s *Server) AddGraph(name string, pool *gts.SystemPool) error {
 	if name == "" || pool == nil {
 		return fmt.Errorf("service: AddGraph needs a name and a pool")
@@ -323,7 +334,16 @@ func (s *Server) AddGraph(name string, pool *gts.SystemPool) error {
 		return ErrShuttingDown
 	}
 	s.nextGen++
-	s.graphs[name] = &graphEntry{name: name, gen: s.nextGen, pool: pool}
+	entry := &graphEntry{name: name, gen: s.nextGen, pool: pool}
+	if pool.Config().ShareStreams {
+		entry.sched = sched.New(pool, sched.Config{})
+	}
+	if old := s.graphs[name]; old != nil && old.sched != nil {
+		// Drain the replaced graph's scheduler off the lock; in-flight jobs
+		// against the old entry still complete through it.
+		go old.sched.Close()
+	}
+	s.graphs[name] = entry
 	return nil
 }
 
@@ -428,8 +448,24 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		job.cancel()
 		return nil, ErrShuttingDown
 	}
+	// Single-flight: an identical request already queued or running becomes
+	// this job's leader; the follower never enters the queue, it mirrors the
+	// leader's outcome when it lands.
+	if leader, ok := s.inflight[job.key]; ok {
+		s.rememberLocked(job)
+		s.mu.Unlock()
+		s.met.addSubmitted()
+		s.met.addCoalesced()
+		s.followers.Add(1)
+		go func() {
+			defer s.followers.Done()
+			s.mirror(job, leader)
+		}()
+		return job, nil
+	}
 	select {
 	case s.queue <- job:
+		s.inflight[job.key] = job
 		s.rememberLocked(job)
 		s.mu.Unlock()
 		s.met.addSubmitted()
@@ -440,6 +476,38 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		job.cancel()
 		return nil, ErrOverloaded
 	}
+}
+
+// mirror completes a coalesced follower with its leader's outcome (or a
+// timeout if the follower's own deadline expires first).
+func (s *Server) mirror(job, leader *Job) {
+	defer job.cancel()
+	select {
+	case <-leader.Done():
+	case <-job.ctx.Done():
+		s.met.addTimedOut()
+		job.fail(fmt.Errorf("%w (coalesced behind %s)", ErrTimeout, leader.id), JobTimedOut)
+		return
+	}
+	res, err := leader.Result()
+	if err != nil {
+		s.met.addFailed()
+		job.fail(fmt.Errorf("coalesced behind %s: %w", leader.id, err), JobFailed)
+		return
+	}
+	job.complete(res, true)
+	s.met.jobCompleted(job.req.Algo, job.Latency(), 0, 0)
+}
+
+// clearInflight drops the single-flight registration once the leader
+// reaches a terminal state, so later identical submissions go through the
+// cache (or recompute) instead of chaining onto a finished job.
+func (s *Server) clearInflight(job *Job) {
+	s.mu.Lock()
+	if s.inflight[job.key] == job {
+		delete(s.inflight, job.key)
+	}
+	s.mu.Unlock()
 }
 
 // Run submits req and waits for the job to finish or ctx to expire. On
@@ -507,9 +575,21 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	graphs := len(s.graphs)
 	hostWorkers := 0
+	var sharing SharingStats
 	for _, e := range s.graphs {
 		if hw := effectiveHostWorkers(e.pool.Config()); hw > hostWorkers {
 			hostWorkers = hw
+		}
+		if e.sched != nil {
+			ss := e.sched.Stats()
+			sharing.WaveGroups += ss.Groups
+			sharing.GroupJobs += ss.GroupJobs
+			sharing.SoloFallbacks += ss.SoloRuns
+			sharing.Waves += ss.Waves
+			sharing.PageCopies += ss.PageCopies
+			sharing.SharedPageCopies += ss.SharedPageCopies
+			sharing.BytesSaved += ss.BytesSaved
+			sharing.BytesToGPU += ss.BytesToGPU
 		}
 	}
 	s.mu.Unlock()
@@ -524,6 +604,7 @@ func (s *Server) Stats() Stats {
 		Failed:      m.failed,
 		Rejected:    m.rejected,
 		TimedOut:    m.timedOut,
+		Coalesced:   m.coalesced,
 		CacheHits:   hits,
 		CacheMisses: misses,
 		CacheSize:   size,
@@ -531,6 +612,7 @@ func (s *Server) Stats() Stats {
 		HostWorkers: hostWorkers,
 		Faults:      m.faults,
 		HWFailures:  m.hwFailures,
+		Sharing:     sharing,
 	}
 	m.mu.Unlock()
 	st.QueueWait = summarize(&m.queueWait)
@@ -552,6 +634,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	drained := make(chan struct{})
 	go func() {
 		s.workers.Wait()
+		s.followers.Wait()
+		// Drain the per-graph wave-group schedulers after the workers: no
+		// worker is left to submit into them, and Close blocks until their
+		// in-flight groups finish.
+		s.mu.Lock()
+		scheds := make([]*sched.Scheduler, 0, len(s.graphs))
+		for _, e := range s.graphs {
+			if e.sched != nil {
+				scheds = append(scheds, e.sched)
+			}
+		}
+		s.mu.Unlock()
+		for _, sc := range scheds {
+			sc.Close()
+		}
 		close(drained)
 	}()
 	select {
@@ -576,6 +673,7 @@ func (s *Server) worker() {
 // execute runs one dequeued job to a terminal state.
 func (s *Server) execute(job *Job) {
 	defer job.cancel()
+	defer s.clearInflight(job)
 	s.met.observeQueueWait(time.Since(job.submitted))
 	if job.ctx.Err() != nil {
 		s.met.addTimedOut()
@@ -588,6 +686,12 @@ func (s *Server) execute(job *Job) {
 	if res, ok := s.cache.peek(job.key); ok {
 		job.complete(res, true)
 		s.met.jobCompleted(job.req.Algo, job.Latency(), 0, 0)
+		return
+	}
+	// Graphs serving with ShareStreams route through the wave-group
+	// scheduler so concurrent jobs coalesce onto shared topology streams.
+	if job.entry.sched != nil && job.algo.shared != nil {
+		s.executeShared(job)
 		return
 	}
 	sys, err := job.entry.pool.Acquire(job.ctx)
@@ -638,4 +742,53 @@ func (s *Server) execute(job *Job) {
 	s.cache.put(job.key, res)
 	job.complete(res, false)
 	s.met.jobCompleted(job.req.Algo, job.Latency(), wall, m.Elapsed)
+}
+
+// executeShared serves one job through its graph's wave-group scheduler.
+// The result is byte-identical to the solo path (the engine's shared-run
+// invariant); only the data-movement accounting and virtual timing reflect
+// the sharing.
+func (s *Server) executeShared(job *Job) {
+	k, source, decode := job.algo.shared(job.entry.pool.Graph(), job.req.Params)
+	sj := sched.Job{Kernel: k, Source: source}
+	var rec *trace.Recorder
+	if s.traces != nil {
+		rec = trace.NewWithID(job.id)
+		sj.Trace = rec
+	}
+	job.setRunning()
+	s.met.runStarted()
+	start := time.Now()
+	out, err := job.entry.sched.Run(job.ctx, sj)
+	wall := time.Since(start)
+	s.met.runFinished()
+	s.met.observeRunWall(wall)
+	if rec != nil {
+		s.traces.put(job.id, rec)
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.met.addTimedOut()
+			job.fail(fmt.Errorf("%w (in wave group)", ErrTimeout), JobTimedOut)
+			return
+		}
+		s.met.addFailed()
+		if errors.Is(err, gts.ErrHardwareFault) {
+			s.met.addHWFailure()
+		}
+		job.fail(err, JobFailed)
+		return
+	}
+	s.met.addFaults(out.Metrics.Faults)
+	res := &Result{
+		Graph:   job.req.Graph,
+		Algo:    job.req.Algo,
+		Params:  job.req.Params,
+		Metrics: out.Metrics,
+		Output:  decode(out.State, out.Metrics),
+		Wall:    wall,
+	}
+	s.cache.put(job.key, res)
+	job.complete(res, false)
+	s.met.jobCompleted(job.req.Algo, job.Latency(), wall, out.Metrics.Elapsed)
 }

@@ -1,0 +1,334 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	gts "repro"
+	"repro/internal/service"
+)
+
+// TestCoalesceIdenticalSubmissions pins single-flight dedup: identical
+// requests submitted while the first is still in flight ride on it instead
+// of recomputing, and the coalesced counter says so.
+func TestCoalesceIdenticalSubmissions(t *testing.T) {
+	g, _ := testGraphPair(t)
+	srv := service.New(service.Config{Workers: 1, QueueDepth: 8})
+	pool, err := gts.NewSystemPool(g, gts.Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddGraph("g", pool); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Hold the only engine so the leader cannot finish while the followers
+	// submit — the dedup window stays deterministically open.
+	held, ok := pool.TryAcquire()
+	if !ok {
+		t.Fatal("could not claim the pool's engine")
+	}
+
+	req := service.Request{Graph: "g", Algo: "bfs", Params: service.Params{Source: 7}}
+	leader, err := srv.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	followers := make([]*service.Job, 3)
+	for i := range followers {
+		if followers[i], err = srv.Submit(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Stats().Coalesced; got != uint64(len(followers)) {
+		t.Errorf("coalesced = %d, want %d", got, len(followers))
+	}
+
+	pool.Release(held)
+	<-leader.Done()
+	lres, err := leader.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(lres.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range followers {
+		<-f.Done()
+		fres, err := f.Result()
+		if err != nil {
+			t.Fatalf("follower %d: %v", i, err)
+		}
+		if !f.Cached() {
+			t.Errorf("follower %d not marked as a shared answer", i)
+		}
+		got, err := json.Marshal(fres.Output)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("follower %d output differs from leader", i)
+		}
+	}
+
+	// A submission after the leader finished is a cache hit, not a coalesce.
+	after, err := srv.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Cached() {
+		t.Error("post-completion repeat not served from cache")
+	}
+	if got := srv.Stats().Coalesced; got != uint64(len(followers)) {
+		t.Errorf("coalesced moved to %d after completion, want %d", got, len(followers))
+	}
+}
+
+// TestChaosSharedWaveGroups is the service-level acceptance test for
+// multi-query stream sharing: 32 concurrent jobs (16 BFS sources + 16
+// PageRank iteration counts) on one ShareStreams graph under an absorbable
+// fault plan. Every answer must be byte-identical to a clean solo run, the
+// wave-group counters must show pages were shared, and /metrics must expose
+// the new series. Run under -race via `make test-race`.
+func TestChaosSharedWaveGroups(t *testing.T) {
+	g, _ := testGraphPair(t)
+	srv := service.New(service.Config{Workers: 32, QueueDepth: 64})
+	plan := &gts.FaultPlan{Seed: 21, TransferErrorRate: 0.05, TransferStallRate: 0.05}
+	pool, err := gts.NewSystemPool(g, gts.Config{ShareStreams: true, Faults: plan}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddGraph("shared", pool); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	// Clean solo references on an unshared, fault-free system.
+	clean, err := gts.NewSystem(g, gts.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLevels := make([][]int16, 16)
+	for i := range wantLevels {
+		res, err := clean.BFS(uint64(i * 128))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLevels[i] = res.Levels
+	}
+	wantRanks := make([][]float32, 16)
+	for i := range wantRanks {
+		res, err := clean.PageRank(0.85, i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRanks[i] = res.Ranks
+	}
+
+	const n = 32
+	jobs := make([]*service.Job, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		req := service.Request{Graph: "shared", Algo: "bfs", Params: service.Params{Source: uint64(i * 128)}}
+		if i >= 16 {
+			req = service.Request{Graph: "shared", Algo: "pagerank", Params: service.Params{Iterations: i - 15}}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			jobs[i], errs[i] = srv.Run(context.Background(), req)
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		res, err := jobs[i].Result()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if i < 16 {
+			out := res.Output.(*gts.BFSResult)
+			if !equalLevels(out.Levels, wantLevels[i]) {
+				t.Errorf("BFS job %d differs from clean solo run", i)
+			}
+		} else {
+			out := res.Output.(*gts.PageRankResult)
+			if !equalRanks(out.Ranks, wantRanks[i-16]) {
+				t.Errorf("PageRank job %d differs from clean solo run", i)
+			}
+		}
+	}
+
+	st := srv.Stats()
+	if st.Sharing.WaveGroups == 0 || st.Sharing.GroupJobs == 0 {
+		t.Errorf("no wave groups ran: %+v", st.Sharing)
+	}
+	if st.Sharing.GroupJobs > 1 && st.Sharing.SharedPageCopies == 0 {
+		t.Errorf("grouped %d jobs but shared no pages: %+v", st.Sharing.GroupJobs, st.Sharing)
+	}
+	if st.Sharing.AmortizedBytesPerJob() <= 0 {
+		t.Errorf("AmortizedBytesPerJob = %v", st.Sharing.AmortizedBytesPerJob())
+	}
+	if st.Faults.Injected() == 0 {
+		t.Error("fault plan injected nothing through the shared path")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"gtsd_jobs_coalesced_total", "gtsd_wave_groups_total",
+		"gtsd_shared_page_copies_total", "gtsd_shared_bytes_saved_total",
+		"gtsd_amortized_bytes_per_job",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if st.Sharing.SharedPageCopies > 0 && !metricAbove(string(metrics), "gtsd_shared_page_copies_total", 0) {
+		t.Error("gtsd_shared_page_copies_total is zero on /metrics despite shared copies")
+	}
+}
+
+func equalLevels(a, b []int16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalRanks(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSharedGraphServesSoloAlgorithms: a ShareStreams graph still answers
+// every registered algorithm correctly through the scheduler path.
+func TestSharedGraphServesSoloAlgorithms(t *testing.T) {
+	g, _ := testGraphPair(t)
+	srv := service.New(service.Config{Workers: 4})
+	pool, err := gts.NewSystemPool(g, gts.Config{ShareStreams: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddGraph("shared", pool); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	clean, err := gts.NewSystem(g, gts.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range service.Algorithms() {
+		job, err := srv.Run(context.Background(), service.Request{Graph: "shared", Algo: algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		res, err := job.Result()
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		got, err := json.Marshal(res.Output)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want any
+		switch algo {
+		case "bfs":
+			want, err = clean.BFS(0)
+		case "pagerank":
+			want, err = clean.PageRank(0.85, 10)
+		case "sssp":
+			want, err = clean.SSSP(0)
+		case "cc":
+			want, err = clean.CC()
+		case "bc":
+			want, err = clean.BC(0)
+		case "rwr":
+			want, err = clean.RWR(0, 0.15, 10)
+		case "degree":
+			want, err = clean.DegreeDistribution()
+		case "kcore":
+			want, err = clean.KCore(3)
+		case "radius":
+			want, err = clean.Radius(8, 256)
+		case "ball":
+			want, err = clean.Neighborhood(0, 2)
+		default:
+			t.Fatalf("no reference for %q", algo)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameOutput(got, wantJSON) {
+			t.Errorf("%s via shared path differs from clean solo run", algo)
+		}
+	}
+}
+
+// sameOutput compares two result JSON documents ignoring the embedded
+// Metrics (wave-group data movement legitimately differs from solo; the
+// functional payload must not).
+func sameOutput(a, b []byte) bool {
+	var ma, mb map[string]json.RawMessage
+	if json.Unmarshal(a, &ma) != nil || json.Unmarshal(b, &mb) != nil {
+		return false
+	}
+	// "Levels" stays: it is the functional depth/iteration count (and BFS's
+	// payload field), identical between shared and solo by the engine's
+	// determinism invariant.
+	metricsFields := map[string]bool{
+		"Elapsed": true, "PagesStreamed": true, "CacheHitRate": true,
+		"BufferHitRate": true, "BytesToGPU": true, "StorageBytes": true,
+		"TransferTime": true, "KernelTime": true, "WABytes": true, "MTEPS": true,
+		"LevelPages": true, "LevelBytes": true, "Faults": true, "HostWorkers": true,
+	}
+	for k := range metricsFields {
+		delete(ma, k)
+		delete(mb, k)
+	}
+	if len(ma) != len(mb) {
+		return false
+	}
+	for k, v := range ma {
+		if !bytes.Equal(v, mb[k]) {
+			return false
+		}
+	}
+	return true
+}

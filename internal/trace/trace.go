@@ -33,10 +33,12 @@ const (
 	Retry                 // recovery re-attempt (zero-duration marker)
 	Run                   // the whole run, emitted once at completion
 	Superstep             // one traversal level / iteration, superstep + sync
+	Wave                  // one shared superstep wave of a multi-query group
+	SharedCopy            // a page copy served to a member by another member's stream
 )
 
 // NumKinds is the count of span kinds (for Summary.Busy indexing).
-const NumKinds = int(Superstep) + 1
+const NumKinds = int(SharedCopy) + 1
 
 // String names the kind. Unknown values format as "kind(N)" rather than
 // silently aliasing a real kind.
@@ -60,6 +62,10 @@ func (k Kind) String() string {
 		return "run"
 	case Superstep:
 		return "superstep"
+	case Wave:
+		return "wave"
+	case SharedCopy:
+		return "sharedcopy"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

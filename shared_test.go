@@ -1,0 +1,101 @@
+package gts
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// TestSystemRunShared exercises the public wave-group entry point: a mixed
+// BFS + PageRank group must match the solo algorithm results exactly and
+// report group-level sharing stats.
+func TestSystemRunShared(t *testing.T) {
+	g := smallGraph(t)
+	sys, err := NewSystem(g, Config{ShareStreams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bfsK := kernels.NewBFS(g)
+	prK := kernels.NewPageRank(g, 0.85, 5)
+	outs, stats, err := sys.RunShared([]SharedJob{
+		{Kernel: bfsK, Source: 0},
+		{Kernel: bfsK, Source: 512},
+		{Kernel: prK, Source: 0},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 || stats.Members != 3 {
+		t.Fatalf("outcomes=%d members=%d, want 3/3", len(outs), stats.Members)
+	}
+	for i, o := range outs {
+		if o.Err != nil || o.Declined {
+			t.Fatalf("outcome %d: err=%v declined=%v", i, o.Err, o.Declined)
+		}
+		if o.Metrics.Elapsed <= 0 {
+			t.Errorf("outcome %d: Elapsed = %v", i, o.Metrics.Elapsed)
+		}
+	}
+	if stats.SharedPageCopies == 0 || stats.BytesSaved == 0 {
+		t.Errorf("no sharing recorded: %+v", stats)
+	}
+	if stats.AmortizedBytesPerJob() <= 0 {
+		t.Errorf("AmortizedBytesPerJob = %v", stats.AmortizedBytesPerJob())
+	}
+
+	// BFS members decode against solo runs. The kernel instance is shared
+	// between the two BFS jobs on purpose: kernels are stateless decoders,
+	// all per-job data lives in the outcome's State.
+	for i, src := range []uint64{0, 512} {
+		solo, err := sys.BFS(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(bfsK.Levels(outs[i].State), solo.Levels) {
+			t.Errorf("BFS member %d (source %d) differs from solo", i, src)
+		}
+	}
+	soloPR, err := sys.PageRank(0.85, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(prK.Ranks(outs[2].State), soloPR.Ranks) {
+		t.Error("PageRank member differs from solo")
+	}
+}
+
+// TestSystemRunSharedInheritsFaults: a nil per-job fault plan inherits the
+// system's, and results stay identical to the fault-free group.
+func TestSystemRunSharedInheritsFaults(t *testing.T) {
+	g := smallGraph(t)
+	plan := &FaultPlan{Seed: 11, TransferErrorRate: 0.05, TransferStallRate: 0.05}
+	sys, err := NewSystem(g, Config{Faults: plan, ShareStreams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.NewBFS(g)
+	outs, _, err := sys.RunShared([]SharedJob{{Kernel: k, Source: 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Err != nil {
+		t.Fatal(outs[0].Err)
+	}
+	if outs[0].Metrics.Faults.Injected() == 0 {
+		t.Error("inherited fault plan injected nothing")
+	}
+
+	clean, err := NewSystem(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := clean.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(k.Levels(outs[0].State), solo.Levels) {
+		t.Error("faulted shared run differs from clean solo")
+	}
+}
