@@ -58,6 +58,26 @@ type multiJobEntry struct {
 	Runs        int     `json:"runs"`
 }
 
+// poolEntry is one eviction-policy x kernel measurement over the shared
+// host page pool: storage-backed runs through a pool a quarter of the
+// topology, contrasting each policy's hit rate on scan-heavy access
+// (PageRank touches every page every iteration) against frontier-sparse
+// access (BFS touches only frontier pages per level).
+type poolEntry struct {
+	Policy string `json:"policy"`
+	Kernel string `json:"kernel"`
+	// HitRate is pool hits over all pool pins of the last (warm) run;
+	// Hits/Loads/Evictions are the pool's lifetime counters after all runs.
+	HitRate   float64 `json:"hit_rate"`
+	Hits      int64   `json:"hits"`
+	Loads     int64   `json:"loads"`
+	Evictions int64   `json:"evictions"`
+	MTEPS     float64 `json:"mteps"`
+	// WallSeconds is the mean real time of one full run.
+	WallSeconds float64 `json:"wall_seconds"`
+	Runs        int     `json:"runs"`
+}
+
 // benchReport is the BENCH_<rev>.json document.
 type benchReport struct {
 	Rev        string       `json:"rev"`
@@ -69,6 +89,9 @@ type benchReport struct {
 	// MultiJob records the concurrent-job sharing measurements (empty when
 	// -jobs is 0).
 	MultiJob []multiJobEntry `json:"multi_job,omitempty"`
+	// Pool records the eviction-policy hit-rate sweep over the shared host
+	// page pool (informational: the diff gate does not compare it).
+	Pool []poolEntry `json:"pool,omitempty"`
 }
 
 // gitRev resolves the short commit hash, or "dev" outside a git checkout.
@@ -224,6 +247,79 @@ func measureMultiJob(g *gts.Graph, jobs, runs int) (multiJobEntry, error) {
 	}, nil
 }
 
+// poolBenchKernels are the two access patterns the pool sweep contrasts.
+var poolBenchKernels = []struct {
+	name string
+	run  func(sys *gts.System) (gts.Metrics, error)
+}{
+	{"BFS", func(sys *gts.System) (gts.Metrics, error) {
+		res, err := sys.BFS(0)
+		if err != nil {
+			return gts.Metrics{}, err
+		}
+		return res.Metrics, nil
+	}},
+	{"PageRank", func(sys *gts.System) (gts.Metrics, error) {
+		res, err := sys.PageRank(0.85, 5)
+		if err != nil {
+			return gts.Metrics{}, err
+		}
+		return res.Metrics, nil
+	}},
+}
+
+// measurePool runs one kernel `runs` times over a fresh quarter-topology
+// host pool under the given eviction policy and reports the warm hit rate.
+// The device page cache is disabled so every superstep's page touches
+// reach the host pool — with it on, the GPU cache absorbs all intra-run
+// reuse and every policy degenerates to first-touch loads.
+func measurePool(g *gts.Graph, policy, name string, run func(*gts.System) (gts.Metrics, error), runs int) (poolEntry, error) {
+	cfg := gts.Config{
+		Storage: gts.SSDs, Devices: 1, CacheBytes: gts.CacheDisabled,
+		PoolPolicy: policy, PoolBytes: g.TopologyBytes() / 4,
+	}
+	pool, err := gts.NewHostPool(g, cfg)
+	if err != nil {
+		return poolEntry{}, err
+	}
+	cfg.HostPool = pool
+	sys, err := gts.NewSystem(g, cfg)
+	if err != nil {
+		return poolEntry{}, err
+	}
+	// Warm up once so the pool holds its steady-state working set.
+	if _, err := run(sys); err != nil {
+		return poolEntry{}, err
+	}
+	var wall time.Duration
+	var last gts.Metrics
+	for i := 0; i < runs; i++ {
+		t0 := time.Now()
+		m, err := run(sys)
+		if err != nil {
+			return poolEntry{}, err
+		}
+		wall += time.Since(t0)
+		last = m
+	}
+	hitRate := 0.0
+	if pins := last.PoolHits + last.PoolLoads + last.PoolWaits; pins > 0 {
+		hitRate = float64(last.PoolHits) / float64(pins)
+	}
+	st := pool.Stats()
+	return poolEntry{
+		Policy:      policy,
+		Kernel:      name,
+		HitRate:     hitRate,
+		Hits:        st.Hits,
+		Loads:       st.Loads,
+		Evictions:   st.Evictions,
+		MTEPS:       last.MTEPS,
+		WallSeconds: wall.Seconds() / float64(runs),
+		Runs:        runs,
+	}, nil
+}
+
 // runBenchJSON executes the regression suite and writes BENCH_<rev>.json
 // into outDir, returning the path written. jobs > 1 additionally records
 // the concurrent-job sharing measurement.
@@ -254,6 +350,15 @@ func runBenchJSON(dataset string, shrink, runs, jobs int, outDir string) (string
 			return "", fmt.Errorf("multi-job jobs=%d: %w", jobs, err)
 		}
 		rep.MultiJob = append(rep.MultiJob, e)
+	}
+	for _, policy := range gts.PoolPolicies() {
+		for _, pk := range poolBenchKernels {
+			e, err := measurePool(g, policy, pk.name, pk.run, runs)
+			if err != nil {
+				return "", fmt.Errorf("pool policy=%s kernel=%s: %w", policy, pk.name, err)
+			}
+			rep.Pool = append(rep.Pool, e)
+		}
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return "", err

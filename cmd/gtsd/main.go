@@ -7,6 +7,7 @@
 //
 //	gtsd -listen :8090 -load social=Twitter@12 -load web=UK2007@12
 //	gtsd -listen :8090 -load big=rmat30.gts -pool 8 -workers 8 -gpus 2
+//	gtsd -listen :8090 -load big=rmat30.gts -storage ssd -pool-policy 2q -pool-bytes 268435456
 //	gtsd -listen :8090 -load social=Twitter@12 -pprof -trace-jobs 16
 //
 //	curl -X POST localhost:8090/v1/graphs/social/pagerank -d '{"iterations":10}'
@@ -63,6 +64,10 @@ func main() {
 	hostWorkers := flag.Int("host-workers", 0, "host goroutines executing kernel work per run (0 = GOMAXPROCS, 1 = serial; results identical at every setting)")
 	strategy := flag.String("strategy", "p", "multi-GPU strategy: p (performance) | s (scalability)")
 	shareStreams := flag.Bool("share-streams", false, "coalesce concurrent jobs per graph into shared topology stream wave groups (results identical to solo runs)")
+	storage := flag.String("storage", "mem", "graph placement: mem (all in main memory) | ssd | hdd (stream pages from simulated storage)")
+	poolBytes := flag.Int64("pool-bytes", 0, "shared host page-pool budget per graph in bytes — one pinned buffer ALL of a graph's engines stream through, so hot pages occupy host memory once however many jobs run (0 with -pool-policy set = 20% of the topology; 0 alone = classic private buffer per run; needs -storage ssd|hdd)")
+	poolPolicy := flag.String("pool-policy", "", "host page-pool eviction policy: lru | clock | 2q (setting it opts into the shared pool)")
+	poolSeed := flag.Int64("pool-seed", 0, "host page-pool eviction tiebreak seed (replayable)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault-injection seed (chaos testing; replayable)")
 	faultTransfer := flag.Float64("fault-transfer", 0, "probability of a PCI-E transfer error per DMA [0,1]")
 	faultStall := flag.Float64("fault-stall", 0, "probability of a PCI-E transfer stall per DMA [0,1]")
@@ -73,9 +78,30 @@ func main() {
 	traceJobs := flag.Int("trace-jobs", 0, "retain Chrome trace JSON for the N most recent computed jobs at /debug/trace/{id} (0 = off)")
 	flag.Parse()
 
-	engineCfg := gts.Config{GPUs: *gpus, Streams: *streams, HostWorkers: *hostWorkers, ShareStreams: *shareStreams}
+	engineCfg := gts.Config{
+		GPUs: *gpus, Streams: *streams, HostWorkers: *hostWorkers, ShareStreams: *shareStreams,
+		PoolBytes: *poolBytes, PoolPolicy: *poolPolicy, PoolSeed: *poolSeed,
+	}
 	if strings.EqualFold(*strategy, "s") {
 		engineCfg.Strategy = gts.StrategyS
+	}
+	switch strings.ToLower(*storage) {
+	case "", "mem", "memory":
+	case "ssd", "ssds":
+		engineCfg.Storage = gts.SSDs
+	case "hdd", "hdds":
+		engineCfg.Storage = gts.HDDs
+	default:
+		log.Fatalf("gtsd: bad -storage %q (want mem, ssd, or hdd)", *storage)
+	}
+	if engineCfg.Storage != gts.InMemory && (engineCfg.PoolBytes > 0 || engineCfg.PoolPolicy != "") {
+		policy := engineCfg.PoolPolicy
+		if policy == "" {
+			policy = "lru"
+		}
+		log.Printf("gtsd: shared host page pool enabled (policy %s) — each graph's hot pages buffer in host memory once, shared by its whole engine pool", policy)
+	} else if engineCfg.PoolBytes > 0 || engineCfg.PoolPolicy != "" {
+		log.Printf("gtsd: ignoring -pool-bytes/-pool-policy: graphs are in-memory (set -storage ssd or hdd)")
 	}
 	plan := gts.FaultPlan{
 		Seed:              *faultSeed,

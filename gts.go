@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/graphgen"
@@ -120,6 +121,59 @@ type Config struct {
 	// System.RunShared and internal/sched). Results stay byte-identical to
 	// solo runs; only virtual timing and data-movement accounting change.
 	ShareStreams bool
+	// PoolBytes opts storage-backed runs into the shared host page pool
+	// (internal/bufpool): a single pinned, ref-counted buffer replaces the
+	// per-run private MMBuf, so every System sharing the pool keeps at
+	// most one host copy of each hot page. > 0 sets the pool budget in
+	// bytes; 0 with a non-empty PoolPolicy uses 20% of the topology (the
+	// paper's MMBuf sizing); 0 with an empty PoolPolicy keeps the classic
+	// private buffer. Ignored for in-memory graphs. Results are
+	// byte-identical with and without the pool.
+	PoolBytes int64
+	// PoolPolicy selects the pool's eviction policy: "lru" (default),
+	// "clock", or "2q". Setting it (with PoolBytes == 0) is enough to opt
+	// into pooling.
+	PoolPolicy string
+	// PoolSeed seeds policy tiebreaks (the CLOCK hand's initial position).
+	// Equal seeds replay identical eviction sequences.
+	PoolSeed int64
+	// HostPool, when non-nil, is used directly instead of building a pool
+	// from PoolBytes/PoolPolicy — the way several Systems (or a
+	// SystemPool, which does this automatically) share one pool.
+	HostPool *BufferPool
+}
+
+// BufferPool is the shared, pinned host page pool (see internal/bufpool).
+// Build one with NewHostPool and hand it to every Config that should share
+// it via Config.HostPool.
+type BufferPool = bufpool.Pool
+
+// PoolStats is a point-in-time snapshot of a BufferPool's counters.
+type PoolStats = bufpool.Stats
+
+// PoolPolicies lists the eviction policies Config.PoolPolicy accepts.
+func PoolPolicies() []string { return bufpool.Policies() }
+
+// wantsPool reports whether the Config opts into the shared host pool.
+func (c Config) wantsPool() bool {
+	return c.HostPool != nil || c.PoolBytes > 0 || c.PoolPolicy != ""
+}
+
+// NewHostPool builds a shared host page pool for g from cfg's
+// PoolBytes/PoolPolicy/PoolSeed (PoolBytes <= 0 defaults to 20% of the
+// topology, mirroring the paper's MMBuf sizing; empty PoolPolicy means
+// LRU). The returned pool may back any number of Systems over g.
+func NewHostPool(g *Graph, cfg Config) (*BufferPool, error) {
+	bytes := cfg.PoolBytes
+	if bytes <= 0 {
+		bytes = g.TopologyBytes() / 5
+	}
+	return bufpool.New(bufpool.Config{
+		PageSize: int64(g.Config().PageSize),
+		Bytes:    bytes,
+		Policy:   cfg.PoolPolicy,
+		Seed:     cfg.PoolSeed,
+	})
 }
 
 // FaultPlan is a deterministic, seedable fault-injection plan (see
@@ -238,8 +292,18 @@ type System struct {
 	runMu sync.Mutex
 }
 
-// NewSystem validates the configuration against the graph.
+// NewSystem validates the configuration against the graph. A Config that
+// opts into the shared host pool (PoolBytes/PoolPolicy) without supplying
+// Config.HostPool gets a private pool of its own; pass the same
+// NewHostPool result to several Systems (or use a SystemPool) to share.
 func NewSystem(g *Graph, cfg Config) (*System, error) {
+	if cfg.Storage != InMemory && cfg.HostPool == nil && cfg.wantsPool() {
+		pool, err := NewHostPool(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.HostPool = pool
+	}
 	// Construct an engine once to surface configuration errors eagerly.
 	if _, err := core.New(cfg.machineSpec(), g, cfg.options()); err != nil {
 		return nil, err
@@ -249,6 +313,10 @@ func NewSystem(g *Graph, cfg Config) (*System, error) {
 
 // Graph returns the system's graph.
 func (s *System) Graph() *Graph { return s.graph }
+
+// HostPool returns the shared host page pool backing this System's
+// storage-backed runs, or nil when the classic private buffer is in use.
+func (s *System) HostPool() *BufferPool { return s.cfg.HostPool }
 
 // SetTrace swaps the recorder subsequent runs emit spans into and returns
 // the previous one, serialized against in-flight runs by the same mutex
@@ -273,6 +341,7 @@ func (c Config) options() core.Options {
 		Trace:       c.Trace,
 		Faults:      c.Faults,
 		HostWorkers: c.HostWorkers,
+		HostPool:    c.HostPool,
 	}
 }
 
@@ -307,6 +376,13 @@ type Metrics struct {
 	// wall-clock observation, not part of the deterministic result.
 	HostWorkers    int           `json:",omitempty"`
 	HostKernelWall time.Duration `json:"-"`
+	// PoolHits, PoolLoads and PoolWaits are this run's shared host-pool
+	// traffic (all zero unless the System uses a BufferPool): pins served
+	// from a resident page, pins that paid a storage read, and pins that
+	// fell back to an uncached bypass read.
+	PoolHits  int64 `json:",omitempty"`
+	PoolLoads int64 `json:",omitempty"`
+	PoolWaits int64 `json:",omitempty"`
 }
 
 func metricsOf(r *core.Report) Metrics {
@@ -327,6 +403,9 @@ func metricsOf(r *core.Report) Metrics {
 		Faults:         r.Faults,
 		HostWorkers:    r.HostWorkers,
 		HostKernelWall: r.HostKernelWall,
+		PoolHits:       r.PoolHits,
+		PoolLoads:      r.PoolLoads,
+		PoolWaits:      r.PoolWaits,
 	}
 }
 

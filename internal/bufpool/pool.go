@@ -1,0 +1,359 @@
+// Package bufpool provides the shared host page buffer pool: one
+// pinned/ref-counted pool per registered graph, shared by every engine in
+// a SystemPool and by RunShared wave groups, so concurrent queries over
+// the same graph keep at most one host copy of each hot topology page.
+//
+// The pool mirrors the paper's main-memory buffer (GTS §3.3, Algorithm 1
+// lines 18–26) but is reference-counted so concurrent runs can hold pages
+// across a stream without racing eviction. Eviction policy is pluggable
+// (Replacer: LRU, CLOCK, 2Q) and deterministic under a seeded tiebreak,
+// which keeps golden result digests byte-stable across policies: the pool
+// only ever affects *which* reads hit memory, never what a kernel
+// computes.
+//
+// Pin never blocks. The caller contract is:
+//
+//	switch p.Pin(pid) {
+//	case bufpool.Hit:     // page resident: use it, then Unpin.
+//	case bufpool.Load:    // frame reserved for you: read the page from
+//	                      // storage, then Ready (success: page is now
+//	                      // resident and pinned by you — Unpin when done)
+//	                      // or Abort (failure: frame released).
+//	case bufpool.Busy:    // another goroutine is loading it: bypass the
+//	                      // pool (read storage directly) or retry later.
+//	case bufpool.NoFrame: // every frame is pinned or loading: bypass.
+//	}
+//
+// Busy/NoFrame bypass instead of blocking because callers are processes
+// inside cooperative simulation environments: a real block while holding
+// an env's scheduler turn could deadlock two envs loading each other's
+// pages. Same-env duplicate loads are coalesced above the pool by the
+// run's inflight table; cross-env duplicates are rare enough that a
+// bypass read is cheaper than a cross-env wait protocol.
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PinState is the result of a Pin call.
+type PinState int
+
+const (
+	// Hit: the page is resident; the refcount was incremented.
+	Hit PinState = iota
+	// Load: a frame was reserved and pinned for the caller, who must
+	// populate it and call Ready (or Abort on failure).
+	Load
+	// Busy: another caller holds the page's frame in loading state; the
+	// caller should bypass the pool or retry after yielding.
+	Busy
+	// NoFrame: every frame is pinned or loading, so nothing can be
+	// evicted to make room; the caller should bypass the pool.
+	NoFrame
+)
+
+func (s PinState) String() string {
+	switch s {
+	case Hit:
+		return "hit"
+	case Load:
+		return "load"
+	case Busy:
+		return "busy"
+	case NoFrame:
+		return "noframe"
+	default:
+		return fmt.Sprintf("pinstate(%d)", int(s))
+	}
+}
+
+// Config configures a Pool.
+type Config struct {
+	// PageSize is the slotted page size in bytes; must be positive.
+	PageSize int64
+	// Bytes is the pool budget. The page capacity is Bytes/PageSize,
+	// floored, with a minimum of one page.
+	Bytes int64
+	// Policy selects the eviction policy: "lru" (default), "clock", "2q".
+	Policy string
+	// Seed drives the deterministic eviction tiebreak.
+	Seed int64
+}
+
+// Stats is a point-in-time snapshot of pool counters.
+type Stats struct {
+	Policy        string
+	Hits          int64 // Pin calls answered from a resident page
+	Loads         int64 // Pin calls granted a Load frame (storage reads through the pool)
+	Evictions     int64 // pages evicted (replacer victims + over-budget unpins)
+	PinWaits      int64 // Pin calls denied (Busy or NoFrame) — bypass reads
+	Resident      int   // resident pages (loading frames included)
+	Pinned        int   // resident pages with refcount > 0 or loading
+	ResidentBytes int64 // Resident * PageSize
+	BudgetBytes   int64 // current budget (Capacity * PageSize)
+}
+
+type frame struct {
+	refs    int
+	loading bool
+}
+
+// Pool is a ref-counted host page buffer pool. All methods are safe for
+// concurrent use. The pool tracks residency and refcounts only — actual
+// page bytes live in the storage layer's read path; keeping the pool
+// byte-free makes the model-test oracle exact and the pool reusable for
+// any fixed-size page population.
+type Pool struct {
+	mu       sync.Mutex
+	pageSize int64
+	capacity int // page budget; resident may exceed it transiently when pins outlive a shrink
+	policy   string
+	seed     int64
+	frames   map[uint64]*frame
+	rep      Replacer
+
+	hits, loads, evictions, pinWaits int64
+}
+
+// New builds a pool. The capacity is cfg.Bytes/cfg.PageSize pages,
+// minimum one.
+func New(cfg Config) (*Pool, error) {
+	if cfg.PageSize <= 0 {
+		return nil, fmt.Errorf("bufpool: page size must be positive, got %d", cfg.PageSize)
+	}
+	capacity := int(cfg.Bytes / cfg.PageSize)
+	if capacity < 1 {
+		capacity = 1
+	}
+	policy := cfg.Policy
+	if policy == "" {
+		policy = "lru"
+	}
+	rep, err := NewReplacer(policy, capacity, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{
+		pageSize: cfg.PageSize,
+		capacity: capacity,
+		policy:   policy,
+		seed:     cfg.Seed,
+		frames:   make(map[uint64]*frame),
+		rep:      rep,
+	}, nil
+}
+
+// Pin requests the page. See the package comment for the state contract.
+func (p *Pool) Pin(pid uint64) PinState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[pid]; ok {
+		if f.loading {
+			p.pinWaits++
+			return Busy
+		}
+		if f.refs == 0 {
+			p.rep.Remove(pid)
+		}
+		f.refs++
+		p.hits++
+		return Hit
+	}
+	// Make room for a new frame.
+	for len(p.frames) >= p.capacity {
+		v, ok := p.rep.Victim()
+		if !ok {
+			p.pinWaits++
+			return NoFrame
+		}
+		delete(p.frames, v)
+		p.evictions++
+	}
+	p.frames[pid] = &frame{refs: 1, loading: true}
+	p.loads++
+	return Load
+}
+
+// Ready marks a Load frame populated. The caller still holds its pin.
+func (p *Pool) Ready(pid uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pid]
+	if !ok || !f.loading {
+		panic(fmt.Sprintf("bufpool: Ready(%d) without a loading frame", pid))
+	}
+	f.loading = false
+}
+
+// Abort releases a Load frame whose population failed. The pin is
+// dropped and the page is not resident afterwards.
+func (p *Pool) Abort(pid uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pid]
+	if !ok || !f.loading {
+		panic(fmt.Sprintf("bufpool: Abort(%d) without a loading frame", pid))
+	}
+	delete(p.frames, pid)
+}
+
+// Unpin drops one reference. When the count reaches zero the page becomes
+// evictable — or is evicted immediately if a shrink left the pool over
+// budget.
+func (p *Pool) Unpin(pid uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pid]
+	if !ok || f.refs <= 0 || f.loading {
+		panic(fmt.Sprintf("bufpool: Unpin(%d) without a matching Pin", pid))
+	}
+	f.refs--
+	if f.refs > 0 {
+		return
+	}
+	if len(p.frames) > p.capacity {
+		delete(p.frames, pid)
+		p.evictions++
+		return
+	}
+	p.rep.Insert(pid)
+}
+
+// Resize sets a new byte budget (minimum one page) and evicts unpinned
+// pages until the pool fits, returning how many it evicted. Pinned pages
+// are never evicted; a pool shrunk below its pinned set stays over budget
+// until those pins drop, at which point Unpin evicts immediately.
+func (p *Pool) Resize(bytes int64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	capacity := int(bytes / p.pageSize)
+	if capacity < 1 {
+		capacity = 1
+	}
+	p.capacity = capacity
+	evicted := 0
+	for len(p.frames) > p.capacity {
+		v, ok := p.rep.Victim()
+		if !ok {
+			break
+		}
+		delete(p.frames, v)
+		p.evictions++
+		evicted++
+	}
+	return evicted
+}
+
+// PageSize reports the configured page size in bytes.
+func (p *Pool) PageSize() int64 { return p.pageSize }
+
+// Policy reports the eviction policy name.
+func (p *Pool) Policy() string { return p.policy }
+
+// Seed reports the deterministic-tiebreak seed.
+func (p *Pool) Seed() int64 { return p.seed }
+
+// Capacity reports the current page budget.
+func (p *Pool) Capacity() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity
+}
+
+// Budget reports the current byte budget.
+func (p *Pool) Budget() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(p.capacity) * p.pageSize
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pinned := 0
+	for _, f := range p.frames {
+		if f.refs > 0 || f.loading {
+			pinned++
+		}
+	}
+	return Stats{
+		Policy:        p.policy,
+		Hits:          p.hits,
+		Loads:         p.loads,
+		Evictions:     p.evictions,
+		PinWaits:      p.pinWaits,
+		Resident:      len(p.frames),
+		Pinned:        pinned,
+		ResidentBytes: int64(len(p.frames)) * p.pageSize,
+		BudgetBytes:   int64(p.capacity) * p.pageSize,
+	}
+}
+
+// ResidentPIDs returns the sorted set of resident page IDs (loading
+// frames included). For tests and diagnostics.
+func (p *Pool) ResidentPIDs() []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]uint64, 0, len(p.frames))
+	for pid := range p.frames {
+		out = append(out, pid)
+	}
+	return sortPIDs(out)
+}
+
+// CheckInvariants verifies the pool's structural invariants:
+// every refcount is non-negative, loading frames are exclusively pinned,
+// the replacer's evictable set is exactly the resident unpinned set
+// (pinned ∉ evictable), and the pool is only over budget when the excess
+// is entirely pinned (resident ≤ budget modulo pins). Stress tests call
+// it after every operation.
+func (p *Pool) CheckInvariants() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	evictable := make(map[uint64]struct{})
+	for _, pid := range p.rep.PIDs() {
+		if _, dup := evictable[pid]; dup {
+			return fmt.Errorf("replacer lists page %d twice", pid)
+		}
+		evictable[pid] = struct{}{}
+	}
+	if len(evictable) != p.rep.Len() {
+		return fmt.Errorf("replacer Len %d != PIDs count %d", p.rep.Len(), len(evictable))
+	}
+	wantEvictable := 0
+	for pid, f := range p.frames {
+		if f.refs < 0 {
+			return fmt.Errorf("page %d refcount %d < 0", pid, f.refs)
+		}
+		if f.loading && f.refs != 1 {
+			return fmt.Errorf("loading page %d has refcount %d, want 1", pid, f.refs)
+		}
+		_, inRep := evictable[pid]
+		if f.refs > 0 || f.loading {
+			if inRep {
+				return fmt.Errorf("pinned page %d is in the evictable set", pid)
+			}
+			continue
+		}
+		wantEvictable++
+		if !inRep {
+			return fmt.Errorf("unpinned resident page %d missing from the evictable set", pid)
+		}
+	}
+	for pid := range evictable {
+		if _, ok := p.frames[pid]; !ok {
+			return fmt.Errorf("replacer tracks non-resident page %d", pid)
+		}
+	}
+	if wantEvictable != len(evictable) {
+		return fmt.Errorf("evictable set size %d, want %d", len(evictable), wantEvictable)
+	}
+	if len(p.frames) > p.capacity && wantEvictable > 0 {
+		return fmt.Errorf("pool over budget (%d resident, capacity %d) with %d evictable pages",
+			len(p.frames), p.capacity, wantEvictable)
+	}
+	return nil
+}

@@ -1,0 +1,365 @@
+package bufpool
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+)
+
+// A Replacer tracks the evictable pages of a Pool — resident pages whose
+// refcount is zero — and picks eviction victims. The Pool guarantees that
+// Insert is only called for pages not currently tracked and Remove only
+// for tracked pages, so implementations may treat violations as they like
+// (the built-in policies are defensive). Replacers are not safe for
+// concurrent use; the Pool serializes access under its own mutex.
+type Replacer interface {
+	// Name reports the policy name ("lru", "clock", "2q").
+	Name() string
+	// Insert marks pid evictable (its refcount just dropped to zero).
+	Insert(pid uint64)
+	// Remove withdraws pid from the evictable set (it was pinned, or the
+	// Pool evicted it without consulting Victim).
+	Remove(pid uint64)
+	// Victim selects, removes, and returns the next page to evict.
+	// ok is false when no page is evictable.
+	Victim() (pid uint64, ok bool)
+	// Len reports how many pages are currently evictable.
+	Len() int
+	// PIDs returns the evictable set in unspecified order. It exists so
+	// invariant checks and model tests can compare exact sets; it is not
+	// on any hot path.
+	PIDs() []uint64
+}
+
+// Policies lists the selectable replacement policies.
+func Policies() []string { return []string{"lru", "clock", "2q"} }
+
+// NewReplacer builds a replacer for the named policy. capacity is the
+// pool's page budget at construction time (2Q sizes its ghost list from
+// it); seed drives the deterministic tiebreak (CLOCK derives its initial
+// hand position from it). An empty policy defaults to "lru".
+func NewReplacer(policy string, capacity int, seed int64) (Replacer, error) {
+	switch policy {
+	case "", "lru":
+		return newLRUReplacer(), nil
+	case "clock":
+		return newClockReplacer(seed), nil
+	case "2q":
+		return newTwoQReplacer(capacity), nil
+	default:
+		return nil, fmt.Errorf("bufpool: unknown policy %q (want one of %v)", policy, Policies())
+	}
+}
+
+// Splitmix64 is the mixing function of the splitmix64 generator. The pool
+// uses it to turn the user seed into deterministic tiebreak decisions
+// (e.g. CLOCK's initial hand position) without pulling in math/rand state.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// lruReplacer evicts the least recently unpinned page. Recency is set at
+// Insert time: a page re-pinned and later unpinned re-enters at the MRU
+// end, so the order is total and needs no tiebreak.
+type lruReplacer struct {
+	ll  *list.List // front = MRU, back = LRU
+	idx map[uint64]*list.Element
+}
+
+func newLRUReplacer() *lruReplacer {
+	return &lruReplacer{ll: list.New(), idx: make(map[uint64]*list.Element)}
+}
+
+func (r *lruReplacer) Name() string { return "lru" }
+
+func (r *lruReplacer) Insert(pid uint64) {
+	if e, ok := r.idx[pid]; ok {
+		r.ll.MoveToFront(e)
+		return
+	}
+	r.idx[pid] = r.ll.PushFront(pid)
+}
+
+func (r *lruReplacer) Remove(pid uint64) {
+	if e, ok := r.idx[pid]; ok {
+		r.ll.Remove(e)
+		delete(r.idx, pid)
+	}
+}
+
+func (r *lruReplacer) Victim() (uint64, bool) {
+	e := r.ll.Back()
+	if e == nil {
+		return 0, false
+	}
+	pid := e.Value.(uint64)
+	r.ll.Remove(e)
+	delete(r.idx, pid)
+	return pid, true
+}
+
+func (r *lruReplacer) Len() int { return r.ll.Len() }
+
+func (r *lruReplacer) PIDs() []uint64 {
+	out := make([]uint64, 0, r.ll.Len())
+	for e := r.ll.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(uint64))
+	}
+	return out
+}
+
+// clockReplacer is the classic second-chance sweep: evictable pages sit on
+// a ring with a reference bit, the hand clears set bits until it finds a
+// clear one. New pages are inserted just behind the hand with the bit set,
+// so a full sweep passes every other page first. The initial hand position
+// is derived from the pool seed on the first Victim call, which is the
+// only nondeterminism CLOCK would otherwise have; after that every
+// decision is a pure function of the op sequence.
+type clockReplacer struct {
+	ring   []clockEntry
+	idx    map[uint64]int
+	hand   int
+	seed   uint64
+	seeded bool
+}
+
+type clockEntry struct {
+	pid uint64
+	ref bool
+}
+
+func newClockReplacer(seed int64) *clockReplacer {
+	return &clockReplacer{idx: make(map[uint64]int), seed: uint64(seed)}
+}
+
+func (r *clockReplacer) Name() string { return "clock" }
+
+func (r *clockReplacer) normalize() {
+	if len(r.ring) == 0 {
+		r.hand = 0
+	} else if r.hand >= len(r.ring) || r.hand < 0 {
+		r.hand = ((r.hand % len(r.ring)) + len(r.ring)) % len(r.ring)
+	}
+}
+
+func (r *clockReplacer) Insert(pid uint64) {
+	if pos, ok := r.idx[pid]; ok {
+		r.ring[pos].ref = true
+		return
+	}
+	pos := r.hand
+	if pos > len(r.ring) {
+		pos = len(r.ring)
+	}
+	r.ring = append(r.ring, clockEntry{})
+	copy(r.ring[pos+1:], r.ring[pos:])
+	r.ring[pos] = clockEntry{pid: pid, ref: true}
+	for i := pos; i < len(r.ring); i++ {
+		r.idx[r.ring[i].pid] = i
+	}
+	r.hand = pos + 1
+	r.normalize()
+}
+
+func (r *clockReplacer) removeAt(pos int) {
+	delete(r.idx, r.ring[pos].pid)
+	r.ring = append(r.ring[:pos], r.ring[pos+1:]...)
+	for i := pos; i < len(r.ring); i++ {
+		r.idx[r.ring[i].pid] = i
+	}
+}
+
+func (r *clockReplacer) Remove(pid uint64) {
+	pos, ok := r.idx[pid]
+	if !ok {
+		return
+	}
+	if pos < r.hand {
+		r.hand--
+	}
+	r.removeAt(pos)
+	r.normalize()
+}
+
+func (r *clockReplacer) Victim() (uint64, bool) {
+	if len(r.ring) == 0 {
+		return 0, false
+	}
+	if !r.seeded {
+		r.hand = int(Splitmix64(r.seed) % uint64(len(r.ring)))
+		r.seeded = true
+	}
+	r.normalize()
+	// At most two sweeps: the first clears every set bit, the second must
+	// find a clear one.
+	for i := 0; i <= 2*len(r.ring); i++ {
+		e := &r.ring[r.hand]
+		if e.ref {
+			e.ref = false
+			r.hand = (r.hand + 1) % len(r.ring)
+			continue
+		}
+		pid := e.pid
+		r.removeAt(r.hand)
+		r.normalize()
+		return pid, true
+	}
+	return 0, false // unreachable
+}
+
+func (r *clockReplacer) Len() int { return len(r.ring) }
+
+func (r *clockReplacer) PIDs() []uint64 {
+	out := make([]uint64, 0, len(r.ring))
+	for _, e := range r.ring {
+		out = append(out, e.pid)
+	}
+	return out
+}
+
+// twoQReplacer implements a pragmatic 2Q: first-time pages enter a FIFO
+// probation queue (A1in); pages re-admitted after a probation eviction —
+// tracked by a bounded ghost list (A1out) — or pages that have ever proven
+// hot are kept in an LRU main queue (Am). Victims come from A1in while it
+// holds more than a quarter of the evictable set (or Am is empty),
+// otherwise from Am's LRU end; an Am eviction forgets the page entirely,
+// so it must re-earn its place through probation. Scans churn A1in and
+// the ghost list without displacing Am's hot set.
+type twoQReplacer struct {
+	a1in  *list.List // front = oldest (FIFO head)
+	a1idx map[uint64]*list.Element
+	am    *list.List // front = MRU
+	amIdx map[uint64]*list.Element
+
+	ghost    []uint64 // A1out: pages recently evicted from probation, oldest first
+	ghostIdx map[uint64]struct{}
+	ghostCap int
+
+	hot map[uint64]struct{} // pages currently entitled to Am on re-insert
+}
+
+func newTwoQReplacer(capacity int) *twoQReplacer {
+	gc := capacity
+	if gc < 16 {
+		gc = 16
+	}
+	return &twoQReplacer{
+		a1in:     list.New(),
+		a1idx:    make(map[uint64]*list.Element),
+		am:       list.New(),
+		amIdx:    make(map[uint64]*list.Element),
+		ghostIdx: make(map[uint64]struct{}),
+		ghostCap: gc,
+		hot:      make(map[uint64]struct{}),
+	}
+}
+
+func (r *twoQReplacer) Name() string { return "2q" }
+
+func (r *twoQReplacer) ghostRemove(pid uint64) {
+	if _, ok := r.ghostIdx[pid]; !ok {
+		return
+	}
+	delete(r.ghostIdx, pid)
+	for i, g := range r.ghost {
+		if g == pid {
+			r.ghost = append(r.ghost[:i], r.ghost[i+1:]...)
+			break
+		}
+	}
+}
+
+func (r *twoQReplacer) ghostPush(pid uint64) {
+	r.ghostRemove(pid)
+	r.ghost = append(r.ghost, pid)
+	r.ghostIdx[pid] = struct{}{}
+	for len(r.ghost) > r.ghostCap {
+		old := r.ghost[0]
+		r.ghost = r.ghost[1:]
+		delete(r.ghostIdx, old)
+	}
+}
+
+func (r *twoQReplacer) Insert(pid uint64) {
+	if e, ok := r.amIdx[pid]; ok {
+		r.am.MoveToFront(e)
+		return
+	}
+	if e, ok := r.a1idx[pid]; ok {
+		// Already on probation; FIFO position is kept.
+		_ = e
+		return
+	}
+	if _, ok := r.hot[pid]; ok {
+		r.amIdx[pid] = r.am.PushFront(pid)
+		return
+	}
+	if _, ok := r.ghostIdx[pid]; ok {
+		// Re-admitted within the ghost window: promote to the main queue.
+		r.ghostRemove(pid)
+		r.hot[pid] = struct{}{}
+		r.amIdx[pid] = r.am.PushFront(pid)
+		return
+	}
+	r.a1idx[pid] = r.a1in.PushBack(pid)
+}
+
+func (r *twoQReplacer) Remove(pid uint64) {
+	if e, ok := r.a1idx[pid]; ok {
+		r.a1in.Remove(e)
+		delete(r.a1idx, pid)
+		return
+	}
+	if e, ok := r.amIdx[pid]; ok {
+		r.am.Remove(e)
+		delete(r.amIdx, pid)
+	}
+}
+
+func (r *twoQReplacer) Victim() (uint64, bool) {
+	total := r.a1in.Len() + r.am.Len()
+	if total == 0 {
+		return 0, false
+	}
+	if r.a1in.Len() > 0 && (r.am.Len() == 0 || r.a1in.Len()*4 > total) {
+		e := r.a1in.Front()
+		pid := e.Value.(uint64)
+		r.a1in.Remove(e)
+		delete(r.a1idx, pid)
+		r.ghostPush(pid)
+		return pid, true
+	}
+	e := r.am.Back()
+	pid := e.Value.(uint64)
+	r.am.Remove(e)
+	delete(r.amIdx, pid)
+	delete(r.hot, pid) // must re-earn Am through probation
+	return pid, true
+}
+
+func (r *twoQReplacer) Len() int { return r.a1in.Len() + r.am.Len() }
+
+func (r *twoQReplacer) PIDs() []uint64 {
+	out := make([]uint64, 0, r.Len())
+	for e := r.a1in.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(uint64))
+	}
+	for e := r.am.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(uint64))
+	}
+	return out
+}
+
+// sortPIDs sorts in place and returns its argument; shared by tests and
+// invariant checks that compare sets.
+func sortPIDs(pids []uint64) []uint64 {
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	return pids
+}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/kernels"
@@ -103,6 +104,15 @@ type Options struct {
 	// same deterministic (GPU, page) order the serial path uses. Kernels
 	// that cannot gather safely (SSSP) always run serially.
 	HostWorkers int
+	// HostPool, when non-nil, replaces the run-private main-memory buffer
+	// with a shared, ref-counted host page pool for storage-backed runs:
+	// every engine and wave group handed the same pool keeps at most one
+	// host copy of each hot page. The pool's page size must match the
+	// graph's. MMBufBytes is ignored when a pool is set (the pool's own
+	// budget governs). Ignored for fully in-memory runs. Since the pool
+	// only decides which reads hit host memory — never what a kernel
+	// computes — results are byte-identical with and without it.
+	HostPool *bufpool.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +188,14 @@ type Report struct {
 	// spent in functional kernel execution — the quantity HostWorkers
 	// parallelism shrinks. Measured around each phase's precompute.
 	HostKernelWall time.Duration
+	// PoolHits, PoolLoads and PoolWaits are this run's shared host-pool
+	// traffic when Options.HostPool is set (all zero otherwise): pins
+	// served from a resident page, pins that paid a storage read, and pins
+	// denied (frame busy in another run, or every frame pinned) that fell
+	// back to a bypass read.
+	PoolHits  int64
+	PoolLoads int64
+	PoolWaits int64
 }
 
 // Engine runs kernels over one graph on one machine specification. Each Run
@@ -199,6 +217,11 @@ func New(spec hw.MachineSpec, graph *slottedpage.Graph, opts Options) (*Engine, 
 	}
 	if graph.NumPages() == 0 {
 		return nil, fmt.Errorf("core: graph has no pages")
+	}
+	if opts.HostPool != nil {
+		if got, want := opts.HostPool.PageSize(), int64(graph.Config().PageSize); got != want {
+			return nil, fmt.Errorf("core: host pool page size %d does not match the graph's %d", got, want)
+		}
 	}
 	return &Engine{spec: spec, graph: graph, opts: opts}, nil
 }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bufpool"
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+)
+
+// newTestPool builds a host pool matching the test graph's page size.
+func newTestPool(t *testing.T, sp interface{ TopologyBytes() int64 }, pageSize int64, bytes int64, policy string) *bufpool.Pool {
+	t.Helper()
+	if bytes == 0 {
+		bytes = sp.TopologyBytes()
+	}
+	p, err := bufpool.New(bufpool.Config{PageSize: pageSize, Bytes: bytes, Policy: policy, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPooledRunByteIdentical: a storage-backed run through the shared host
+// pool produces results byte-identical to the private-buffer run, for
+// every eviction policy, and leaves no pins behind.
+func TestPooledRunByteIdentical(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	pageSize := int64(sp.Config().PageSize)
+
+	base := kernels.NewBFS(sp)
+	baseRep := mustRun(t, newEngine(t, sp, Options{Source: 0}, 1, 1), base)
+	want := append([]int16(nil), base.Levels(baseRep.State)...)
+
+	for _, policy := range bufpool.Policies() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			pool := newTestPool(t, sp, pageSize, sp.TopologyBytes()/4, policy)
+			k := kernels.NewBFS(sp)
+			rep := mustRun(t, newEngine(t, sp, Options{Source: 0, HostPool: pool}, 1, 1), k)
+			got := k.Levels(rep.State)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("vertex %d level = %d with %s pool, want %d", v, got[v], policy, want[v])
+				}
+			}
+			if rep.PoolLoads == 0 {
+				t.Fatal("pooled storage run reports zero pool loads")
+			}
+			if err := pool.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if st := pool.Stats(); st.Pinned != 0 {
+				t.Fatalf("run finished with %d pages still pinned", st.Pinned)
+			}
+		})
+	}
+}
+
+// TestWarmPoolServesSecondRun pins the no-double-buffering property at the
+// engine level: a second engine sharing the pool reads nothing from
+// storage for pages the first run already loaded — at most one host copy
+// per hot page.
+func TestWarmPoolServesSecondRun(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	pageSize := int64(sp.Config().PageSize)
+	pool := newTestPool(t, sp, pageSize, 0, "lru") // whole topology fits
+
+	k1 := kernels.NewBFS(sp)
+	rep1 := mustRun(t, newEngine(t, sp, Options{Source: 0, HostPool: pool}, 1, 1), k1)
+	if rep1.PoolLoads == 0 {
+		t.Fatal("cold run loaded nothing through the pool")
+	}
+
+	k2 := kernels.NewBFS(sp)
+	rep2 := mustRun(t, newEngine(t, sp, Options{Source: 0, HostPool: pool}, 1, 1), k2)
+	if rep2.PoolLoads != 0 {
+		t.Fatalf("warm run re-read %d pages from storage, want 0", rep2.PoolLoads)
+	}
+	if rep2.PoolHits == 0 {
+		t.Fatal("warm run reports zero pool hits")
+	}
+	if rep2.StorageBytes != 0 {
+		t.Fatalf("warm run read %d storage bytes, want 0", rep2.StorageBytes)
+	}
+	wantL, gotL := k1.Levels(rep1.State), k2.Levels(rep2.State)
+	for v := range wantL {
+		if gotL[v] != wantL[v] {
+			t.Fatalf("warm run diverged at vertex %d", v)
+		}
+	}
+}
+
+// TestPooledSharedGroup: a wave group over the shared pool matches solo
+// results, and the group's members share one pin per demanded page (the
+// pool sees at most one load per page, however many members demand it).
+func TestPooledSharedGroup(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	pageSize := int64(sp.Config().PageSize)
+	pool := newTestPool(t, sp, pageSize, 0, "2q")
+
+	solo := kernels.NewBFS(sp)
+	soloRep := mustRun(t, newEngine(t, sp, Options{Source: 0}, 1, 1), solo)
+	want := append([]int16(nil), solo.Levels(soloRep.State)...)
+
+	e := newEngine(t, sp, Options{Source: 0, HostPool: pool}, 1, 1)
+	jobs := []SharedJob{
+		{Kernel: kernels.NewBFS(sp), Source: 0},
+		{Kernel: kernels.NewBFS(sp), Source: 0},
+		{Kernel: kernels.NewBFS(sp), Source: 0},
+	}
+	outs, _, err := e.RunShared(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if out.Err != nil || out.Declined {
+			t.Fatalf("member %d: err=%v declined=%v", i, out.Err, out.Declined)
+		}
+		got := jobs[i].Kernel.(*kernels.BFS).Levels(out.Report.State)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("member %d diverged at vertex %d", i, v)
+			}
+		}
+	}
+	st := pool.Stats()
+	if st.Loads > int64(sp.NumPages()) {
+		t.Fatalf("group loaded %d pages through the pool, want <= %d (one host copy per page)",
+			st.Loads, sp.NumPages())
+	}
+	if st.Pinned != 0 {
+		t.Fatalf("group finished with %d pages still pinned", st.Pinned)
+	}
+	if err := pool.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOOMRecoveryKeepsCaching is the regression test for the recover.go
+// degradation path: a device OOM at the very first kernel launch used to
+// drop the page cache for the rest of the run (post-recovery cache hits
+// were impossible); now the cache shrinks by half, the launch retries,
+// and the budget re-grows — so a multi-iteration kernel still hits the
+// cache after recovery.
+func TestOOMRecoveryKeepsCaching(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+
+	k := kernels.NewPageRank(sp, 0.85, 5)
+	clean := mustRun(t, newEngine(t, sp, Options{}, 1, 1), k)
+	wantRanks := append([]float32(nil), k.Ranks(clean.State)...)
+	if clean.CacheHits == 0 {
+		t.Fatal("clean run has no cache hits — the regression check is vacuous")
+	}
+
+	plan := &fault.Plan{Seed: 7, OOMKernelLaunches: []int64{1}}
+	k2 := kernels.NewPageRank(sp, 0.85, 5)
+	rep := mustRun(t, newEngine(t, sp, Options{Faults: plan}, 1, 1), k2)
+	if rep.Faults.DeviceOOMs != 1 || rep.Faults.Degradations != 1 {
+		t.Fatalf("fault stats: %+v, want exactly one OOM and one degradation", rep.Faults)
+	}
+	// The OOM hits the first launch, before any page could be re-read from
+	// the cache — so every hit below happened after recovery.
+	if rep.CacheHits == 0 {
+		t.Fatal("no cache hits after OOM recovery: the degradation disabled caching for the run")
+	}
+	got := k2.Ranks(rep.State)
+	for v := range wantRanks {
+		if got[v] != wantRanks[v] {
+			t.Fatalf("vertex %d rank = %v after OOM recovery, want %v (bit-exact)", v, got[v], wantRanks[v])
+		}
+	}
+}
+
+// TestPoolPageSizeMismatchRejected: engine construction validates the
+// pool's page size against the graph's.
+func TestPoolPageSizeMismatchRejected(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	wrong, err := bufpool.New(bufpool.Config{PageSize: int64(sp.Config().PageSize) * 2, Bytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(hw.Workstation(1, 1), sp, Options{HostPool: wrong}); err == nil {
+		t.Fatal("engine accepted a pool with mismatched page size")
+	}
+}

@@ -62,10 +62,13 @@ func (r *run) withRetry(p *sim.Proc, gpu, stream int, what string, fn func() err
 }
 
 // launchKernel launches one kernel with recovery. A device-OOM failure
-// degrades gracefully: the GPU's page cache is dropped (its memory freed
-// for the launch) and every subsequent page on this GPU spills back to the
-// streaming path — the run gets slower, not wrong. Other failures retry
-// with backoff.
+// degrades gracefully by shrinking the GPU's page cache budget in half
+// (freeing the difference for the launch) rather than abandoning caching:
+// the cache keeps serving its hottest half while the transient memory
+// pressure lasts, and once a retry succeeds the budget re-grows toward
+// its configured target — the run gets slower, not wrong, and caching
+// survives the fault. Only when the cache is already at its one-page
+// floor is it dropped entirely. Other failures retry with backoff.
 func (r *run) launchKernel(p *sim.Proc, gpuIdx, stream int, pid slottedpage.PageID, cycles float64) error {
 	gpu := r.machine.GPUs[gpuIdx]
 	backoff := retryBackoff
@@ -75,6 +78,7 @@ func (r *run) launchKernel(p *sim.Proc, gpuIdx, stream int, pid slottedpage.Page
 		if err == nil {
 			if attempt > 1 {
 				r.fstats.Recoveries++
+				r.regrowCache(gpuIdx)
 			}
 			return nil
 		}
@@ -86,15 +90,63 @@ func (r *run) launchKernel(p *sim.Proc, gpuIdx, stream int, pid slottedpage.Page
 		r.fstats.Retries++
 		r.traceMark(trace.Retry, gpuIdx, stream, int64(pid))
 		if errors.Is(err, hw.ErrOutOfDeviceMemory) && r.caches[gpuIdx] != nil {
-			gpu.Free(r.cacheBytes[gpuIdx])
-			r.caches[gpuIdx] = nil
-			r.cacheBytes[gpuIdx] = 0
+			r.shrinkCache(gpuIdx)
 			r.fstats.Degradations++
 			continue // relaunch immediately with the freed memory
 		}
 		p.Delay(backoff)
 		backoff *= 2
 	}
+}
+
+// shrinkCache halves GPU gpuIdx's page-cache byte budget, evicting LRU
+// pages beyond the new capacity and freeing the device memory for the
+// failed launch. A cache already at one page is dropped entirely.
+func (r *run) shrinkCache(gpuIdx int) {
+	gpu := r.machine.GPUs[gpuIdx]
+	pageSize := int64(r.eng.graph.Config().PageSize)
+	cur := r.cacheBytes[gpuIdx]
+	newPages := cur / 2 / pageSize
+	if newPages < 1 {
+		gpu.Free(cur)
+		r.caches[gpuIdx] = nil
+		r.cacheBytes[gpuIdx] = 0
+		return
+	}
+	r.caches[gpuIdx].Shrink(int(newPages))
+	gpu.Free(cur - newPages*pageSize)
+	r.cacheBytes[gpuIdx] = newPages * pageSize
+}
+
+// regrowCache re-allocates device memory toward the cache's configured
+// target after a successful retry: the transient pressure that caused the
+// OOM has passed, so the budget an earlier shrinkCache surrendered comes
+// back (as far as free device memory allows). Evicted pages are not
+// restored — they re-enter through normal streaming.
+func (r *run) regrowCache(gpuIdx int) {
+	if r.caches[gpuIdx] == nil || r.cacheTarget == nil {
+		return
+	}
+	target := r.cacheTarget[gpuIdx]
+	cur := r.cacheBytes[gpuIdx]
+	if cur >= target {
+		return
+	}
+	gpu := r.machine.GPUs[gpuIdx]
+	pageSize := int64(r.eng.graph.Config().PageSize)
+	want := target - cur
+	if free := gpu.MemFree(); want > free {
+		want = free
+	}
+	pages := want / pageSize
+	if pages < 1 {
+		return
+	}
+	if gpu.Alloc(pages*pageSize) != nil {
+		return
+	}
+	r.cacheBytes[gpuIdx] = cur + pages*pageSize
+	r.caches[gpuIdx].Grow(int(r.cacheBytes[gpuIdx] / pageSize))
 }
 
 // readPage reads pid from the storage array with recovery: failed reads

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/bitset"
+	"repro/internal/bufpool"
 	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/kernels"
@@ -30,11 +31,18 @@ type run struct {
 	// owned[i] is GPU i's attribute ownership range [lo, hi).
 	owned [][2]uint64
 
-	caches     []*hw.BufferPool // per-GPU page caches; nil = disabled
-	cacheBytes []int64          // device bytes held by each cache (for OOM spill)
-	buffer     *hw.BufferPool   // main-memory page buffer (bufferPIDMap)
-	inMemory   bool             // whole graph resident in main memory
-	inflight   map[slottedpage.PageID]*sim.Signal
+	caches      []*hw.BufferPool // per-GPU page caches; nil = disabled
+	cacheBytes  []int64          // device bytes held by each cache (for OOM spill)
+	cacheTarget []int64          // each cache's configured byte budget (re-grow goal after an OOM shrink)
+	buffer      *hw.BufferPool   // main-memory page buffer (bufferPIDMap); nil when pooled
+	// pool, when non-nil, is the shared host page pool that replaces the
+	// private main-memory buffer for storage-backed runs (Options.HostPool).
+	// It may be shared with concurrently executing runs in other simulation
+	// environments, so every interaction goes through its non-blocking
+	// pin/unpin API (see fetchPin).
+	pool     *bufpool.Pool
+	inMemory bool // whole graph resident in main memory
+	inflight map[slottedpage.PageID]*sim.Signal
 	// kres memoizes the current phase's functional kernel results, computed
 	// in deterministic (GPU, page) order before the streams start (see phase).
 	kres map[pageKey]kernels.Result
@@ -100,6 +108,10 @@ type run struct {
 	sharedPagesIn int64
 	storageRead   int64
 	kernelBusy    sim.Time
+	// Shared host-pool accounting (zero when r.pool is nil).
+	poolHits  int64
+	poolLoads int64
+	poolWaits int64
 }
 
 // armFaults points the shared machine's fault injectors at this member.
@@ -234,6 +246,7 @@ func (r *run) setupMachine() error {
 	// Page cache in the remaining device memory (paper §3.3).
 	r.caches = make([]*hw.BufferPool, nGPU)
 	r.cacheBytes = make([]int64, nGPU)
+	r.cacheTarget = make([]int64, nGPU)
 	for i, g := range m.GPUs {
 		budget := e.opts.CacheBytes
 		if budget < 0 { // CacheDisabled
@@ -249,11 +262,13 @@ func (r *run) setupMachine() error {
 			}
 			r.caches[i] = hw.NewBufferPool(int(pages))
 			r.cacheBytes[i] = pages * pageSize
+			r.cacheTarget[i] = pages * pageSize
 		}
 	}
 
 	// Main-memory buffer: everything resident when there is no storage;
-	// otherwise a bounded pool front-ending the SSD/HDD array.
+	// otherwise the shared host pool when one is configured, or a
+	// run-private bounded buffer front-ending the SSD/HDD array.
 	if m.Storage == nil {
 		r.inMemory = true
 		if err := m.Host.Alloc(e.graph.TopologyBytes()); err != nil {
@@ -262,6 +277,14 @@ func (r *run) setupMachine() error {
 		r.buffer = hw.NewBufferPool(0)
 		for pid := 0; pid < e.graph.NumPages(); pid++ {
 			r.buffer.Insert(uint64(pid))
+		}
+	} else if e.opts.HostPool != nil {
+		// The pool's pages live in host memory once, however many machines
+		// share it; each machine still accounts the full budget so a
+		// configuration that could not actually hold the pool fails here.
+		r.pool = e.opts.HostPool
+		if err := m.Host.Alloc(r.pool.Budget()); err != nil {
+			return err
 		}
 	} else {
 		mmBytes := e.opts.MMBufBytes
@@ -421,6 +444,21 @@ func (r *run) framework(p *sim.Proc) error {
 	// track, closing the run → superstep → stream hierarchy.
 	e.opts.Trace.Add(trace.Span{GPU: -1, Stream: -1, Kind: trace.Run, Page: -1, Level: -1, Start: 0, End: r.env.Now()})
 	return nil
+}
+
+// bufferHitRate is the host-side page residency hit fraction: the private
+// main-memory buffer's when the run owns one, or the run's own pool pin
+// outcomes when it shares a host pool (the shared pool's global rate
+// blends every run's traffic; a member report wants only its own).
+func (r *run) bufferHitRate() float64 {
+	if r.pool != nil {
+		total := r.poolHits + r.poolLoads + r.poolWaits
+		if total == 0 {
+			return 0
+		}
+		return float64(r.poolHits) / float64(total)
+	}
+	return r.buffer.HitRate()
 }
 
 // parallelGPUs runs fn once per GPU concurrently and joins.

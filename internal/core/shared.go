@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"repro/internal/bitset"
+	"repro/internal/bufpool"
 	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/kernels"
@@ -148,11 +149,13 @@ type sharedDriver struct {
 	env     *sim.Env
 	machine *hw.Machine
 
-	caches     []*hw.BufferPool
-	cacheBytes []int64
-	buffer     *hw.BufferPool
-	inMemory   bool
-	inflight   map[slottedpage.PageID]*sim.Signal
+	caches      []*hw.BufferPool
+	cacheBytes  []int64
+	cacheTarget []int64
+	buffer      *hw.BufferPool
+	pool        *bufpool.Pool
+	inMemory    bool
+	inflight    map[slottedpage.PageID]*sim.Signal
 
 	active   []*groupMember
 	pending  []SharedJob
@@ -216,8 +219,8 @@ func (e *Engine) RunShared(jobs []SharedJob, admit func() []SharedJob) ([]Shared
 	for i, g := range machine.GPUs {
 		g.Free(reserves[i])
 	}
-	d.caches, d.cacheBytes = plant.caches, plant.cacheBytes
-	d.buffer, d.inMemory = plant.buffer, plant.inMemory
+	d.caches, d.cacheBytes, d.cacheTarget = plant.caches, plant.cacheBytes, plant.cacheTarget
+	d.buffer, d.pool, d.inMemory = plant.buffer, plant.pool, plant.inMemory
 
 	env.Process("gts-shared", func(p *sim.Proc) { d.loop(p) })
 	elapsed, err := env.Run()
@@ -304,17 +307,19 @@ func (d *sharedDriver) newMember(job SharedJob, idx int) (*groupMember, error) {
 	}
 	me := &Engine{spec: e.spec, graph: e.graph, opts: opts}
 	r := &run{
-		eng:        me,
-		k:          job.Kernel,
-		env:        d.env,
-		machine:    d.machine,
-		inflight:   d.inflight,
-		caches:     d.caches,
-		cacheBytes: d.cacheBytes,
-		buffer:     d.buffer,
-		inMemory:   d.inMemory,
-		curLevel:   -1,
-		sharedMode: true,
+		eng:         me,
+		k:           job.Kernel,
+		env:         d.env,
+		machine:     d.machine,
+		inflight:    d.inflight,
+		caches:      d.caches,
+		cacheBytes:  d.cacheBytes,
+		cacheTarget: d.cacheTarget,
+		buffer:      d.buffer,
+		pool:        d.pool,
+		inMemory:    d.inMemory,
+		curLevel:    -1,
+		sharedMode:  true,
 	}
 	r.workers = opts.HostWorkers
 	numPages := e.graph.NumPages()
@@ -530,6 +535,11 @@ func (d *sharedDriver) processDemand(p *sim.Proc, gpuIdx, stream int, pid slotte
 	cache := d.caches[gpuIdx]
 	resident := cache != nil && cache.Contains(uint64(pid))
 	var payer *groupMember
+	// release drops the payer's host-pool pin. The whole wave group shares
+	// that single pin: it is held from the payer's fetch until every
+	// member's serving is done, so the host frame cannot be evicted while
+	// any member still consumes the page.
+	var release func()
 	var copyStart, copyEnd sim.Time
 	if resident {
 		for _, m := range live {
@@ -541,11 +551,13 @@ func (d *sharedDriver) processDemand(p *sim.Proc, gpuIdx, stream int, pid slotte
 			m := rest[0]
 			raBytes := int64(count) * m.r.raPerV
 			copyStart = d.env.Now()
-			if err := d.copyPageFor(p, m, gpuIdx, stream, pid, pageSize+raBytes); err != nil {
+			rel, err := d.copyPageFor(p, m, gpuIdx, stream, pid, pageSize+raBytes)
+			if err != nil {
 				m.r.fail(err)
 				rest = rest[1:]
 				continue
 			}
+			release = rel
 			copyEnd = d.env.Now()
 			m.r.pagesStreamed++
 			payer = m
@@ -611,19 +623,33 @@ func (d *sharedDriver) processDemand(p *sim.Proc, gpuIdx, stream int, pid slotte
 			m.stepActive = true
 		}
 	}
+	if release != nil {
+		release()
+	}
 }
 
-// copyPageFor fetches pid into the main-memory buffer (storage-backed runs)
-// and streams n bytes to the GPU on behalf of member m, with m's retry
-// budget and fault attribution.
-func (d *sharedDriver) copyPageFor(p *sim.Proc, m *groupMember, gpuIdx, stream int, pid slottedpage.PageID, n int64) error {
+// copyPageFor fetches pid into host residency (the shared pool or the
+// main-memory buffer) and streams n bytes to the GPU on behalf of member
+// m, with m's retry budget and fault attribution. On success it returns
+// the release func for the host-pool pin the fetch took (a no-op without
+// a pool); processDemand holds it until every member has been served.
+func (d *sharedDriver) copyPageFor(p *sim.Proc, m *groupMember, gpuIdx, stream int, pid slottedpage.PageID, n int64) (func(), error) {
 	r := m.r
+	release := noRelease
 	if r.inMemory {
 		r.buffer.Contains(uint64(pid)) // counts the MMBuf hit
-	} else if err := r.fetch(p, pid, gpuIdx, stream); err != nil {
-		return err
+	} else {
+		rel, err := r.fetchPin(p, pid, gpuIdx, stream)
+		if err != nil {
+			return nil, err
+		}
+		release = rel
 	}
-	return r.streamCopy(p, d.machine.GPUs[gpuIdx], gpuIdx, stream, pid, n)
+	if err := r.streamCopy(p, d.machine.GPUs[gpuIdx], gpuIdx, stream, pid, n); err != nil {
+		release()
+		return nil, err
+	}
+	return release, nil
 }
 
 // endWave finishes one member's superstep: cross-GPU sync, frontier merge
@@ -769,7 +795,7 @@ func (d *sharedDriver) memberReport(m *groupMember) *Report {
 		EdgesTraversed: r.edgesTraversed,
 		Updates:        r.updates,
 		CacheHitRate:   cacheRate,
-		BufferHitRate:  r.buffer.HitRate(),
+		BufferHitRate:  r.bufferHitRate(),
 		TransferTime:   r.transferTime,
 		KernelTime:     r.kernelBusy,
 		StorageBytes:   r.storageRead,
@@ -778,6 +804,9 @@ func (d *sharedDriver) memberReport(m *groupMember) *Report {
 		LevelBytes:     r.levelBytes,
 		HostWorkers:    r.workers,
 		HostKernelWall: r.hostKernelWall,
+		PoolHits:       r.poolHits,
+		PoolLoads:      r.poolLoads,
+		PoolWaits:      r.poolWaits,
 	}
 	rep.Faults = r.inj.Stats()
 	rep.Faults.Add(r.fstats)

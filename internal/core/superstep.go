@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/hw"
 	"repro/internal/kernels"
 	"repro/internal/sim"
@@ -158,13 +159,24 @@ func (r *run) page(p *sim.Proc, gpuIdx, stream int, pid slottedpage.PageID, leve
 			}
 		}
 	} else {
+		var release func()
 		if r.inMemory {
 			r.buffer.Contains(uint64(pid)) // counts the MMBuf hit
-		} else if err := r.fetch(p, pid, gpuIdx, stream); err != nil {
-			r.fail(err)
-			return false
+		} else {
+			rel, err := r.fetchPin(p, pid, gpuIdx, stream)
+			if err != nil {
+				r.fail(err)
+				return false
+			}
+			release = rel
 		}
-		if err := r.streamCopy(p, gpu, gpuIdx, stream, pid, pageSize+raBytes); err != nil {
+		// The pin (when pooled) spans the streaming copy so eviction cannot
+		// reclaim the host frame mid-transfer.
+		err := r.streamCopy(p, gpu, gpuIdx, stream, pid, pageSize+raBytes)
+		if release != nil {
+			release()
+		}
+		if err != nil {
 			r.fail(err)
 			return false
 		}
@@ -199,7 +211,13 @@ func (r *run) page(p *sim.Proc, gpuIdx, stream int, pid slottedpage.PageID, leve
 // order, staying a bounded window ahead of the GPU streams so it cannot
 // evict pages before they are consumed.
 func (r *run) prefetch(p *sim.Proc, pages []slottedpage.PageID) {
-	window := int64(r.buffer.Capacity() / 2)
+	capPages := 0
+	if r.pool != nil {
+		capPages = r.pool.Capacity()
+	} else {
+		capPages = r.buffer.Capacity()
+	}
+	window := int64(capPages / 2)
 	if window < 8 {
 		window = 8
 	}
@@ -214,10 +232,16 @@ func (r *run) prefetch(p *sim.Proc, pages []slottedpage.PageID) {
 			}
 			p.Delay(pause)
 		}
-		if err := r.fetch(p, pid, -1, -1); err != nil {
+		release, err := r.fetchPin(p, pid, -1, -1)
+		if err != nil {
 			// Stop prefetching; the on-demand path retries with its own
 			// budget and surfaces the error if the fault is persistent.
 			return
+		}
+		// Release immediately: the page stays resident (just evictable)
+		// and the demand path re-pins it.
+		if release != nil {
+			release()
 		}
 	}
 }
@@ -263,6 +287,64 @@ func (r *run) fetch(p *sim.Proc, pid slottedpage.PageID, gpuIdx, stream int) err
 		delete(r.inflight, pid)
 		sig.Fire()
 		return err
+	}
+}
+
+// noRelease is fetchPin's release func for paths that pin nothing.
+func noRelease() {}
+
+// fetchPin is the pooled counterpart of fetch: it ensures pid is resident
+// on the host and returns a release func the caller must invoke once the
+// page's streaming copy is done. Without a pool it delegates to fetch
+// (the release is a no-op).
+//
+// Pin never blocks the simulation: same-env duplicate loads (sibling
+// streams, wave-group members) coalesce on the run's inflight table
+// before the pool is consulted, exactly like the private-buffer path. A
+// frame busy in a different env (another System loading the same page
+// concurrently) or a pool with every frame pinned yields a bypass read —
+// the page streams from a transient host buffer without entering the
+// pool. A real cross-env wait could deadlock two cooperative schedulers
+// loading each other's pages, so the pool's API never offers one.
+func (r *run) fetchPin(p *sim.Proc, pid slottedpage.PageID, gpuIdx, stream int) (func(), error) {
+	if r.pool == nil {
+		return noRelease, r.fetch(p, pid, gpuIdx, stream)
+	}
+	pageSize := int64(r.eng.graph.Config().PageSize)
+	for {
+		if sig, ok := r.inflight[pid]; ok {
+			sig.Wait(p)
+			continue
+		}
+		switch r.pool.Pin(uint64(pid)) {
+		case bufpool.Hit:
+			r.poolHits++
+			r.traceMark(trace.PoolHit, gpuIdx, stream, int64(pid))
+			return func() { r.pool.Unpin(uint64(pid)) }, nil
+		case bufpool.Load:
+			sig := sim.NewSignal(r.env)
+			r.inflight[pid] = sig
+			err := r.readPage(p, pid, gpuIdx, stream)
+			delete(r.inflight, pid)
+			sig.Fire()
+			if err != nil {
+				r.pool.Abort(uint64(pid))
+				return nil, err
+			}
+			r.pool.Ready(uint64(pid))
+			r.poolLoads++
+			r.storageRead += pageSize
+			r.traceMark(trace.PoolLoad, gpuIdx, stream, int64(pid))
+			return func() { r.pool.Unpin(uint64(pid)) }, nil
+		default: // Busy in another env, or no evictable frame: bypass.
+			r.poolWaits++
+			r.traceMark(trace.PoolWait, gpuIdx, stream, int64(pid))
+			if err := r.readPage(p, pid, gpuIdx, stream); err != nil {
+				return nil, err
+			}
+			r.storageRead += pageSize
+			return noRelease, nil
+		}
 	}
 }
 
@@ -383,7 +465,7 @@ func (r *run) report(elapsed sim.Time) *Report {
 		EdgesTraversed: r.edgesTraversed,
 		Updates:        r.updates,
 		CacheHitRate:   cacheRate,
-		BufferHitRate:  r.buffer.HitRate(),
+		BufferHitRate:  r.bufferHitRate(),
 		TransferTime:   r.transferTime,
 		KernelTime:     kernelTime,
 		StorageBytes:   storageBytes,
@@ -392,6 +474,9 @@ func (r *run) report(elapsed sim.Time) *Report {
 		LevelBytes:     r.levelBytes,
 		HostWorkers:    r.workers,
 		HostKernelWall: r.hostKernelWall,
+		PoolHits:       r.poolHits,
+		PoolLoads:      r.poolLoads,
+		PoolWaits:      r.poolWaits,
 	}
 	// Injection counts come from the injector, recovery counts from the
 	// run's policy; fstats' injection fields are zero, so Add merges cleanly.

@@ -87,6 +87,34 @@ func (b *BufferPool) Insert(pid uint64) {
 	b.entries[pid] = b.lru.PushFront(pid)
 }
 
+// Shrink lowers the page limit to newCap (minimum 1 — use nil to disable
+// a cache entirely), evicting LRU pages beyond it, and returns how many
+// pages it evicted. Used by the device-OOM degradation path, which halves
+// the page cache instead of abandoning it.
+func (b *BufferPool) Shrink(newCap int) int {
+	if newCap < 1 {
+		newCap = 1
+	}
+	b.capacity = newCap
+	evicted := 0
+	for b.lru.Len() > b.capacity {
+		old := b.lru.Back()
+		b.lru.Remove(old)
+		delete(b.entries, old.Value.(uint64))
+		evicted++
+	}
+	return evicted
+}
+
+// Grow raises the page limit to newCap (no-op if the pool is already at
+// least that large). Used when the OOM degradation's transient memory
+// pressure has passed and the cache budget is restored.
+func (b *BufferPool) Grow(newCap int) {
+	if newCap > b.capacity {
+		b.capacity = newCap
+	}
+}
+
 // Len reports the buffered page count.
 func (b *BufferPool) Len() int { return b.lru.Len() }
 

@@ -174,6 +174,9 @@ type Stats struct {
 	// Sharing aggregates wave-group activity across graphs serving with
 	// ShareStreams.
 	Sharing SharingStats `json:"sharing"`
+	// Pool holds each pooled graph's shared host page-pool snapshot, keyed
+	// by graph name (nil when no graph uses a BufferPool).
+	Pool map[string]gts.PoolStats `json:"pool,omitempty"`
 	// QueueWait and RunWall summarize the admission-queue wait and engine
 	// compute-time distributions.
 	QueueWait LatencySummary       `json:"queue_wait"`
@@ -228,6 +231,34 @@ func (m *metrics) write(w io.Writer, s Stats) {
 	counter("gtsd_shared_bytes_saved_total", "Host-to-device bytes avoided by multi-query page sharing.", uint64(s.Sharing.BytesSaved))
 	counter("gtsd_shared_bytes_to_gpu_total", "Host-to-device bytes moved by shared groups.", uint64(s.Sharing.BytesToGPU))
 	gauge("gtsd_amortized_bytes_per_job", "Mean host-to-device bytes per wave-group job.", fmt.Sprintf("%.1f", s.Sharing.AmortizedBytesPerJob()))
+
+	if len(s.Pool) > 0 {
+		graphs := make([]string, 0, len(s.Pool))
+		for name := range s.Pool {
+			graphs = append(graphs, name)
+		}
+		sort.Strings(graphs)
+		poolCounter := func(name, help string, v func(gts.PoolStats) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, g := range graphs {
+				fmt.Fprintf(w, "%s{graph=%q,policy=%q} %d\n", name, g, s.Pool[g].Policy, v(s.Pool[g]))
+			}
+		}
+		poolGauge := func(name, help string, v func(gts.PoolStats) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, g := range graphs {
+				fmt.Fprintf(w, "%s{graph=%q,policy=%q} %d\n", name, g, s.Pool[g].Policy, v(s.Pool[g]))
+			}
+		}
+		poolCounter("gtsd_pool_hits_total", "Host page-pool pins served from a resident page.", func(p gts.PoolStats) int64 { return p.Hits })
+		poolCounter("gtsd_pool_loads_total", "Host page-pool pins that paid a storage read.", func(p gts.PoolStats) int64 { return p.Loads })
+		poolCounter("gtsd_pool_evictions_total", "Pages evicted from the host page pool.", func(p gts.PoolStats) int64 { return p.Evictions })
+		poolCounter("gtsd_pool_pin_waits_total", "Pins denied (frame busy or all frames pinned) that bypassed the pool.", func(p gts.PoolStats) int64 { return p.PinWaits })
+		poolGauge("gtsd_pool_resident_pages", "Pages currently resident in the host page pool.", func(p gts.PoolStats) int64 { return int64(p.Resident) })
+		poolGauge("gtsd_pool_pinned_pages", "Resident pages currently pinned by a run.", func(p gts.PoolStats) int64 { return int64(p.Pinned) })
+		poolGauge("gtsd_pool_resident_bytes", "Host bytes the pool's resident pages occupy.", func(p gts.PoolStats) int64 { return p.ResidentBytes })
+		poolGauge("gtsd_pool_budget_bytes", "Configured host page-pool budget.", func(p gts.PoolStats) int64 { return p.BudgetBytes })
+	}
 
 	fmt.Fprintf(w, "# HELP gtsd_job_queue_wait_seconds Admission-queue wait per dequeued job.\n# TYPE gtsd_job_queue_wait_seconds histogram\n")
 	_ = m.queueWait.WritePrometheus(w, "gtsd_job_queue_wait_seconds", "")

@@ -260,6 +260,11 @@ type GraphInfo struct {
 	// engines execute kernels with (the engine's HostWorkers after
 	// defaulting 0 to GOMAXPROCS).
 	HostWorkers int `json:"host_workers"`
+	// PoolPolicy and PoolBytes describe the graph's shared host page pool
+	// — the single pinned buffer all pooled Systems stream through.
+	// Empty/zero when the graph serves from the classic per-run buffer.
+	PoolPolicy string `json:"pool_policy,omitempty"`
+	PoolBytes  int64  `json:"pool_bytes,omitempty"`
 }
 
 // effectiveHostWorkers resolves a pool's HostWorkers setting the way the
@@ -369,10 +374,15 @@ func (s *Server) Graphs() []GraphInfo {
 	out := make([]GraphInfo, 0, len(s.graphs))
 	for _, e := range s.graphs {
 		g := e.pool.Graph()
-		out = append(out, GraphInfo{
+		info := GraphInfo{
 			Name: e.name, Vertices: g.NumVertices(), Edges: g.NumEdges(),
 			Pool: e.pool.Size(), HostWorkers: effectiveHostWorkers(e.pool.Config()),
-		})
+		}
+		if hp := e.pool.HostPool(); hp != nil {
+			info.PoolPolicy = hp.Policy()
+			info.PoolBytes = hp.Budget()
+		}
+		out = append(out, info)
 	}
 	sortGraphInfo(out)
 	return out
@@ -576,9 +586,16 @@ func (s *Server) Stats() Stats {
 	graphs := len(s.graphs)
 	hostWorkers := 0
 	var sharing SharingStats
+	var pools map[string]gts.PoolStats
 	for _, e := range s.graphs {
 		if hw := effectiveHostWorkers(e.pool.Config()); hw > hostWorkers {
 			hostWorkers = hw
+		}
+		if hp := e.pool.HostPool(); hp != nil {
+			if pools == nil {
+				pools = make(map[string]gts.PoolStats)
+			}
+			pools[e.name] = hp.Stats()
 		}
 		if e.sched != nil {
 			ss := e.sched.Stats()
@@ -613,6 +630,7 @@ func (s *Server) Stats() Stats {
 		Faults:      m.faults,
 		HWFailures:  m.hwFailures,
 		Sharing:     sharing,
+		Pool:        pools,
 	}
 	m.mu.Unlock()
 	st.QueueWait = summarize(&m.queueWait)

@@ -35,10 +35,13 @@ const (
 	Superstep             // one traversal level / iteration, superstep + sync
 	Wave                  // one shared superstep wave of a multi-query group
 	SharedCopy            // a page copy served to a member by another member's stream
+	PoolHit               // host buffer-pool pin served from a resident page (marker)
+	PoolLoad              // host buffer-pool pin that loaded the page from storage (marker)
+	PoolWait              // host buffer-pool pin denied (busy/no frame) — bypass read (marker)
 )
 
 // NumKinds is the count of span kinds (for Summary.Busy indexing).
-const NumKinds = int(SharedCopy) + 1
+const NumKinds = int(PoolWait) + 1
 
 // String names the kind. Unknown values format as "kind(N)" rather than
 // silently aliasing a real kind.
@@ -66,6 +69,12 @@ func (k Kind) String() string {
 		return "wave"
 	case SharedCopy:
 		return "sharedcopy"
+	case PoolHit:
+		return "poolhit"
+	case PoolLoad:
+		return "poolload"
+	case PoolWait:
+		return "poolwait"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
