@@ -19,21 +19,21 @@ test: build
 # two Systems hammering one BufferPool under storage faults + device OOM;
 # trace export racing live span emission) run here too.
 test-race:
-	$(GO) test -race ./internal/bufpool/... ./internal/core/... ./internal/sched/... ./internal/service/... ./internal/trace/... ./internal/hw/... ./internal/obs/...
+	$(GO) test -race ./internal/bufpool/... ./internal/core/... ./internal/kernels/... ./internal/sched/... ./internal/service/... ./internal/trace/... ./internal/hw/... ./internal/obs/...
 	$(GO) test -race -run 'System|Pool|Open|Concurrent|Chaos' .
 
 vet:
 	$(GO) vet ./...
 
-# Coverage gate over the observability stack, the wave-group scheduler and
-# the shared host page pool: the trace recorder and exporters, the
-# histogram math, the service job path, the multi-query stream scheduler,
-# and the bufpool pin/eviction machinery (whose floor sits under the ~94%
-# the model test measures at introduction). Floors sit a few points under
-# the measured baseline (89/94/87/66/94) so real regressions fail while
-# small refactors don't.
+# Coverage gate over the observability stack, the wave-group scheduler,
+# the shared host page pool, and the kernel operator layer: the trace
+# recorder and exporters, the histogram math, the service job path, the
+# multi-query stream scheduler, the bufpool pin/eviction machinery, and
+# the kernels package (direction-optimizing BFS and delta-stepping SSSP
+# included). Floors sit a few points under the measured baseline so real
+# regressions fail while small refactors don't.
 cover:
-	@set -e; for spec in ./internal/trace=85 ./internal/obs=90 ./internal/service=80 ./internal/sched=60 ./internal/bufpool=85; do \
+	@set -e; for spec in ./internal/trace=85 ./internal/obs=90 ./internal/service=80 ./internal/sched=60 ./internal/bufpool=85 ./internal/kernels=85; do \
 		pkg=$${spec%=*}; floor=$${spec#*=}; \
 		$(GO) test -coverprofile=coverage.tmp.out $$pkg >/dev/null; \
 		pct=$$($(GO) tool cover -func=coverage.tmp.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
@@ -43,16 +43,20 @@ cover:
 			{ echo "FAIL: $$pkg coverage $$pct% below floor $$floor%"; exit 1; }; \
 	done
 
-# Short fuzz smoke over the slotted-page codec and the host page pool:
-# each target gets FUZZTIME of coverage-guided input on top of the
-# checked-in corpora. FuzzPoolOps decodes arbitrary bytes into pool op
-# scripts and replays them against the reference-model oracle. Go allows
-# one -fuzz target per invocation, hence the separate runs.
+# Short fuzz smoke over the slotted-page codec, the host page pool, and
+# the direction switch: each target gets FUZZTIME of coverage-guided input
+# on top of the checked-in corpora. FuzzPoolOps decodes arbitrary bytes
+# into pool op scripts and replays them against the reference-model
+# oracle; FuzzDirectionSwitch builds adversarial frontier densities and
+# checks push-only, pull-only, and adaptive BFS agree with the plain
+# kernel. Go allows one -fuzz target per invocation, hence the separate
+# runs.
 fuzz:
 	$(GO) test ./internal/slottedpage -run '^$$' -fuzz '^FuzzStoreRead$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/slottedpage -run '^$$' -fuzz '^FuzzPageValidate$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/slottedpage -run '^$$' -fuzz '^FuzzStoreRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bufpool -run '^$$' -fuzz '^FuzzPoolOps$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDirectionSwitch$$' -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

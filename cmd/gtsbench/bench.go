@@ -30,6 +30,11 @@ type benchEntry struct {
 	// and are identical at every worker count.
 	VirtualSeconds float64 `json:"virtual_seconds"`
 	MTEPS          float64 `json:"mteps"`
+	// HostMTEPS is traversed edges over real host-kernel time — the figure
+	// that moves with HostWorkers and with algorithmic work reduction
+	// (direction-optimizing pull levels scan fewer edges), where virtual
+	// MTEPS is dominated by the modeled transfer schedule.
+	HostMTEPS float64 `json:"host_mteps"`
 	// AllocsPerOp and BytesPerOp are heap allocations per full run.
 	AllocsPerOp uint64 `json:"allocs_per_op"`
 	BytesPerOp  uint64 `json:"bytes_per_op"`
@@ -105,33 +110,50 @@ func gitRev() string {
 
 // benchKernels are the kernels the regression record tracks, run through
 // the public System API so the measurement covers the same path users hit.
+// cfg is the System configuration the measurement runs under (HostWorkers
+// is overridden per sweep point).
 var benchKernels = []struct {
 	name string
+	cfg  gts.Config
 	run  func(sys *gts.System) (gts.Metrics, error)
 }{
-	{"BFS", func(sys *gts.System) (gts.Metrics, error) {
+	{"BFS", gts.Config{}, func(sys *gts.System) (gts.Metrics, error) {
 		res, err := sys.BFS(0)
 		if err != nil {
 			return gts.Metrics{}, err
 		}
 		return res.Metrics, nil
 	}},
-	{"PageRank", func(sys *gts.System) (gts.Metrics, error) {
+	{"BFS-diropt", gts.Config{DirectionOpt: true}, func(sys *gts.System) (gts.Metrics, error) {
+		res, err := sys.BFS(0)
+		if err != nil {
+			return gts.Metrics{}, err
+		}
+		return res.Metrics, nil
+	}},
+	{"PageRank", gts.Config{}, func(sys *gts.System) (gts.Metrics, error) {
 		res, err := sys.PageRank(0.85, 5)
 		if err != nil {
 			return gts.Metrics{}, err
 		}
 		return res.Metrics, nil
 	}},
-	{"CC", func(sys *gts.System) (gts.Metrics, error) {
+	{"CC", gts.Config{}, func(sys *gts.System) (gts.Metrics, error) {
 		res, err := sys.CC()
 		if err != nil {
 			return gts.Metrics{}, err
 		}
 		return res.Metrics, nil
 	}},
-	{"BC", func(sys *gts.System) (gts.Metrics, error) {
+	{"BC", gts.Config{}, func(sys *gts.System) (gts.Metrics, error) {
 		res, err := sys.BC(0)
+		if err != nil {
+			return gts.Metrics{}, err
+		}
+		return res.Metrics, nil
+	}},
+	{"SSSP-delta", gts.Config{DirectionOpt: true}, func(sys *gts.System) (gts.Metrics, error) {
+		res, err := sys.SSSP(0)
 		if err != nil {
 			return gts.Metrics{}, err
 		}
@@ -139,11 +161,13 @@ var benchKernels = []struct {
 	}},
 }
 
-// benchWorkerCounts returns the host worker-pool sizes to sweep: always the
-// serial baseline, plus GOMAXPROCS when the machine has more than one CPU.
+// benchWorkerCounts returns the host worker-pool sizes to sweep: the
+// serial baseline, the 8-worker point the golden and differential suites
+// pin (recorded on every machine so records stay comparable), plus
+// GOMAXPROCS when it is a distinct parallel width.
 func benchWorkerCounts() []int {
-	counts := []int{1}
-	if n := runtime.GOMAXPROCS(0); n > 1 {
+	counts := []int{1, 8}
+	if n := runtime.GOMAXPROCS(0); n > 1 && n != 8 {
 		counts = append(counts, n)
 	}
 	return counts
@@ -151,8 +175,9 @@ func benchWorkerCounts() []int {
 
 // measureKernel runs one kernel `runs` times at the given worker count and
 // averages wall-clock, host-kernel time, and per-run heap allocations.
-func measureKernel(g *gts.Graph, name string, run func(*gts.System) (gts.Metrics, error), workers, runs int) (benchEntry, error) {
-	sys, err := gts.NewSystem(g, gts.Config{HostWorkers: workers})
+func measureKernel(g *gts.Graph, name string, cfg gts.Config, run func(*gts.System) (gts.Metrics, error), workers, runs int) (benchEntry, error) {
+	cfg.HostWorkers = workers
+	sys, err := gts.NewSystem(g, cfg)
 	if err != nil {
 		return benchEntry{}, err
 	}
@@ -176,6 +201,13 @@ func measureKernel(g *gts.Graph, name string, run func(*gts.System) (gts.Metrics
 		last = m
 	}
 	runtime.ReadMemStats(&ms1)
+	// Recover the edge count from the deterministic virtual figures, then
+	// price it against the mean real host-kernel time.
+	hostMTEPS := 0.0
+	if hk := hostKernel.Seconds() / float64(runs); hk > 0 {
+		edges := last.MTEPS * last.Elapsed.Seconds() // millions of edges
+		hostMTEPS = edges / hk
+	}
 	return benchEntry{
 		Kernel:            name,
 		Workers:           workers,
@@ -183,6 +215,7 @@ func measureKernel(g *gts.Graph, name string, run func(*gts.System) (gts.Metrics
 		HostKernelSeconds: hostKernel.Seconds() / float64(runs),
 		VirtualSeconds:    last.Elapsed.Seconds(),
 		MTEPS:             last.MTEPS,
+		HostMTEPS:         hostMTEPS,
 		AllocsPerOp:       (ms1.Mallocs - ms0.Mallocs) / uint64(runs),
 		BytesPerOp:        (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(runs),
 		Runs:              runs,
@@ -337,7 +370,7 @@ func runBenchJSON(dataset string, shrink, runs, jobs int, outDir string) (string
 	}
 	for _, bk := range benchKernels {
 		for _, workers := range benchWorkerCounts() {
-			e, err := measureKernel(g, bk.name, bk.run, workers, runs)
+			e, err := measureKernel(g, bk.name, bk.cfg, bk.run, workers, runs)
 			if err != nil {
 				return "", fmt.Errorf("%s workers=%d: %w", bk.name, workers, err)
 			}

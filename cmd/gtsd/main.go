@@ -64,6 +64,7 @@ func main() {
 	hostWorkers := flag.Int("host-workers", 0, "host goroutines executing kernel work per run (0 = GOMAXPROCS, 1 = serial; results identical at every setting)")
 	strategy := flag.String("strategy", "p", "multi-GPU strategy: p (performance) | s (scalability)")
 	shareStreams := flag.Bool("share-streams", false, "coalesce concurrent jobs per graph into shared topology stream wave groups (results identical to solo runs)")
+	directionOpt := flag.Bool("direction-opt", false, "serve bfs/sssp with the direction-optimizing frontier kernels (push/pull BFS, delta-stepping SSSP; result values identical to the plain kernels)")
 	storage := flag.String("storage", "mem", "graph placement: mem (all in main memory) | ssd | hdd (stream pages from simulated storage)")
 	poolBytes := flag.Int64("pool-bytes", 0, "shared host page-pool budget per graph in bytes — one pinned buffer ALL of a graph's engines stream through, so hot pages occupy host memory once however many jobs run (0 with -pool-policy set = 20% of the topology; 0 alone = classic private buffer per run; needs -storage ssd|hdd)")
 	poolPolicy := flag.String("pool-policy", "", "host page-pool eviction policy: lru | clock | 2q (setting it opts into the shared pool)")
@@ -80,7 +81,8 @@ func main() {
 
 	engineCfg := gts.Config{
 		GPUs: *gpus, Streams: *streams, HostWorkers: *hostWorkers, ShareStreams: *shareStreams,
-		PoolBytes: *poolBytes, PoolPolicy: *poolPolicy, PoolSeed: *poolSeed,
+		DirectionOpt: *directionOpt,
+		PoolBytes:    *poolBytes, PoolPolicy: *poolPolicy, PoolSeed: *poolSeed,
 	}
 	if strings.EqualFold(*strategy, "s") {
 		engineCfg.Strategy = gts.StrategyS
@@ -119,6 +121,9 @@ func main() {
 	}
 	if *shareStreams {
 		log.Printf("gtsd: multi-query topology stream sharing enabled")
+	}
+	if *directionOpt {
+		log.Printf("gtsd: direction-optimizing frontier kernels enabled for bfs/sssp")
 	}
 
 	srv := service.New(service.Config{

@@ -114,6 +114,15 @@ type Config struct {
 	// kernel work. 0 = GOMAXPROCS, 1 = serial. Results are byte-identical
 	// at every setting (see core.Options.HostWorkers).
 	HostWorkers int
+	// DirectionOpt swaps BFS and SSSP onto the direction-optimizing
+	// frontier kernels (kernels.DirBFS / kernels.DeltaSSSP): BFS switches
+	// per level between sparse push and dense pull on frontier-edge
+	// density, and SSSP runs delta-stepping bucketed frontiers on the
+	// HostWorkers parallel path. Result values are identical to the plain
+	// kernels (BFS levels exactly; SSSP distances bitwise); traversal
+	// schedules, data movement, and MTEPS accounting differ. Per-level
+	// directions surface in Metrics.LevelDirs and on Superstep trace spans.
+	DirectionOpt bool
 	// ShareStreams opts the serving layer into multi-query topology
 	// sharing: concurrently admitted jobs on the same graph coalesce into
 	// wave groups that stream each topology page once per superstep and
@@ -367,6 +376,9 @@ type Metrics struct {
 	// inputs of the paper's Eq. 2).
 	LevelPages []int64
 	LevelBytes []int64
+	// LevelDirs records each traversal level's planned direction ("push" /
+	// "pull") when Config.DirectionOpt is on; empty otherwise.
+	LevelDirs []string `json:",omitempty"`
 	// Faults counts injected hardware faults and recovery work (all zero
 	// unless Config.Faults is set).
 	Faults FaultStats
@@ -386,6 +398,10 @@ type Metrics struct {
 }
 
 func metricsOf(r *core.Report) Metrics {
+	var dirs []string
+	for _, d := range r.LevelDirs {
+		dirs = append(dirs, d.String())
+	}
 	return Metrics{
 		Elapsed:        r.Elapsed,
 		Levels:         r.Levels,
@@ -400,6 +416,7 @@ func metricsOf(r *core.Report) Metrics {
 		MTEPS:          r.MTEPS,
 		LevelPages:     r.LevelPages,
 		LevelBytes:     r.LevelBytes,
+		LevelDirs:      dirs,
 		Faults:         r.Faults,
 		HostWorkers:    r.HostWorkers,
 		HostKernelWall: r.HostKernelWall,
@@ -427,8 +444,17 @@ type BFSResult struct {
 	Levels []int16
 }
 
-// BFS runs breadth-first search from source.
+// BFS runs breadth-first search from source. With Config.DirectionOpt it
+// uses the direction-optimizing kernel; levels are identical either way.
 func (s *System) BFS(source uint64) (*BFSResult, error) {
+	if s.cfg.DirectionOpt {
+		k := kernels.NewDirBFS(s.graph)
+		rep, err := s.run(k, source)
+		if err != nil {
+			return nil, err
+		}
+		return &BFSResult{Metrics: metricsOf(rep), Levels: k.Levels(rep.State)}, nil
+	}
 	k := kernels.NewBFS(s.graph)
 	rep, err := s.run(k, source)
 	if err != nil {
@@ -460,8 +486,18 @@ type SSSPResult struct {
 	Dist []float32
 }
 
-// SSSP runs single-source shortest paths from source.
+// SSSP runs single-source shortest paths from source. With
+// Config.DirectionOpt it uses the delta-stepping kernel (parallel
+// gather/apply path); distances are bitwise identical either way.
 func (s *System) SSSP(source uint64) (*SSSPResult, error) {
+	if s.cfg.DirectionOpt {
+		k := kernels.NewDeltaSSSP(s.graph)
+		rep, err := s.run(k, source)
+		if err != nil {
+			return nil, err
+		}
+		return &SSSPResult{Metrics: metricsOf(rep), Dist: k.Distances(rep.State)}, nil
+	}
 	k := kernels.NewSSSP(s.graph)
 	rep, err := s.run(k, source)
 	if err != nil {

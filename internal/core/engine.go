@@ -177,6 +177,10 @@ type Report struct {
 	// GPUs — the per-level quantities Eq. 2 consumes.
 	LevelPages []int64
 	LevelBytes []int64
+	// LevelDirs records, per forward traversal level, the direction a
+	// FrontierKernel planned (push or pull). Nil for kernels without
+	// direction optimization.
+	LevelDirs []kernels.Direction
 	// Faults counts injected hardware faults and the recovery work
 	// (retries, recoveries, degradations) the run performed. All zero
 	// when Options.Faults is nil.

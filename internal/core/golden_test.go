@@ -53,9 +53,10 @@ func readGolden(t *testing.T) map[string]goldenEntry {
 	return m
 }
 
-// TestGoldenResults asserts every kernel reproduces its checked-in result
-// digest on both the serial (HostWorkers=1) and parallel (HostWorkers=8)
-// paths, fault-free and under the chaos plan. A digest change means the
+// TestGoldenResults asserts every kernel (the direction-optimizing
+// variants included) reproduces its checked-in result digest on the
+// serial (HostWorkers=1) and parallel (HostWorkers=4 and 8) paths,
+// fault-free and under the chaos plan. A digest change means the
 // functional results drifted — either a kernel bug or an intentional
 // change that must be re-pinned with -update-golden.
 func TestGoldenResults(t *testing.T) {
@@ -102,7 +103,7 @@ func TestGoldenResults(t *testing.T) {
 		}
 		want := golden[name]
 		t.Run(name, func(t *testing.T) {
-			for _, workers := range []int{1, 8} {
+			for _, workers := range []int{1, 4, 8} {
 				if got := goldenDigest(t, kc, workers, false); got != want.Clean {
 					t.Errorf("workers=%d clean digest = %s, want %s", workers, got, want.Clean)
 				}

@@ -72,6 +72,87 @@ func kernelCases() []kernelCase {
 		{"Radius",
 			func(sp *slottedpage.Graph) kernels.Kernel { return kernels.NewRadius(sp, 4, 8) },
 			func(k kernels.Kernel, st kernels.State) []byte { return encodeVec(k.(*kernels.Radius).Radii(st)) }},
+		// The direction-optimizing frontier kernels, in every direction mode:
+		// adaptive switching, forced push, and forced pull must each be
+		// worker-count invariant (and, by TestDirOptMatchesPlainKernels,
+		// agree with the plain kernels above).
+		{"BFS-diropt",
+			func(sp *slottedpage.Graph) kernels.Kernel { return kernels.NewDirBFS(sp) },
+			func(k kernels.Kernel, st kernels.State) []byte { return encodeVec(k.(*kernels.DirBFS).Levels(st)) }},
+		{"BFS-diropt-push",
+			func(sp *slottedpage.Graph) kernels.Kernel {
+				k := kernels.NewDirBFS(sp)
+				k.SetMode(kernels.DirForcePush)
+				return k
+			},
+			func(k kernels.Kernel, st kernels.State) []byte { return encodeVec(k.(*kernels.DirBFS).Levels(st)) }},
+		{"BFS-diropt-pull",
+			func(sp *slottedpage.Graph) kernels.Kernel {
+				k := kernels.NewDirBFS(sp)
+				k.SetMode(kernels.DirForcePull)
+				return k
+			},
+			func(k kernels.Kernel, st kernels.State) []byte { return encodeVec(k.(*kernels.DirBFS).Levels(st)) }},
+		{"SSSP-delta",
+			func(sp *slottedpage.Graph) kernels.Kernel { return kernels.NewDeltaSSSP(sp) },
+			func(k kernels.Kernel, st kernels.State) []byte {
+				return encodeVec(k.(*kernels.DeltaSSSP).Distances(st))
+			}},
+	}
+}
+
+// TestDirOptMatchesPlainKernels pins the direction-optimizing kernels to
+// their plain counterparts: DirBFS in every mode must reproduce BFS's
+// levels byte-for-byte, and DeltaSSSP must reproduce SSSP's distances,
+// at serial and parallel worker counts.
+func TestDirOptMatchesPlainKernels(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	cases := kernelCases()
+	pairs := []struct{ plain, diropt kernelCase }{
+		{cases[0], cases[11]}, // BFS vs BFS-diropt
+		{cases[0], cases[12]}, // BFS vs forced push
+		{cases[0], cases[13]}, // BFS vs forced pull
+		{cases[1], cases[14]}, // SSSP vs SSSP-delta
+	}
+	for _, p := range pairs {
+		t.Run(p.diropt.name, func(t *testing.T) {
+			want, _ := runDigest(t, sp, p.plain, Options{Source: 0, HostWorkers: 1}, 1, 0)
+			for _, workers := range []int{1, 8} {
+				got, _ := runDigest(t, sp, p.diropt, Options{Source: 0, HostWorkers: workers}, 1, 0)
+				if !bytes.Equal(got, want) {
+					t.Errorf("workers=%d: %s state differs from %s", workers, p.diropt.name, p.plain.name)
+				}
+			}
+		})
+	}
+}
+
+// TestDirOptUnderChaos runs the adaptive kernels through the chaos fault
+// plan: recovery replays must preserve both the values and the planned
+// direction schedule across worker counts.
+func TestDirOptUnderChaos(t *testing.T) {
+	g := rmatGraph(t)
+	sp := buildPages(t, g)
+	cases := kernelCases()
+	for _, kc := range []kernelCase{cases[11], cases[14]} { // BFS-diropt, SSSP-delta
+		t.Run(kc.name, func(t *testing.T) {
+			base := Options{Source: 0, HostWorkers: 1, Faults: chaosPlan()}
+			wantBytes, wantRep := runDigest(t, sp, kc, base, 2, 2)
+			opts := base
+			opts.HostWorkers = 8
+			gotBytes, gotRep := runDigest(t, sp, kc, opts, 2, 2)
+			if !bytes.Equal(gotBytes, wantBytes) {
+				t.Error("state not byte-identical to serial under faults")
+			}
+			sameRun(t, kc.name+" workers=8", wantRep, gotRep)
+			if len(wantRep.LevelDirs) == 0 {
+				t.Error("LevelDirs empty for a direction-planning kernel")
+			}
+			if fmt.Sprint(wantRep.LevelDirs) != fmt.Sprint(gotRep.LevelDirs) {
+				t.Errorf("direction schedule differs: %v vs %v", wantRep.LevelDirs, gotRep.LevelDirs)
+			}
+		})
 	}
 }
 

@@ -81,6 +81,15 @@ type run struct {
 	waPerVertex int64
 	levels      int32
 
+	// Direction-optimized traversal (kernels.FrontierKernel): fk is the
+	// kernel's planning interface (nil otherwise), curDir the direction the
+	// executing superstep was planned in (stamped onto its Superstep span),
+	// and dirs the per-level record for the report. PlanLevel runs between
+	// supersteps on the framework process, so none of this needs locking.
+	fk     kernels.FrontierKernel
+	curDir kernels.Direction
+	dirs   []kernels.Direction
+
 	// curLevel is the superstep currently executing, stamped onto every
 	// span the run emits; -1 outside any superstep (WA upload, final
 	// copy-back). The sim scheduler runs one process at a time and host
@@ -197,6 +206,7 @@ func (r *run) setupStates() {
 	e, k := r.eng, r.k
 	nGPU := len(r.machine.GPUs)
 	nV := e.graph.NumVertices()
+	r.fk, _ = k.(kernels.FrontierKernel)
 
 	proto := k.NewState()
 	k.Init(proto, e.opts.Source)
@@ -336,6 +346,9 @@ func (r *run) framework(p *sim.Proc) error {
 		if g.Kind(home.PID) == slottedpage.LargePage {
 			r.eng.expandLPRun(next, home.PID)
 		}
+		// A planning kernel owns its frontier: replace the seed with the
+		// level-0 plan (direction choice + exact page set).
+		r.planLevel(0, next)
 	} else {
 		for pid := 0; pid < numPages; pid++ {
 			next.Set(pid)
@@ -353,6 +366,9 @@ func (r *run) framework(p *sim.Proc) error {
 		}
 		r.curLevel = level
 		stepStart := r.env.Now()
+		if r.fk != nil {
+			r.dirs = append(r.dirs, r.curDir)
+		}
 		k.BeginLevel(r.states, level)
 		for i := range locals {
 			locals[i] = r.getPidSet()
@@ -363,8 +379,9 @@ func (r *run) framework(p *sim.Proc) error {
 		r.levelBytes = append(r.levelBytes, r.bytesToGPU-beforeBytes)
 		r.sync(p, level, bfsLike)
 		// The Superstep container span: one traversal level / iteration
-		// including its cross-GPU sync, on the framework track.
-		e.opts.Trace.Add(trace.Span{GPU: -1, Stream: -1, Kind: trace.Superstep, Page: -1, Level: level, Start: stepStart, End: r.env.Now()})
+		// including its cross-GPU sync, on the framework track. Dir carries
+		// the planned traversal direction (0 for plain kernels).
+		e.opts.Trace.Add(trace.Span{GPU: -1, Stream: -1, Kind: trace.Superstep, Page: -1, Level: level, Dir: int8(r.curDir), Start: stepStart, End: r.env.Now()})
 		if r.abort != nil {
 			return r.abort
 		}
@@ -383,6 +400,11 @@ func (r *run) framework(p *sim.Proc) error {
 					r.eng.expandLPRun(merged, slottedpage.PageID(pid))
 				}
 			})
+			// A planning kernel rebuilds the next frontier itself — this must
+			// run before the emptiness test, because bucketed kernels
+			// (DeltaSSSP) carry pending work in attribute state even when no
+			// page kernel marked a next page.
+			r.planLevel(level+1, merged)
 			r.putPidSet(next)
 			next = merged
 			level++
@@ -444,6 +466,17 @@ func (r *run) framework(p *sim.Proc) error {
 	// track, closing the run → superstep → stream hierarchy.
 	e.opts.Trace.Add(trace.Span{GPU: -1, Stream: -1, Kind: trace.Run, Page: -1, Level: -1, Start: 0, End: r.env.Now()})
 	return nil
+}
+
+// planLevel asks a FrontierKernel to plan the coming level — rebuilding
+// next as the exact page set its chosen direction streams — and records
+// the direction for the superstep's span and the report. No-op for plain
+// kernels, whose page kernels marked next themselves.
+func (r *run) planLevel(level int32, next pidSet) {
+	if r.fk == nil {
+		return
+	}
+	r.curDir = r.fk.PlanLevel(r.states, level, next)
 }
 
 // bufferHitRate is the host-side page residency hit fraction: the private

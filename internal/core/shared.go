@@ -388,6 +388,9 @@ func (d *sharedDriver) beginMember(p *sim.Proc, m *groupMember) {
 		if g.Kind(home.PID) == slottedpage.LargePage {
 			r.eng.expandLPRun(m.next, home.PID)
 		}
+		// Planning kernels replace the seed with the level-0 plan, exactly
+		// as a solo framework run does.
+		r.planLevel(0, m.next)
 	} else {
 		for pid := 0; pid < g.NumPages(); pid++ {
 			m.next.Set(pid)
@@ -416,6 +419,9 @@ func (d *sharedDriver) beginWave(m *groupMember) {
 	m.beforeBytes = r.bytesToGPU
 	m.stepActive = false
 	r.levelUpdates = 0
+	if r.fk != nil && !m.backward {
+		r.dirs = append(r.dirs, r.curDir)
+	}
 	r.k.BeginLevel(r.states, lvl)
 	for i := range m.locals {
 		m.locals[i] = r.getPidSet()
@@ -670,7 +676,7 @@ func (d *sharedDriver) endWave(p *sim.Proc, m *groupMember) {
 	lvl := m.waveLevel()
 	r.sync(p, lvl, m.bfsLike)
 	now := d.env.Now()
-	r.eng.opts.Trace.Add(trace.Span{GPU: -1, Stream: -1, Kind: trace.Superstep, Page: -1, Level: lvl, Start: m.stepStart, End: now})
+	r.eng.opts.Trace.Add(trace.Span{GPU: -1, Stream: -1, Kind: trace.Superstep, Page: -1, Level: lvl, Dir: int8(r.curDir), Start: m.stepStart, End: now})
 	r.eng.opts.Trace.Add(trace.Span{GPU: -1, Stream: -1, Kind: trace.Wave, Page: d.wave, Level: lvl, Start: m.stepStart, End: now})
 	if r.abort != nil {
 		release()
@@ -703,6 +709,9 @@ func (d *sharedDriver) endWave(p *sim.Proc, m *groupMember) {
 				r.eng.expandLPRun(merged, slottedpage.PageID(pid))
 			}
 		})
+		// Planning kernels rebuild the next frontier before the emptiness
+		// test, mirroring the solo framework loop.
+		r.planLevel(m.level+1, merged)
 		release()
 		r.putPidSet(m.next)
 		m.next = merged
@@ -802,6 +811,7 @@ func (d *sharedDriver) memberReport(m *groupMember) *Report {
 		WABytes:        r.states[0].WABytes(),
 		LevelPages:     r.levelPages,
 		LevelBytes:     r.levelBytes,
+		LevelDirs:      r.dirs,
 		HostWorkers:    r.workers,
 		HostKernelWall: r.hostKernelWall,
 		PoolHits:       r.poolHits,

@@ -472,6 +472,7 @@ func (r *run) report(elapsed sim.Time) *Report {
 		WABytes:        r.states[0].WABytes(),
 		LevelPages:     r.levelPages,
 		LevelBytes:     r.levelBytes,
+		LevelDirs:      r.dirs,
 		HostWorkers:    r.workers,
 		HostKernelWall: r.hostKernelWall,
 		PoolHits:       r.poolHits,

@@ -17,17 +17,24 @@ import (
 type traceGoldenCase struct {
 	name    string
 	faulted bool
+	// wantDir marks cases whose superstep spans must carry the planned
+	// direction attribute (direction-optimizing kernels only; plain-kernel
+	// traces must stay byte-identical to their pre-direction fixtures).
+	wantDir bool
 	make    func(sp *slottedpage.Graph) kernels.Kernel
 }
 
 func traceGoldenCases() []traceGoldenCase {
 	mkBFS := func(sp *slottedpage.Graph) kernels.Kernel { return kernels.NewBFS(sp) }
 	mkPR := func(sp *slottedpage.Graph) kernels.Kernel { return kernels.NewPageRank(sp, 0.85, 5) }
+	mkDir := func(sp *slottedpage.Graph) kernels.Kernel { return kernels.NewDirBFS(sp) }
 	return []traceGoldenCase{
-		{"bfs_clean", false, mkBFS},
-		{"bfs_faulted", true, mkBFS},
-		{"pagerank_clean", false, mkPR},
-		{"pagerank_faulted", true, mkPR},
+		{"bfs_clean", false, false, mkBFS},
+		{"bfs_faulted", true, false, mkBFS},
+		{"pagerank_clean", false, false, mkPR},
+		{"pagerank_faulted", true, false, mkPR},
+		{"bfs_diropt_clean", false, true, mkDir},
+		{"bfs_diropt_faulted", true, true, mkDir},
 	}
 }
 
@@ -125,7 +132,7 @@ func TestGoldenTraces(t *testing.T) {
 // markers exactly when the chaos plan was armed.
 func assertTraceShape(t *testing.T, tc traceGoldenCase, rec *trace.Recorder) {
 	t.Helper()
-	var runs, steps, kernelsN, copies, storage, faults int
+	var runs, steps, kernelsN, copies, storage, faults, dirs int
 	for _, s := range rec.Spans() {
 		switch s.Kind {
 		case trace.Run:
@@ -134,6 +141,9 @@ func assertTraceShape(t *testing.T, tc traceGoldenCase, rec *trace.Recorder) {
 			steps++
 			if s.Level < 0 {
 				t.Errorf("superstep span with level %d", s.Level)
+			}
+			if s.Dir != 0 {
+				dirs++
 			}
 		case trace.Kernel:
 			kernelsN++
@@ -165,6 +175,12 @@ func assertTraceShape(t *testing.T, tc traceGoldenCase, rec *trace.Recorder) {
 	}
 	if !tc.faulted && faults != 0 {
 		t.Errorf("clean run recorded %d fault spans", faults)
+	}
+	if tc.wantDir && dirs == 0 {
+		t.Errorf("direction-optimizing run recorded no superstep direction attributes")
+	}
+	if !tc.wantDir && dirs != 0 {
+		t.Errorf("plain-kernel run recorded %d superstep direction attributes", dirs)
 	}
 }
 

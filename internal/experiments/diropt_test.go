@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	gts "repro"
+	"repro/internal/baselines/cpu"
+	"repro/internal/kernels"
+	"repro/internal/rmat"
+	"repro/internal/slottedpage"
+	"repro/internal/verify"
+)
+
+// TestDirOptRandomGraphsDifferential sweeps the direction-optimizing
+// kernels over random R-MAT graphs with the same seed-rotated engine
+// matrix as TestRandomGraphsDifferential: BFS under Config.DirectionOpt
+// must reproduce the plain serial kernel's levels exactly (and agree with
+// the Ligra CPU baseline), and delta-stepping SSSP must reproduce plain
+// SSSP bitwise and the float64 reference oracle, at serial and parallel
+// worker counts, clean and with fault injection armed (seed 2).
+func TestDirOptRandomGraphsDifferential(t *testing.T) {
+	ws := cpu.Paper()
+	for _, seed := range []int64{1, 2, 3, 4} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			params := rmat.Default(7 + int(seed%2)) // 128 or 256 vertices
+			params.Seed = seed
+			g, err := rmat.Generate(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rev := g.Transpose()
+			sp, err := slottedpage.Build(g, slottedpage.ScaledConfig(2, 2, 1024))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := gts.Config{GPUs: 1 + int(seed%2)}
+			if seed%4 == 3 {
+				cfg.Strategy = gts.StrategyS
+			}
+			if seed == 2 {
+				// Rates sit above the crosscheck template's: BFS and SSSP
+				// stream far fewer pages than a PageRank sweep, so lower
+				// rates can tick zero injections on a 128-vertex graph.
+				cfg.Faults = &gts.FaultPlan{Seed: seed, TransferErrorRate: 0.10,
+					CorruptionRate: 0.15, TransferStallRate: 0.10, StorageErrorRate: 0.10}
+			}
+			src := uint64(seed*31) % g.NumVertices()
+
+			// Serial plain kernels are the ground truth the direction-
+			// optimizing runs must match byte-for-byte.
+			plainCfg := cfg
+			plainCfg.HostWorkers = 1
+			plainSys, err := gts.NewSystem(sp, plainCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainBFS, err := plainSys.BFS(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainSSSP, err := plainSys.SSSP(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lig, err := cpu.NewLigra(ws).BFS(g, rev, uint32(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantD := verify.SSSP(g, uint32(src), kernels.Weight)
+
+			var injected int64
+			for _, workers := range []int{1, 8} {
+				dirCfg := cfg
+				dirCfg.DirectionOpt = true
+				dirCfg.HostWorkers = workers
+				sys, err := gts.NewSystem(sp, dirCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				bres, err := sys.BFS(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range plainBFS.Levels {
+					if bres.Levels[v] != plainBFS.Levels[v] {
+						t.Fatalf("workers=%d BFS: vertex %d level = %d, plain kernel %d",
+							workers, v, bres.Levels[v], plainBFS.Levels[v])
+					}
+					if bres.Levels[v] != lig.Levels[v] {
+						t.Fatalf("workers=%d BFS: vertex %d level = %d, Ligra %d",
+							workers, v, bres.Levels[v], lig.Levels[v])
+					}
+				}
+				if len(bres.LevelDirs) == 0 {
+					t.Errorf("workers=%d BFS: no direction schedule recorded", workers)
+				}
+
+				sres, err := sys.SSSP(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range plainSSSP.Dist {
+					if sres.Dist[v] != plainSSSP.Dist[v] {
+						t.Fatalf("workers=%d SSSP: vertex %d dist = %v, plain kernel %v",
+							workers, v, sres.Dist[v], plainSSSP.Dist[v])
+					}
+					if math.IsInf(wantD[v], 1) {
+						if sres.Dist[v] != math.MaxFloat32 {
+							t.Fatalf("workers=%d SSSP: vertex %d reachable (%v), want unreachable",
+								workers, v, sres.Dist[v])
+						}
+					} else if float64(sres.Dist[v]) != wantD[v] {
+						t.Fatalf("workers=%d SSSP: vertex %d dist = %v, reference %v",
+							workers, v, sres.Dist[v], wantD[v])
+					}
+				}
+				injected += bres.Faults.Injected() + sres.Faults.Injected()
+			}
+			if seed == 2 && injected == 0 {
+				t.Error("fault-armed seed injected nothing across direction-opt runs")
+			}
+		})
+	}
+}

@@ -150,7 +150,11 @@ func (k *BFS) Apply(a *Args, d *Deferred, res *Result) {
 
 // MergeStates implements Kernel: levels merge by minimum (an earlier
 // discovery wins; unvisited is the identity).
-func (k *BFS) MergeStates(sts []State) {
+func (k *BFS) MergeStates(sts []State) { mergeLevelStates(sts) }
+
+// mergeLevelStates min-merges bfsState replicas and makes them identical
+// again; shared between BFS and DirBFS.
+func mergeLevelStates(sts []State) {
 	if len(sts) < 2 {
 		return
 	}

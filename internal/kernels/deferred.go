@@ -38,11 +38,16 @@ package kernels
 //     Apply re-tests the condition against live state, reproducing the
 //     serial decision, update count, and write order exactly.
 //
-// SSSP is the one built-in kernel that cannot satisfy (1): a relaxation can
-// improve a *frontier* vertex mid-phase (re-marking it active for the next
-// level), which changes a later page's frontier check and therefore its
-// simulated cycle count. SSSP deliberately does not implement GatherKernel
-// and runs on the serial path.
+// Plain SSSP is the one built-in kernel that cannot satisfy (1): a
+// relaxation can improve a *frontier* vertex mid-phase (re-marking it
+// active for the next level), which changes a later page's frontier check
+// and therefore its simulated cycle count. Plain SSSP deliberately does not
+// implement GatherKernel and runs on the serial path. DeltaSSSP recovers
+// stability — and with it the parallel path — by restating the frontier as
+// a delta-stepping bucket frozen at plan time (see frontier.go): the
+// frontier flags and the base distance snapshot its relaxations read are
+// written only between phases, so a mid-phase improvement merely re-pends
+// the vertex for a later bucket round instead of perturbing this phase.
 
 // OpKind discriminates a kernel's deferred-write variants where one kernel
 // needs more than one (e.g. DegreeDist's set vs add).
@@ -85,8 +90,10 @@ type GatherKernel interface {
 	// GatherSP and GatherLP are the concurrent halves of RunSP/RunLP: they
 	// must not mutate State or NextPIDs, appending deferred writes to d
 	// instead. The returned Result carries the phase-stable quantities
-	// (Cycles, Edges, and Active where the serial kernel sets it
-	// unconditionally); Updates stays zero until Apply.
+	// (Cycles, Edges where it counts scanned adjacency, and Active where
+	// the serial kernel sets it unconditionally); Updates — and, for
+	// kernels whose Edges follow the coverage convention (DirBFS) —
+	// commit-gated Edges stay zero until Apply.
 	GatherSP(a *Args, d *Deferred) Result
 	GatherLP(a *Args, d *Deferred) Result
 	// Apply commits one page's deferred writes in recorded order, mutating
@@ -104,11 +111,16 @@ type GatherBackwardKernel interface {
 	ApplyBack(a *Args, d *Deferred, res *Result)
 }
 
-// Compile-time checks: every built-in kernel except SSSP supports the
-// parallel gather/apply path (SSSP's frontier check is not phase-stable;
-// see the package comment above).
+// Compile-time checks: every built-in kernel except plain SSSP supports
+// the parallel gather/apply path (its frontier check is not phase-stable;
+// see the package comment above — DeltaSSSP is the gatherable
+// formulation).
 var (
 	_ GatherKernel         = (*BFS)(nil)
+	_ GatherKernel         = (*DirBFS)(nil)
+	_ FrontierKernel       = (*DirBFS)(nil)
+	_ GatherKernel         = (*DeltaSSSP)(nil)
+	_ FrontierKernel       = (*DeltaSSSP)(nil)
 	_ GatherKernel         = (*PageRank)(nil)
 	_ GatherKernel         = (*CC)(nil)
 	_ GatherKernel         = (*BC)(nil)

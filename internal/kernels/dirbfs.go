@@ -1,0 +1,308 @@
+package kernels
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/slottedpage"
+)
+
+// DirBFS is the direction-optimizing variant of BFS: a FrontierKernel that
+// plans each level as either sparse push (frontier vertices expand their
+// out-edges, exactly K_BFS_SP/LP) or dense pull (unvisited vertices scan
+// their in-edges and stop at the first frontier parent), switching on
+// frontier-edge density with the Beamer-style threshold the Ligra baseline
+// uses (internal/baselines/cpu/ligra.go): pull when the frontier's summed
+// out-degree exceeds |E|/20. Dense levels touch a small fraction of the
+// edges push would, because most scans early-exit after a handful of
+// in-neighbors.
+//
+// The advance+filter step is fused: page kernels never mark NextPIDs — the
+// plan rebuilds the exact page frontier from the level vector, so no dense
+// candidate bitset is materialized and filtered. Discovered levels are
+// byte-identical to plain BFS in every mode (a vertex's BFS level does not
+// depend on which direction found it), which the differential and fuzz
+// suites pin.
+//
+// Result.Edges uses the Graph500/Gunrock coverage convention — each
+// discovered vertex contributes its out-degree at commit time, in both
+// directions — so MTEPS stays comparable across direction switches (pull's
+// scanned-edge count would undercount the traversal it performs).
+// Result.Cycles still prices the work actually executed: early-exiting
+// pull scans cost only the lanes they touched.
+type DirBFS struct {
+	g    *slottedpage.Graph
+	rev  *revAdj
+	cost costParams
+	mode DirMode
+	// dir is the current level's planned direction. PlanLevel writes it
+	// between supersteps; page kernels only read it, so the gather pool
+	// never races it.
+	dir Direction
+	// denseThreshold is Ligra's |E|/20 switch point.
+	denseThreshold int64
+}
+
+// NewDirBFS returns a direction-optimizing BFS kernel over g, planning in
+// DirAuto mode. Construction builds the host-side reverse CSR pull scans.
+func NewDirBFS(g *slottedpage.Graph) *DirBFS {
+	return &DirBFS{
+		g:              g,
+		rev:            buildRevAdj(g),
+		cost:           costParams{laneCycles: 40, slotCycles: 10},
+		denseThreshold: int64(g.NumEdges() / 20),
+	}
+}
+
+// SetMode forces every level's direction (DirForcePush/DirForcePull) or
+// restores density switching (DirAuto). Call before Run.
+func (k *DirBFS) SetMode(m DirMode) { k.mode = m }
+
+// Mode reports the planning mode.
+func (k *DirBFS) Mode() DirMode { return k.mode }
+
+// Name implements Kernel.
+func (k *DirBFS) Name() string { return "BFS-diropt" }
+
+// Class implements Kernel.
+func (k *DirBFS) Class() Class { return BFSLike }
+
+// RAPerVertex implements Kernel.
+func (k *DirBFS) RAPerVertex() int64 { return 0 }
+
+// NewState implements Kernel: the state is plain BFS's level vector.
+func (k *DirBFS) NewState() State {
+	return &bfsState{lv: make([]int16, k.g.NumVertices())}
+}
+
+// Init implements Kernel.
+func (k *DirBFS) Init(st State, source uint64) {
+	s := st.(*bfsState)
+	for i := range s.lv {
+		s.lv[i] = unvisited
+	}
+	s.lv[source] = 0
+}
+
+// BeginLevel implements Kernel (PlanLevel carries the per-level setup).
+func (k *DirBFS) BeginLevel([]State, int32) {}
+
+// PlanLevel implements FrontierKernel: price the frontier (vertices at
+// `level`), pick a direction, and rebuild next as exactly the pages that
+// direction streams — frontier home pages (with LP runs) for push, the
+// home pages of every unvisited vertex for pull.
+func (k *DirBFS) PlanLevel(sts []State, level int32, next *bitset.Set) Direction {
+	s := sts[0].(*bfsState)
+	next.Reset()
+	lv := int16(level)
+	var frontierEdges int64
+	empty := true
+	for v, l := range s.lv {
+		if l == lv {
+			empty = false
+			frontierEdges += int64(k.rev.outDeg[v])
+		}
+	}
+	if empty {
+		k.dir = DirNone
+		return DirNone
+	}
+	dir := DirPush
+	switch k.mode {
+	case DirForcePull:
+		dir = DirPull
+	case DirAuto:
+		if frontierEdges > k.denseThreshold {
+			dir = DirPull
+		}
+	}
+	k.dir = dir
+	if dir == DirPush {
+		for v, l := range s.lv {
+			if l == lv {
+				markVertexPages(k.g, uint64(v), next, true)
+			}
+		}
+	} else {
+		for v, l := range s.lv {
+			if l == unvisited {
+				markVertexPages(k.g, uint64(v), next, false)
+			}
+		}
+	}
+	return dir
+}
+
+// RunSP implements Kernel, dispatching on the planned direction.
+func (k *DirBFS) RunSP(a *Args) Result { return k.dispatchSP(a, nil) }
+
+// GatherSP implements GatherKernel. Both directions are phase-stable: push
+// reads the frontier (this level's vertices, which no same-phase apply
+// writes); pull additionally reads each page-local vertex's own unvisited
+// flag, which only that page's apply flips — and each page gathers once
+// per phase.
+func (k *DirBFS) GatherSP(a *Args, d *Deferred) Result { return k.dispatchSP(a, d) }
+
+func (k *DirBFS) dispatchSP(a *Args, d *Deferred) Result {
+	if k.dir == DirPull {
+		return k.pullSP(a, d)
+	}
+	return k.pushSP(a, d)
+}
+
+// RunLP implements Kernel.
+func (k *DirBFS) RunLP(a *Args) Result { return k.dispatchLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *DirBFS) GatherLP(a *Args, d *Deferred) Result { return k.dispatchLP(a, d) }
+
+func (k *DirBFS) dispatchLP(a *Args, d *Deferred) Result {
+	if k.dir == DirPull {
+		return k.pullLP(a, d)
+	}
+	return k.pushLP(a, d)
+}
+
+// pushSP is K_BFS_SP with fused filtering: discoveries are committed (or
+// deferred) without marking NextPIDs.
+func (k *DirBFS) pushSP(a *Args, d *Deferred) Result {
+	s := a.State.(*bfsState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	level := int16(a.Level)
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		if s.lv[vid] != level {
+			continue
+		}
+		adj := pg.Adj(slot)
+		lanes.add(adj.Len())
+		k.expand(a, s, adj, level, &res, d)
+	}
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	return res
+}
+
+// pushLP is K_BFS_LP with the same fused filtering.
+func (k *DirBFS) pushLP(a *Args, d *Deferred) Result {
+	s := a.State.(*bfsState)
+	vid, _ := a.Page.Slot(0)
+	var lanes laneAcc
+	var res Result
+	if s.lv[vid] == int16(a.Level) {
+		adj := a.Page.Adj(0)
+		lanes.add(adj.Len())
+		k.expand(a, s, adj, int16(a.Level), &res, d)
+	}
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	return res
+}
+
+// expand visits one frontier vertex's adjacency, discovering unvisited
+// owned neighbors. Coverage (out-degree of the discovery) accrues at
+// commit; deferred ops re-test and accrue in Apply.
+func (k *DirBFS) expand(a *Args, s *bfsState, adj slottedpage.AdjView, level int16, res *Result, d *Deferred) {
+	for i := 0; i < adj.Len(); i++ {
+		nvid := k.g.VIDOf(adj.At(i))
+		if !a.owns(nvid) {
+			continue
+		}
+		if s.lv[nvid] == unvisited {
+			if d != nil {
+				d.push(Op{Idx: nvid, Val: uint64(level + 1), PID: -1})
+				continue
+			}
+			s.lv[nvid] = level + 1
+			res.Edges += int64(k.rev.outDeg[nvid])
+			res.Updates++
+			res.Active = true
+		}
+	}
+}
+
+// pullSP scans each unvisited owned vertex's in-edges, early-exiting at the
+// first parent on the frontier. Lane costs count only the scanned prefix.
+func (k *DirBFS) pullSP(a *Args, d *Deferred) Result {
+	s := a.State.(*bfsState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var lanes laneAcc
+	var res Result
+	level := int16(a.Level)
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		if s.lv[vid] != unvisited || !a.owns(vid) {
+			continue
+		}
+		k.pullVertex(a, s, vid, level, &lanes, &res, d)
+	}
+	res.Cycles = k.cost.cycles(int64(n), &lanes, a.Tech)
+	return res
+}
+
+// pullLP handles a large vertex: only its home page is planned in pull
+// mode (the scan reads the reverse CSR, not the page's out-edges), so the
+// LP run's continuation pages never stream.
+func (k *DirBFS) pullLP(a *Args, d *Deferred) Result {
+	s := a.State.(*bfsState)
+	vid, _ := a.Page.Slot(0)
+	var lanes laneAcc
+	var res Result
+	if s.lv[vid] == unvisited && a.owns(vid) {
+		k.pullVertex(a, s, vid, int16(a.Level), &lanes, &res, d)
+	}
+	res.Cycles = k.cost.cycles(1, &lanes, a.Tech)
+	return res
+}
+
+// pullVertex scans vid's in-neighbors for a frontier parent. The frontier
+// test (lv == level) is phase-stable: same-phase applies only move
+// vertices from unvisited to level+1, never onto the current frontier.
+func (k *DirBFS) pullVertex(a *Args, s *bfsState, vid uint64, level int16, lanes *laneAcc, res *Result, d *Deferred) {
+	scanned := 0
+	found := false
+	for _, u := range k.rev.in(vid) {
+		scanned++
+		if s.lv[u] == level {
+			found = true
+			break
+		}
+	}
+	lanes.add(scanned)
+	if !found {
+		return
+	}
+	if d != nil {
+		d.push(Op{Idx: vid, Val: uint64(level + 1), PID: -1})
+		return
+	}
+	s.lv[vid] = level + 1
+	res.Edges += int64(k.rev.outDeg[vid])
+	res.Updates++
+	res.Active = true
+}
+
+// Apply implements GatherKernel: commit still-unvisited discoveries in
+// recorded order, accruing coverage edges exactly as the serial commit
+// does.
+func (k *DirBFS) Apply(a *Args, d *Deferred, res *Result) {
+	s := a.State.(*bfsState)
+	for _, op := range d.Ops {
+		if s.lv[op.Idx] != unvisited {
+			continue
+		}
+		s.lv[op.Idx] = int16(op.Val)
+		res.Edges += int64(k.rev.outDeg[op.Idx])
+		res.Updates++
+		res.Active = true
+	}
+}
+
+// MergeStates implements Kernel: same min-merge as plain BFS.
+func (k *DirBFS) MergeStates(sts []State) { mergeLevelStates(sts) }
+
+// EndIteration implements Kernel: termination belongs to PlanLevel.
+func (k *DirBFS) EndIteration([]State, bool) bool { return false }
+
+// Levels exposes the result vector of a finished run.
+func (k *DirBFS) Levels(st State) []int16 { return st.(*bfsState).lv }

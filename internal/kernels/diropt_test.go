@@ -1,0 +1,225 @@
+package kernels
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/slottedpage"
+	"repro/internal/verify"
+)
+
+// TestDriverDirBFS drives the direction-optimizing BFS through the
+// package-local framework loop in every mode, on the serial and the
+// gather/apply path, against the float-free reference.
+func TestDriverDirBFS(t *testing.T) {
+	g, sp := driverGraph(t)
+	want := verify.BFS(g, 0)
+	for _, mode := range []DirMode{DirAuto, DirForcePush, DirForcePull} {
+		for _, gather := range []bool{false, true} {
+			k := NewDirBFS(sp)
+			k.SetMode(mode)
+			if k.Mode() != mode {
+				t.Fatalf("Mode() = %v after SetMode(%v)", k.Mode(), mode)
+			}
+			st := driveMode(t, k, sp, 0, gather)
+			got := k.Levels(st)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("mode=%v gather=%v: vertex %d level = %d, want %d",
+						mode, gather, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestDriverDeltaSSSP drives delta-stepping SSSP on both paths against the
+// float64 reference (exact: the synthetic weights and float32 adds make
+// every path sum deterministic).
+func TestDriverDeltaSSSP(t *testing.T) {
+	g, sp := driverGraph(t)
+	want := verify.SSSP(g, 0, Weight)
+	for _, gather := range []bool{false, true} {
+		k := NewDeltaSSSP(sp)
+		st := driveMode(t, k, sp, 0, gather)
+		got := k.Distances(st)
+		for v := range want {
+			if math.IsInf(want[v], 1) {
+				if got[v] != float32(math.MaxFloat32) {
+					t.Fatalf("gather=%v: vertex %d should be unreachable, got %v", gather, v, got[v])
+				}
+				continue
+			}
+			if float64(got[v]) != want[v] {
+				t.Fatalf("gather=%v: vertex %d dist = %v, want %v", gather, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestDriverGatherMatchesSerial runs every gatherable kernel through both
+// driver paths and requires identical final state — the package-local
+// statement of the stability + superset/recheck contract, independent of
+// internal/core's engine.
+func TestDriverGatherMatchesSerial(t *testing.T) {
+	_, sp := driverGraph(t)
+	cases := []struct {
+		name string
+		make func() Kernel
+		src  uint64
+	}{
+		{"BFS", func() Kernel { return NewBFS(sp) }, 0},
+		{"DirBFS", func() Kernel { return NewDirBFS(sp) }, 0},
+		{"DeltaSSSP", func() Kernel { return NewDeltaSSSP(sp) }, 0},
+		{"PageRank", func() Kernel { return NewPageRank(sp, 0.85, 4) }, 0},
+		{"CC", func() Kernel { return NewCC(sp) }, 0},
+		{"BC", func() Kernel { return NewBC(sp) }, 0},
+		{"Neighborhood", func() Kernel { return NewNeighborhood(sp, 2) }, 0},
+		{"CrossEdges", func() Kernel { return NewCrossEdges(sp, func(v uint64) bool { return v%2 == 0 }) }, 0},
+		{"RWR", func() Kernel { return NewRWR(sp, 0.15, 4) }, 9},
+		{"DegreeDist", func() Kernel { return NewDegreeDist(sp) }, 0},
+		{"KCore", func() Kernel { return NewKCore(sp, 4) }, 0},
+		{"Radius", func() Kernel { return NewRadius(sp, 4, 16) }, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			serialK := tc.make()
+			serial := driveMode(t, serialK, sp, tc.src, false)
+			gatherK := tc.make()
+			gathered := driveMode(t, gatherK, sp, tc.src, true)
+			if !reflect.DeepEqual(serial, gathered) {
+				t.Errorf("%s: gather/apply state differs from serial state", tc.name)
+			}
+		})
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	cases := map[Direction]string{DirNone: "none", DirPush: "push", DirPull: "pull", Direction(9): "none"}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("Direction(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+}
+
+// TestRevAdj checks the host-side reverse CSR against a transpose built
+// straight from the CSR source: same in-neighbor multisets, sorted by
+// source VID, and out-degrees matching the forward graph.
+func TestRevAdj(t *testing.T) {
+	g, sp := driverGraph(t)
+	rev := buildRevAdj(sp)
+	tr := g.Transpose()
+	for v := uint64(0); v < g.NumVertices(); v++ {
+		if int(rev.outDeg[v]) != g.Degree(v) {
+			t.Fatalf("vertex %d outDeg = %d, want %d", v, rev.outDeg[v], g.Degree(v))
+		}
+		got := append([]uint32(nil), rev.in(v)...)
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("vertex %d in-neighbors not sorted: %v", v, got)
+		}
+		want := append([]uint32(nil), tr.Out(uint32(v))...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("vertex %d in-neighbors = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// TestMarkVertexPages: a vertex always marks its home page; a large vertex
+// marks its whole LP run only when the direction expands adjacency.
+func TestMarkVertexPages(t *testing.T) {
+	_, sp := driverGraph(t)
+	var small, large uint64
+	foundLarge := false
+	for v := uint64(0); v < sp.NumVertices(); v++ {
+		if sp.Kind(sp.HomeOf(v).PID) == slottedpage.LargePage {
+			large, foundLarge = v, true
+		} else {
+			small = v
+		}
+	}
+
+	set := bitset.New(sp.NumPages())
+	markVertexPages(sp, small, set, true)
+	if !set.Get(int(sp.HomeOf(small).PID)) {
+		t.Fatalf("small vertex %d home page not marked", small)
+	}
+	if n := set.Count(); n != 1 {
+		t.Fatalf("small vertex marked %d pages, want 1", n)
+	}
+
+	if !foundLarge {
+		t.Skip("test graph has no large vertex at this page scale")
+	}
+	home := sp.HomeOf(large).PID
+	runLen := 0
+	for pid := home; int(pid) < sp.NumPages() &&
+		sp.Kind(pid) == slottedpage.LargePage && sp.RVT(pid).StartVID == large; pid++ {
+		runLen++
+	}
+	expanded := bitset.New(sp.NumPages())
+	markVertexPages(sp, large, expanded, true)
+	if got := expanded.Count(); got != runLen {
+		t.Errorf("expandLP marked %d pages of vertex %d's run, want %d", got, large, runLen)
+	}
+	homeOnly := bitset.New(sp.NumPages())
+	markVertexPages(sp, large, homeOnly, false)
+	if got := homeOnly.Count(); got != 1 {
+		t.Errorf("home-only marking set %d pages, want 1", got)
+	}
+}
+
+// TestDirOptKernelMetadata pins the identity surface the engine and the
+// bench record key on.
+func TestDirOptKernelMetadata(t *testing.T) {
+	_, sp := driverGraph(t)
+	bk := NewDirBFS(sp)
+	if bk.Name() != "BFS-diropt" || bk.Class() != BFSLike || bk.RAPerVertex() != 0 {
+		t.Errorf("DirBFS metadata: %q %v %d", bk.Name(), bk.Class(), bk.RAPerVertex())
+	}
+	sk := NewDeltaSSSP(sp)
+	if sk.Name() != "SSSP-delta" || sk.Class() != BFSLike || sk.RAPerVertex() != 0 {
+		t.Errorf("DeltaSSSP metadata: %q %v %d", sk.Name(), sk.Class(), sk.RAPerVertex())
+	}
+	// Termination belongs to PlanLevel for both.
+	if bk.EndIteration(nil, true) || sk.EndIteration(nil, true) {
+		t.Error("frontier kernels must not extend runs via EndIteration")
+	}
+	bk.BeginLevel(nil, 0)
+	sk.BeginLevel(nil, 0)
+}
+
+// TestDeltaStateContract covers the delta-stepping state's size accounting
+// and replica cloning.
+func TestDeltaStateContract(t *testing.T) {
+	_, sp := driverGraph(t)
+	k := NewDeltaSSSP(sp)
+	st := k.NewState()
+	k.Init(st, 3)
+	if st.WABytes() <= 0 || st.RABytes() != 0 {
+		t.Errorf("WABytes=%d RABytes=%d", st.WABytes(), st.RABytes())
+	}
+	clone := st.Clone()
+	if !reflect.DeepEqual(st, clone) {
+		t.Error("clone differs from original")
+	}
+	// Mutating the clone must not alias the original.
+	k.Init(clone, 5)
+	if reflect.DeepEqual(st, clone) {
+		t.Error("clone aliases original state")
+	}
+	// Merge keeps the minimum distance and its pending flag.
+	a := st.(*deltaState)
+	b := st.Clone().(*deltaState)
+	a.dist[7], a.pend[7] = 4, false
+	b.dist[7], b.pend[7] = 2, true
+	k.MergeStates([]State{a, b})
+	if a.dist[7] != 2 || !a.pend[7] {
+		t.Errorf("merge kept dist=%v pend=%v, want 2/true", a.dist[7], a.pend[7])
+	}
+}

@@ -16,6 +16,17 @@ import (
 // independently of internal/core — two separate drivers agreeing with the
 // references pins both.
 func drive(t *testing.T, k Kernel, g *slottedpage.Graph, source uint64) State {
+	return driveMode(t, k, g, source, false)
+}
+
+// driveMode is drive with the execution path selectable: gather=true routes
+// every page through the kernel's Gather/Apply halves (applied immediately,
+// which a serial wave of size one makes equivalent) so the deferred-write
+// contract is exercised by this driver too, not only by internal/core.
+// FrontierKernels get their PlanLevel hook called exactly where the engine
+// calls it: after seeding and after each level's merge, before the
+// emptiness test.
+func driveMode(t *testing.T, k Kernel, g *slottedpage.Graph, source uint64, gather bool) State {
 	t.Helper()
 	st := k.NewState()
 	k.Init(st, source)
@@ -47,6 +58,9 @@ func drive(t *testing.T, k Kernel, g *slottedpage.Graph, source uint64) State {
 		next = all()
 	}
 
+	gk, _ := k.(GatherKernel)
+	bgk, _ := k.(GatherBackwardKernel)
+	d := &Deferred{}
 	runSet := func(set *bitset.Set, level int32, backward bool) (*bitset.Set, bool) {
 		local := bitset.New(numPages)
 		active := false
@@ -64,12 +78,30 @@ func drive(t *testing.T, k Kernel, g *slottedpage.Graph, source uint64) State {
 			var res Result
 			isLP := g.Kind(slottedpage.PageID(pid)) == slottedpage.LargePage
 			if backward {
-				bk := k.(BackwardKernel)
-				if isLP {
-					res = bk.RunLPBack(a)
+				if gather && bgk != nil {
+					d.Reset()
+					if isLP {
+						res = bgk.GatherLPBack(a, d)
+					} else {
+						res = bgk.GatherSPBack(a, d)
+					}
+					bgk.ApplyBack(a, d, &res)
 				} else {
-					res = bk.RunSPBack(a)
+					bk := k.(BackwardKernel)
+					if isLP {
+						res = bk.RunLPBack(a)
+					} else {
+						res = bk.RunSPBack(a)
+					}
 				}
+			} else if gather && gk != nil {
+				d.Reset()
+				if isLP {
+					res = gk.GatherLP(a, d)
+				} else {
+					res = gk.GatherSP(a, d)
+				}
+				gk.Apply(a, d, &res)
 			} else if isLP {
 				res = k.RunLP(a)
 			} else {
@@ -92,6 +124,10 @@ func drive(t *testing.T, k Kernel, g *slottedpage.Graph, source uint64) State {
 		return merged, active
 	}
 
+	fk, _ := k.(FrontierKernel)
+	if fk != nil && bfsLike {
+		fk.PlanLevel(sts, 0, next)
+	}
 	back, wantBackward := k.(BackwardKernel)
 	var levelSets []*bitset.Set
 	var level int32
@@ -101,6 +137,9 @@ func drive(t *testing.T, k Kernel, g *slottedpage.Graph, source uint64) State {
 		if bfsLike {
 			if wantBackward {
 				levelSets = append(levelSets, next.Clone())
+			}
+			if fk != nil {
+				fk.PlanLevel(sts, level+1, merged)
 			}
 			next = merged
 			level++

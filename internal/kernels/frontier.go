@@ -1,0 +1,137 @@
+package kernels
+
+// This file defines the advance/filter operator layer: a FrontierKernel
+// plans each traversal level itself — choosing a traversal direction and
+// rebuilding the page frontier directly from attribute state — instead of
+// having page kernels mark NextPIDs bit by bit. The plan step fuses the
+// advance (which pages must stream) with the filter (which vertices are
+// live) so no dense per-level bitset of candidate pages is materialized and
+// then pruned: PlanLevel writes the exact page set in one pass over state.
+//
+// Two built-in kernels use the contract: DirBFS (direction-optimizing BFS,
+// push/pull switching on frontier-edge density) and DeltaSSSP
+// (delta-stepping SSSP with bucketed frontiers).
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/slottedpage"
+)
+
+// Direction labels how a superstep traverses edges.
+type Direction int8
+
+// Directions. DirNone marks levels outside a direction-optimized run (plain
+// kernels) or a plan that found no work.
+const (
+	DirNone Direction = iota
+	// DirPush is the sparse direction: frontier vertices scan their
+	// out-edges and write discoveries forward.
+	DirPush
+	// DirPull is the dense direction: undiscovered vertices scan their
+	// in-edges, stopping at the first frontier parent.
+	DirPull
+)
+
+// String names the direction as the trace exporters spell it.
+func (d Direction) String() string {
+	switch d {
+	case DirPush:
+		return "push"
+	case DirPull:
+		return "pull"
+	default:
+		return "none"
+	}
+}
+
+// DirMode forces or frees the per-level direction choice. The forced modes
+// exist for tests and the fuzz harness; production runs use DirAuto.
+type DirMode int
+
+// Direction modes.
+const (
+	// DirAuto switches per level on frontier-edge density (Beamer's
+	// heuristic as Ligra implements it: dense when the frontier's summed
+	// out-degree exceeds |E|/20).
+	DirAuto DirMode = iota
+	// DirForcePush always advances frontier out-edges.
+	DirForcePush
+	// DirForcePull always scans unvisited in-edges.
+	DirForcePull
+)
+
+// FrontierKernel is a kernel that plans its own levels. The engine calls
+// PlanLevel after seeding and again after every superstep's merge, *before*
+// testing the frontier for emptiness: the plan owns termination (an empty
+// next set ends the run), which lets bucketed kernels keep running off
+// pending state even when no page kernel marked a next page.
+//
+// PlanLevel must rebuild next from scratch (Reset, then mark), reading only
+// the merged attribute state — replicas are identical again when it runs —
+// and return the direction the coming level will execute in, or DirNone
+// when no work remains. It runs single-threaded between supersteps, so it
+// may mutate kernel-internal plan state (frontier flags, snapshots) that
+// the page kernels then treat as read-only for the whole phase.
+type FrontierKernel interface {
+	Kernel
+	PlanLevel(sts []State, level int32, next *bitset.Set) Direction
+}
+
+// revAdj is a host-side reverse CSR over the slotted pages, built once per
+// kernel: pull-direction kernels scan in(v) instead of streaming every
+// frontier page, and the out-degree array prices frontiers and coverage
+// without re-decoding pages.
+type revAdj struct {
+	offsets []int64
+	targets []uint32
+	outDeg  []int32
+}
+
+// buildRevAdj decodes the graph's adjacency twice (count, then fill) into a
+// reverse CSR. In-neighbors of each vertex end up sorted by source VID, so
+// pull scans are deterministic.
+func buildRevAdj(g *slottedpage.Graph) *revAdj {
+	n := g.NumVertices()
+	r := &revAdj{offsets: make([]int64, n+1), outDeg: make([]int32, n)}
+	for v := uint64(0); v < n; v++ {
+		d := int32(0)
+		g.NeighborsOf(v, func(dst uint64) {
+			r.offsets[dst+1]++
+			d++
+		})
+		r.outDeg[v] = d
+	}
+	for i := uint64(0); i < n; i++ {
+		r.offsets[i+1] += r.offsets[i]
+	}
+	r.targets = make([]uint32, r.offsets[n])
+	fill := make([]int64, n)
+	copy(fill, r.offsets[:n])
+	for v := uint64(0); v < n; v++ {
+		g.NeighborsOf(v, func(dst uint64) {
+			r.targets[fill[dst]] = uint32(v)
+			fill[dst]++
+		})
+	}
+	return r
+}
+
+// in returns v's in-neighbors (sources of edges into v).
+func (r *revAdj) in(v uint64) []uint32 { return r.targets[r.offsets[v]:r.offsets[v+1]] }
+
+// markVertexPages sets the pages that must stream for vertex v: its home
+// page, plus — when expandLP is set and v is a large vertex — the whole LP
+// run, since push kernels expand the full adjacency. Pull kernels pass
+// false: they read v's record only to test it, never its page-resident
+// out-edges, so one page per vertex suffices.
+func markVertexPages(g *slottedpage.Graph, v uint64, next *bitset.Set, expandLP bool) {
+	home := g.HomeOf(v)
+	next.Set(int(home.PID))
+	if !expandLP || g.Kind(home.PID) != slottedpage.LargePage {
+		return
+	}
+	for pid := home.PID + 1; int(pid) < g.NumPages() &&
+		g.Kind(pid) == slottedpage.LargePage && g.RVT(pid).StartVID == v; pid++ {
+		next.Set(int(pid))
+	}
+}

@@ -40,8 +40,10 @@ type algorithm struct {
 	run func(*gts.System, Params) (output any, m gts.Metrics, err error)
 	// shared builds the job's kernel for a wave-group run plus a decoder
 	// that assembles the same public result struct from the group outcome.
-	// The decoder is bound to the kernel instance it is returned with.
-	shared func(g *gts.Graph, p Params) (k gts.Kernel, source uint64, decode func(gts.KernelState, gts.Metrics) any)
+	// The decoder is bound to the kernel instance it is returned with. cfg
+	// is the graph's registered Config, so kernel-variant switches
+	// (DirectionOpt) apply on the shared path exactly as on the solo path.
+	shared func(g *gts.Graph, cfg gts.Config, p Params) (k gts.Kernel, source uint64, decode func(gts.KernelState, gts.Metrics) any)
 }
 
 var algorithms = map[string]algorithm{
@@ -54,7 +56,13 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
-		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+		shared: func(g *gts.Graph, cfg gts.Config, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+			if cfg.DirectionOpt {
+				k := kernels.NewDirBFS(g)
+				return k, p.Source, func(st gts.KernelState, m gts.Metrics) any {
+					return &gts.BFSResult{Metrics: m, Levels: k.Levels(st)}
+				}
+			}
 			k := kernels.NewBFS(g)
 			return k, p.Source, func(st gts.KernelState, m gts.Metrics) any {
 				return &gts.BFSResult{Metrics: m, Levels: k.Levels(st)}
@@ -79,7 +87,7 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
-		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+		shared: func(g *gts.Graph, _ gts.Config, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
 			k := kernels.NewPageRank(g, p.Damping, p.Iterations)
 			return k, 0, func(st gts.KernelState, m gts.Metrics) any {
 				return &gts.PageRankResult{Metrics: m, Ranks: k.Ranks(st)}
@@ -95,7 +103,13 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
-		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+		shared: func(g *gts.Graph, cfg gts.Config, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+			if cfg.DirectionOpt {
+				k := kernels.NewDeltaSSSP(g)
+				return k, p.Source, func(st gts.KernelState, m gts.Metrics) any {
+					return &gts.SSSPResult{Metrics: m, Dist: k.Distances(st)}
+				}
+			}
 			k := kernels.NewSSSP(g)
 			return k, p.Source, func(st gts.KernelState, m gts.Metrics) any {
 				return &gts.SSSPResult{Metrics: m, Dist: k.Distances(st)}
@@ -111,7 +125,7 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
-		shared: func(g *gts.Graph, _ Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+		shared: func(g *gts.Graph, _ gts.Config, _ Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
 			k := kernels.NewCC(g)
 			return k, 0, func(st gts.KernelState, m gts.Metrics) any {
 				return &gts.CCResult{Metrics: m, Labels: k.Components(st)}
@@ -127,7 +141,7 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
-		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+		shared: func(g *gts.Graph, _ gts.Config, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
 			k := kernels.NewBC(g)
 			return k, p.Source, func(st gts.KernelState, m gts.Metrics) any {
 				return &gts.BCResult{Metrics: m, Scores: k.Centrality(st, p.Source)}
@@ -152,7 +166,7 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
-		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+		shared: func(g *gts.Graph, _ gts.Config, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
 			k := kernels.NewRWR(g, p.Restart, p.Iterations)
 			return k, p.Source, func(st gts.KernelState, m gts.Metrics) any {
 				return &gts.RWRResult{Metrics: m, Scores: k.Scores(st)}
@@ -168,7 +182,7 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
-		shared: func(g *gts.Graph, _ Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+		shared: func(g *gts.Graph, _ gts.Config, _ Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
 			k := kernels.NewDegreeDist(g)
 			return k, 0, func(st gts.KernelState, m gts.Metrics) any {
 				return &gts.DegreeResult{Metrics: m, Degrees: k.Degrees(st), Histogram: k.Histogram(st)}
@@ -190,7 +204,7 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
-		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+		shared: func(g *gts.Graph, _ gts.Config, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
 			k := kernels.NewKCore(g, p.K)
 			return k, 0, func(st gts.KernelState, m gts.Metrics) any {
 				return &gts.KCoreResult{Metrics: m, InCore: k.InCore(st)}
@@ -215,7 +229,7 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
-		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+		shared: func(g *gts.Graph, _ gts.Config, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
 			k := kernels.NewRadius(g, p.Sketches, p.MaxHops)
 			return k, 0, func(st gts.KernelState, m gts.Metrics) any {
 				return &gts.RadiusResult{Metrics: m, Radii: k.Radii(st), EffectiveDiameter: k.EffectiveDiameter(st, 0.9)}
@@ -237,7 +251,7 @@ var algorithms = map[string]algorithm{
 			}
 			return r, r.Metrics, nil
 		},
-		shared: func(g *gts.Graph, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
+		shared: func(g *gts.Graph, _ gts.Config, p Params) (gts.Kernel, uint64, func(gts.KernelState, gts.Metrics) any) {
 			k := kernels.NewNeighborhood(g, p.Hops)
 			return k, p.Source, func(st gts.KernelState, m gts.Metrics) any {
 				return &gts.NeighborhoodResult{Metrics: m, Hops: k.Members(st)}

@@ -767,7 +767,7 @@ func (s *Server) execute(job *Job) {
 // invariant); only the data-movement accounting and virtual timing reflect
 // the sharing.
 func (s *Server) executeShared(job *Job) {
-	k, source, decode := job.algo.shared(job.entry.pool.Graph(), job.req.Params)
+	k, source, decode := job.algo.shared(job.entry.pool.Graph(), job.entry.pool.Config(), job.req.Params)
 	sj := sched.Job{Kernel: k, Source: source}
 	var rec *trace.Recorder
 	if s.traces != nil {

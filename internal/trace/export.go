@@ -57,10 +57,16 @@ func (r *Recorder) writeJSONLHeaderLocked(w io.Writer) error {
 	return err
 }
 
-// writeSpanLine appends one JSONL span record.
+// writeSpanLine appends one JSONL span record. The dir attribute appears
+// only on direction-optimized supersteps (Span.Dir != 0), so traces from
+// plain kernels stay byte-identical to the pre-direction format.
 func writeSpanLine(w io.Writer, s Span) error {
-	_, err := fmt.Fprintf(w, "{\"kind\":%s,\"gpu\":%d,\"stream\":%d,\"page\":%d,\"level\":%d,\"start\":%d,\"end\":%d}\n",
-		jstr(s.Kind.String()), s.GPU, s.Stream, s.Page, s.Level, int64(s.Start), int64(s.End))
+	dir := ""
+	if d := dirName(s.Dir); d != "" {
+		dir = ",\"dir\":\"" + d + "\""
+	}
+	_, err := fmt.Fprintf(w, "{\"kind\":%s,\"gpu\":%d,\"stream\":%d,\"page\":%d,\"level\":%d,\"start\":%d,\"end\":%d%s}\n",
+		jstr(s.Kind.String()), s.GPU, s.Stream, s.Page, s.Level, int64(s.Start), int64(s.End), dir)
 	return err
 }
 
@@ -163,15 +169,20 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 	for _, s := range spans {
 		pid, tid := track(s)
 		kind := s.Kind.String()
+		// Like the JSONL writer, the dir attribute is emitted only when set.
+		dir := ""
+		if d := dirName(s.Dir); d != "" {
+			dir = ",\"dir\":\"" + d + "\""
+		}
 		if s.End <= s.Start {
-			if err := emit("{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"name\":%s,\"cat\":%s,\"args\":{\"page\":%d,\"level\":%d}}",
-				pid, tid, usec(s.Start), jstr(kind), jstr(kind), s.Page, s.Level); err != nil {
+			if err := emit("{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"name\":%s,\"cat\":%s,\"args\":{\"page\":%d,\"level\":%d%s}}",
+				pid, tid, usec(s.Start), jstr(kind), jstr(kind), s.Page, s.Level, dir); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := emit("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%s,\"cat\":%s,\"args\":{\"page\":%d,\"level\":%d}}",
-			pid, tid, usec(s.Start), usec(s.End-s.Start), jstr(kind), jstr(kind), s.Page, s.Level); err != nil {
+		if err := emit("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%s,\"cat\":%s,\"args\":{\"page\":%d,\"level\":%d%s}}",
+			pid, tid, usec(s.Start), usec(s.End-s.Start), jstr(kind), jstr(kind), s.Page, s.Level, dir); err != nil {
 			return err
 		}
 	}
@@ -210,6 +221,7 @@ type jsonlSpan struct {
 	Level  int32  `json:"level"`
 	Start  int64  `json:"start"`
 	End    int64  `json:"end"`
+	Dir    string `json:"dir"`
 }
 
 type jsonlHeader struct {
@@ -260,12 +272,18 @@ func parseChrome(data []byte) (*Recorder, error) {
 			Kind:   kind,
 			Page:   argInt(ev.Args, "page", -1),
 			Level:  int32(argInt(ev.Args, "level", -1)),
+			Dir:    dirByName(argStr(ev.Args, "dir")),
 			Start:  sim.Time(math.Round(ev.Ts * 1000)),
 		}
 		s.End = s.Start + sim.Time(math.Round(ev.Dur*1000))
 		r.Add(s)
 	}
 	return r, nil
+}
+
+func argStr(args map[string]any, key string) string {
+	s, _ := args[key].(string)
+	return s
 }
 
 func argInt(args map[string]any, key string, def int64) int64 {
@@ -308,7 +326,7 @@ func parseJSONL(data []byte) (*Recorder, error) {
 			return nil, fmt.Errorf("trace: JSONL line %d: unknown kind %q", lineNo, js.Kind)
 		}
 		r.Add(Span{GPU: js.GPU, Stream: js.Stream, Kind: kind, Page: js.Page,
-			Level: js.Level, Start: sim.Time(js.Start), End: sim.Time(js.End)})
+			Level: js.Level, Dir: dirByName(js.Dir), Start: sim.Time(js.Start), End: sim.Time(js.End)})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: reading JSONL: %w", err)

@@ -103,8 +103,44 @@ type Span struct {
 	Kind   Kind
 	Page   int64 // page ID, or -1
 	Level  int32 // superstep index, or -1
-	Start  sim.Time
-	End    sim.Time
+	// Dir is the traversal direction a direction-optimized superstep
+	// executed in (1 = push, 2 = pull; see kernels.Direction). 0 for
+	// non-superstep spans and plain kernels, in which case the exporters
+	// omit the attribute entirely, keeping their output byte-identical to
+	// pre-direction traces.
+	Dir   int8
+	Start sim.Time
+	End   sim.Time
+}
+
+// Direction attribute values as Span.Dir carries them.
+const (
+	DirPush int8 = 1
+	DirPull int8 = 2
+)
+
+// dirName spells a Span.Dir value as the exporters emit it ("" = omit).
+func dirName(d int8) string {
+	switch d {
+	case DirPush:
+		return "push"
+	case DirPull:
+		return "pull"
+	default:
+		return ""
+	}
+}
+
+// dirByName inverts dirName for the parsers; unknown spellings map to 0.
+func dirByName(s string) int8 {
+	switch s {
+	case "push":
+		return DirPush
+	case "pull":
+		return DirPull
+	default:
+		return 0
+	}
 }
 
 // Recorder accumulates the spans of one traced run under a TraceID. A nil
