@@ -13,14 +13,16 @@ test: build
 
 # The concurrency-bearing packages (the gtsd service layer, the shared
 # trace recorder and histograms, the host-parallel kernel path in
-# internal/core, the shared host page pool, the hardware model, and the
-# root package's System/SystemPool guards) must stay clean under the race
-# detector. The chaos tests (fault-injected gtsd under concurrent clients;
-# two Systems hammering one BufferPool under storage faults + device OOM;
-# trace export racing live span emission) run here too.
+# internal/core, the shared host page pool, the write-ahead log's group
+# commit, the hardware model, and the root package's System/SystemPool
+# guards) must stay clean under the race detector. The chaos tests
+# (fault-injected gtsd under concurrent clients; two Systems hammering one
+# BufferPool under storage faults + device OOM; trace export racing live
+# span emission; randomized ingest crashes under concurrent queries in
+# TestChaosIngestRecovery) run here too.
 test-race:
-	$(GO) test -race ./internal/bufpool/... ./internal/core/... ./internal/kernels/... ./internal/sched/... ./internal/service/... ./internal/trace/... ./internal/hw/... ./internal/obs/...
-	$(GO) test -race -run 'System|Pool|Open|Concurrent|Chaos' .
+	$(GO) test -race ./internal/bufpool/... ./internal/core/... ./internal/kernels/... ./internal/sched/... ./internal/service/... ./internal/trace/... ./internal/hw/... ./internal/obs/... ./internal/wal/...
+	$(GO) test -race -run 'System|Pool|Open|Concurrent|Chaos|Ingest' .
 
 vet:
 	$(GO) vet ./...
@@ -33,7 +35,7 @@ vet:
 # included). Floors sit a few points under the measured baseline so real
 # regressions fail while small refactors don't.
 cover:
-	@set -e; for spec in ./internal/trace=85 ./internal/obs=90 ./internal/service=80 ./internal/sched=60 ./internal/bufpool=85 ./internal/kernels=85; do \
+	@set -e; for spec in ./internal/trace=85 ./internal/obs=90 ./internal/service=80 ./internal/sched=60 ./internal/bufpool=85 ./internal/kernels=85 ./internal/wal=85; do \
 		pkg=$${spec%=*}; floor=$${spec#*=}; \
 		$(GO) test -coverprofile=coverage.tmp.out $$pkg >/dev/null; \
 		pct=$$($(GO) tool cover -func=coverage.tmp.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
@@ -57,6 +59,7 @@ fuzz:
 	$(GO) test ./internal/slottedpage -run '^$$' -fuzz '^FuzzStoreRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bufpool -run '^$$' -fuzz '^FuzzPoolOps$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDirectionSwitch$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

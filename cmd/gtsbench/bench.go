@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -83,6 +84,24 @@ type poolEntry struct {
 	Runs        int     `json:"runs"`
 }
 
+// ingestEntry is the WAL-backed mutation-path measurement: batched edge
+// ingest throughput (append + fsync + apply + snapshot publish per batch)
+// and the cost of a cold recovery replay of the same history.
+type ingestEntry struct {
+	Batches       int `json:"batches"`
+	EdgesPerBatch int `json:"edges_per_batch"`
+	// EdgesPerSecond is committed edge ops over total ingest wall time.
+	EdgesPerSecond float64 `json:"edges_per_second"`
+	// IngestWallSeconds is the mean wall time of committing the full history;
+	// ReplayWallSeconds the mean wall time of reopening it (WAL scan +
+	// deterministic re-apply), the crash-recovery cost for this history.
+	IngestWallSeconds float64 `json:"ingest_wall_seconds"`
+	ReplayWallSeconds float64 `json:"replay_wall_seconds"`
+	// WALBytes is the log size the history occupies on disk.
+	WALBytes int64 `json:"wal_bytes"`
+	Runs     int   `json:"runs"`
+}
+
 // benchReport is the BENCH_<rev>.json document.
 type benchReport struct {
 	Rev        string       `json:"rev"`
@@ -97,6 +116,9 @@ type benchReport struct {
 	// Pool records the eviction-policy hit-rate sweep over the shared host
 	// page pool (informational: the diff gate does not compare it).
 	Pool []poolEntry `json:"pool,omitempty"`
+	// Ingest records the WAL-backed mutation path's throughput and recovery
+	// replay cost (informational: the diff gate does not compare it).
+	Ingest []ingestEntry `json:"ingest,omitempty"`
 }
 
 // gitRev resolves the short commit hash, or "dev" outside a git checkout.
@@ -353,6 +375,73 @@ func measurePool(g *gts.Graph, policy, name string, run func(*gts.System) (gts.M
 	}, nil
 }
 
+// measureIngest commits a deterministic random history of batches×edges
+// mutations through the WAL-backed ingest path `runs` times (fresh WAL per
+// run), then measures a cold reopen of the final history — the recovery
+// replay a crashed server would pay.
+func measureIngest(spec string, nv uint64, batches, edgesPerBatch, runs int) (ingestEntry, error) {
+	dir, err := os.MkdirTemp("", "gtsbench-wal-*")
+	if err != nil {
+		return ingestEntry{}, err
+	}
+	defer os.RemoveAll(dir)
+	rng := rand.New(rand.NewSource(42))
+	history := make([][]gts.EdgeOp, batches)
+	for i := range history {
+		ops := make([]gts.EdgeOp, edgesPerBatch)
+		for j := range ops {
+			ops[j] = gts.EdgeOp{Src: uint64(rng.Int63n(int64(nv))), Dst: uint64(rng.Int63n(int64(nv)))}
+		}
+		history[i] = ops
+	}
+	var ingestWall, replayWall time.Duration
+	var walBytes int64
+	for r := 0; r < runs; r++ {
+		walPath := filepath.Join(dir, fmt.Sprintf("run%d.wal", r))
+		m, err := gts.OpenMutable(spec, walPath, gts.MutableOptions{})
+		if err != nil {
+			return ingestEntry{}, err
+		}
+		t0 := time.Now()
+		for i, ops := range history {
+			if _, err := m.Ingest(ops); err != nil {
+				m.Close()
+				return ingestEntry{}, fmt.Errorf("batch %d: %w", i, err)
+			}
+		}
+		ingestWall += time.Since(t0)
+		walBytes = m.WALStats().AppendedBytes
+		if err := m.Close(); err != nil {
+			return ingestEntry{}, err
+		}
+		t0 = time.Now()
+		reopened, err := gts.OpenMutable(spec, walPath, gts.MutableOptions{})
+		if err != nil {
+			return ingestEntry{}, fmt.Errorf("recovery reopen: %w", err)
+		}
+		replayWall += time.Since(t0)
+		if reopened.ReplayedBatches() != batches {
+			reopened.Close()
+			return ingestEntry{}, fmt.Errorf("replay recovered %d/%d batches", reopened.ReplayedBatches(), batches)
+		}
+		reopened.Close()
+	}
+	meanIngest := ingestWall.Seconds() / float64(runs)
+	eps := 0.0
+	if meanIngest > 0 {
+		eps = float64(batches*edgesPerBatch) / meanIngest
+	}
+	return ingestEntry{
+		Batches:           batches,
+		EdgesPerBatch:     edgesPerBatch,
+		EdgesPerSecond:    eps,
+		IngestWallSeconds: meanIngest,
+		ReplayWallSeconds: replayWall.Seconds() / float64(runs),
+		WALBytes:          walBytes,
+		Runs:              runs,
+	}, nil
+}
+
 // runBenchJSON executes the regression suite and writes BENCH_<rev>.json
 // into outDir, returning the path written. jobs > 1 additionally records
 // the concurrent-job sharing measurement.
@@ -392,6 +481,14 @@ func runBenchJSON(dataset string, shrink, runs, jobs int, outDir string) (string
 			}
 			rep.Pool = append(rep.Pool, e)
 		}
+	}
+	{
+		spec := fmt.Sprintf("%s@%d", dataset, shrink)
+		e, err := measureIngest(spec, g.NumVertices(), 32, 128, runs)
+		if err != nil {
+			return "", fmt.Errorf("ingest: %w", err)
+		}
+		rep.Ingest = append(rep.Ingest, e)
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return "", err

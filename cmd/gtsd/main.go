@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -75,6 +76,7 @@ func main() {
 	faultStorage := flag.Float64("fault-storage", 0, "probability of a storage read error per page [0,1]")
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "probability of page corruption per storage read [0,1]")
 	faultOOM := flag.Int64("fault-oom", 0, "kernel-launch ordinal that fails with device OOM (0 = never)")
+	walDir := flag.String("wal-dir", "", "directory for per-graph write-ahead logs; when set, every -load graph becomes mutable: its WAL at <wal-dir>/<name>.wal is replayed on startup (crash recovery) and POST /v1/graphs/{name}/ingest commits edge mutations")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes stacks and heap contents)")
 	traceJobs := flag.Int("trace-jobs", 0, "retain Chrome trace JSON for the N most recent computed jobs at /debug/trace/{id} (0 = off)")
 	flag.Parse()
@@ -133,19 +135,34 @@ func main() {
 		DefaultTimeout: *timeout,
 		TraceJobs:      *traceJobs,
 	})
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			log.Fatalf("gtsd: creating -wal-dir: %v", err)
+		}
+	}
 	for _, l := range loads {
 		name, spec, ok := strings.Cut(l, "=")
 		if !ok {
 			log.Fatalf("gtsd: bad -load %q (want name=spec)", l)
 		}
 		start := time.Now()
-		if err := srv.LoadGraph(name, spec, engineCfg, *pool); err != nil {
+		if *walDir != "" {
+			walPath := filepath.Join(*walDir, name+".wal")
+			if err := srv.LoadMutableGraph(name, spec, walPath, engineCfg, *pool); err != nil {
+				log.Fatalf("gtsd: loading %s: %v", l, err)
+			}
+		} else if err := srv.LoadGraph(name, spec, engineCfg, *pool); err != nil {
 			log.Fatalf("gtsd: loading %s: %v", l, err)
 		}
 		for _, info := range srv.Graphs() {
 			if info.Name == name {
 				log.Printf("gtsd: loaded %s from %s: %d vertices, %d edges, pool of %d engines (%v)",
 					name, spec, info.Vertices, info.Edges, info.Pool, time.Since(start).Round(time.Millisecond))
+			}
+		}
+		for _, h := range srv.Health() {
+			if h.Name == name && h.Mutable && h.ReplayedBatches > 0 {
+				log.Printf("gtsd: %s: replayed %d committed WAL batches (epoch %d)", name, h.ReplayedBatches, h.Epoch)
 			}
 		}
 	}

@@ -39,6 +39,9 @@ type Graph = slottedpage.Graph
 // PageConfig fixes the slotted page layout; see DefaultPageConfig.
 type PageConfig = slottedpage.Config
 
+// PageID identifies one slotted page within a Graph.
+type PageID = slottedpage.PageID
+
 // Source supplies topology to BuildGraph (internal/csr.Graph implements it).
 type Source = slottedpage.Source
 

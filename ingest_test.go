@@ -1,0 +1,315 @@
+package gts_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	gts "repro"
+	"repro/internal/csr"
+)
+
+// testBaseGraph builds a deterministic small base graph, writes it to a
+// .gts file (so OpenMutable's base spec is stable across reopens), and
+// returns the spec.
+func testBaseGraph(t *testing.T) string {
+	t.Helper()
+	const n = 96
+	rng := rand.New(rand.NewSource(9))
+	var edges []csr.Edge
+	for v := 0; v < n; v++ {
+		edges = append(edges, csr.Edge{Src: uint32(v), Dst: uint32((v + 1) % n)})
+		for k := 0; k < 3; k++ {
+			edges = append(edges, csr.Edge{Src: uint32(v), Dst: uint32(rng.Intn(n))})
+		}
+	}
+	src, err := csr.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gts.BuildGraph(src, gts.ScaledPageConfig(2, 2, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := filepath.Join(t.TempDir(), "base.gts")
+	if err := g.WriteFile(spec); err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// testBatches is the scripted mutation history the crash matrix sweeps:
+// inserts, deletes, and a vertex-space grow.
+func testBatches() [][]gts.EdgeOp {
+	return [][]gts.EdgeOp{
+		{{Src: 0, Dst: 50}, {Src: 50, Dst: 0}, {Src: 7, Dst: 7}},
+		{{Del: true, Src: 0, Dst: 1}, {Src: 3, Dst: 90}},
+		{{Src: 96, Dst: 0}, {Src: 0, Dst: 96}, {Del: true, Src: 7, Dst: 7}},
+		{{Src: 40, Dst: 41}, {Del: true, Src: 3, Dst: 90}, {Src: 95, Dst: 96}},
+	}
+}
+
+// digestAll runs every algorithm over g and hashes the result payloads
+// (not the Metrics, which carry host wall-clock noise) into one digest.
+func digestAll(t *testing.T, g *gts.Graph) string {
+	t.Helper()
+	sys, err := gts.NewSystem(g, gts.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	put := func(label string, v any, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		fmt.Fprintf(h, "%s=%v\n", label, v)
+	}
+	bfs, err := sys.BFS(0)
+	put("bfs", bfs.Levels, err)
+	pr, err := sys.PageRank(0.85, 5)
+	put("pagerank", pr.Ranks, err)
+	sp, err := sys.SSSP(0)
+	put("sssp", sp.Dist, err)
+	cc, err := sys.CC()
+	put("cc", cc.Labels, err)
+	bc, err := sys.BC(0)
+	put("bc", bc.Scores, err)
+	rwr, err := sys.RWR(0, 0.2, 5)
+	put("rwr", rwr.Scores, err)
+	dd, err := sys.DegreeDistribution()
+	put("degree", [2]any{dd.Degrees, dd.Histogram}, err)
+	kc, err := sys.KCore(2)
+	put("kcore", kc.InCore, err)
+	rad, err := sys.Radius(4, 8)
+	put("radius", [2]any{rad.Radii, rad.EffectiveDiameter}, err)
+	nb, err := sys.Neighborhood(0, 2)
+	put("neighborhood", nb.Hops, err)
+	ce, err := sys.CrossEdges(func(v uint64) bool { return v%2 == 0 })
+	put("crossedges", ce.Total, err)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// oracleGraph replays batches[:n] synchronously against a fresh copy of
+// the base graph (its own WAL, no faults) — the synchronous-replay oracle
+// every recovered state must match byte-for-byte.
+func oracleGraph(t *testing.T, spec string, batches [][]gts.EdgeOp, n int) *gts.Graph {
+	t.Helper()
+	m, err := gts.OpenMutable(spec, filepath.Join(t.TempDir(), "oracle.wal"), gts.MutableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < n; i++ {
+		if _, err := m.Ingest(batches[i]); err != nil {
+			t.Fatalf("oracle batch %d: %v", i, err)
+		}
+	}
+	return m.Snapshot()
+}
+
+// graphsEqual asserts two graphs are byte-identical page stores.
+func graphsEqual(t *testing.T, label string, got, want *gts.Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("%s: %d vertices / %d edges, want %d / %d",
+			label, got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	if got.NumPages() != want.NumPages() {
+		t.Fatalf("%s: %d pages, want %d", label, got.NumPages(), want.NumPages())
+	}
+	for pid := 0; pid < got.NumPages(); pid++ {
+		p := gts.PageID(pid)
+		if got.PageChecksum(p) != want.PageChecksum(p) || !bytes.Equal(got.PageBytes(p), want.PageBytes(p)) {
+			t.Fatalf("%s: page %d differs", label, pid)
+		}
+	}
+}
+
+// TestIngestCrashMatrix sweeps every crash kind at every batch position:
+// kill the ingest before the WAL append, mid-record, during the fsync, and
+// during the page swap, then recover by reopening and require (a) a clean
+// Graph.Validate and (b) every algorithm's results byte-identical to the
+// synchronous-replay oracle over the committed prefix.
+func TestIngestCrashMatrix(t *testing.T) {
+	spec := testBaseGraph(t)
+	batches := testBatches()
+
+	// Oracle digests for every committed-prefix length, computed once.
+	oracleDigest := make([]string, len(batches)+1)
+	for n := 0; n <= len(batches); n++ {
+		oracleDigest[n] = digestAll(t, oracleGraph(t, spec, batches, n))
+	}
+
+	type crashKind struct {
+		name string
+		plan func(k int64) *gts.FaultPlan
+		// committed(k) is how many batches survive a crash at ordinal k.
+		committed func(k int) int
+	}
+	kinds := []crashKind{
+		{
+			name:      "before-append",
+			plan:      func(k int64) *gts.FaultPlan { return &gts.FaultPlan{Seed: 101, WALCrashAppends: []int64{k}} },
+			committed: func(k int) int { return k - 1 },
+		},
+		{
+			name:      "torn-mid-record",
+			plan:      func(k int64) *gts.FaultPlan { return &gts.FaultPlan{Seed: 202, WALTornAppends: []int64{k}} },
+			committed: func(k int) int { return k - 1 },
+		},
+		{
+			name:      "during-fsync",
+			plan:      func(k int64) *gts.FaultPlan { return &gts.FaultPlan{Seed: 303, WALCrashSyncs: []int64{k}} },
+			committed: func(k int) int { return k },
+		},
+		{
+			name:      "during-page-swap",
+			plan:      func(k int64) *gts.FaultPlan { return &gts.FaultPlan{Seed: 404, CrashApplies: []int64{k}} },
+			committed: func(k int) int { return k },
+		},
+	}
+
+	for _, kind := range kinds {
+		for k := 1; k <= len(batches); k++ {
+			t.Run(fmt.Sprintf("%s/batch%d", kind.name, k), func(t *testing.T) {
+				walPath := filepath.Join(t.TempDir(), "crash.wal")
+				m, err := gts.OpenMutable(spec, walPath, gts.MutableOptions{Faults: kind.plan(int64(k))})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var crashed bool
+				for i, ops := range batches {
+					_, err := m.Ingest(ops)
+					if err != nil {
+						if !errors.Is(err, gts.ErrCrashed) {
+							t.Fatalf("batch %d: %v, want an injected crash", i, err)
+						}
+						if i != k-1 {
+							t.Fatalf("crashed at batch %d, want %d", i, k-1)
+						}
+						crashed = true
+						break
+					}
+				}
+				if !crashed {
+					t.Fatal("the plan injected no crash")
+				}
+				if !m.Dead() {
+					t.Fatal("graph not dead after crash")
+				}
+				// A dead graph refuses further ingest.
+				if _, err := m.Ingest(batches[0]); !errors.Is(err, gts.ErrCrashed) {
+					t.Fatalf("ingest on dead graph = %v, want ErrCrashed", err)
+				}
+				m.Close()
+
+				// Recovery: reopen and replay.
+				r, err := gts.OpenMutable(spec, walPath, gts.MutableOptions{})
+				if err != nil {
+					t.Fatalf("recovery open: %v", err)
+				}
+				defer r.Close()
+				want := kind.committed(k)
+				if r.ReplayedBatches() != want {
+					t.Fatalf("replayed %d batches, want %d", r.ReplayedBatches(), want)
+				}
+				if r.Epoch() != uint64(want) {
+					t.Fatalf("recovered epoch %d, want %d", r.Epoch(), want)
+				}
+				snap := r.Snapshot()
+				if err := snap.Validate(); err != nil {
+					t.Fatalf("recovered graph invalid: %v", err)
+				}
+				graphsEqual(t, "recovered vs oracle", snap, oracleGraph(t, spec, batches, want))
+				if got := digestAll(t, snap); got != oracleDigest[want] {
+					t.Fatalf("recovered algorithm digests diverge from the %d-batch oracle", want)
+				}
+				// The recovered graph accepts new ingest and lands where the
+				// uncrashed history would.
+				for i := want; i < len(batches); i++ {
+					if _, err := r.Ingest(batches[i]); err != nil {
+						t.Fatalf("post-recovery batch %d: %v", i, err)
+					}
+				}
+				if got := digestAll(t, r.Snapshot()); got != oracleDigest[len(batches)] {
+					t.Fatal("post-recovery completion diverges from the full oracle")
+				}
+			})
+		}
+	}
+}
+
+// TestIngestMatchesFromScratchRebuild: a fully applied history yields a
+// graph byte-identical to a from-scratch build over the same edge list.
+func TestIngestMatchesFromScratchRebuild(t *testing.T) {
+	spec := testBaseGraph(t)
+	batches := testBatches()
+	m, err := gts.OpenMutable(spec, filepath.Join(t.TempDir(), "full.wal"), gts.MutableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i, ops := range batches {
+		if lsn, err := m.Ingest(ops); err != nil || lsn != uint64(i+1) {
+			t.Fatalf("batch %d: lsn %d err %v", i, lsn, err)
+		}
+	}
+	snap := m.Snapshot()
+
+	// From-scratch: decode the base adjacency, apply the ops logically,
+	// rebuild with the same page config.
+	base, err := gts.Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := make([][]uint64, base.NumVertices())
+	for v := uint64(0); v < base.NumVertices(); v++ {
+		base.NeighborsOf(v, func(dst uint64) { adj[v] = append(adj[v], dst) })
+	}
+	for _, ops := range batches {
+		for _, op := range ops {
+			max := op.Src
+			if op.Dst > max {
+				max = op.Dst
+			}
+			if max >= uint64(len(adj)) {
+				grown := make([][]uint64, max+1)
+				copy(grown, adj)
+				adj = grown
+			}
+			if op.Del {
+				kept := adj[op.Src][:0]
+				for _, d := range adj[op.Src] {
+					if d != op.Dst {
+						kept = append(kept, d)
+					}
+				}
+				adj[op.Src] = kept
+			} else {
+				adj[op.Src] = append(adj[op.Src], op.Dst)
+			}
+		}
+	}
+	var edges []csr.Edge
+	for v, row := range adj {
+		for _, d := range row {
+			edges = append(edges, csr.Edge{Src: uint32(v), Dst: uint32(d)})
+		}
+	}
+	src, err := csr.FromEdges(len(adj), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gts.BuildGraph(src, base.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, "ingested vs from-scratch rebuild", snap, want)
+	if digestAll(t, snap) != digestAll(t, want) {
+		t.Fatal("algorithm digests diverge between ingested and rebuilt graphs")
+	}
+}

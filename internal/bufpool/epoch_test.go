@@ -1,0 +1,100 @@
+package bufpool
+
+import "testing"
+
+func newEpochPool(t *testing.T, pages int) *Pool {
+	t.Helper()
+	p, err := New(Config{PageSize: 1, Bytes: int64(pages)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func check(t *testing.T, p *Pool) {
+	t.Helper()
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvanceEpochEvictsUnpinned(t *testing.T) {
+	p := newEpochPool(t, 8)
+	for pid := uint64(0); pid < 4; pid++ {
+		if st := p.Pin(pid); st != Load {
+			t.Fatalf("Pin(%d) = %v, want Load", pid, st)
+		}
+		p.Ready(pid)
+		p.Unpin(pid)
+	}
+	check(t, p)
+	if n := p.AdvanceEpoch(); n != 4 {
+		t.Fatalf("AdvanceEpoch evicted %d, want 4", n)
+	}
+	check(t, p)
+	st := p.Stats()
+	if st.Resident != 0 || st.Invalidations != 4 || st.Epoch != 1 {
+		t.Fatalf("stats after advance = %+v", st)
+	}
+	// The next pin of an evicted page is a fresh load at the new epoch.
+	if got := p.Pin(2); got != Load {
+		t.Fatalf("Pin after advance = %v, want Load", got)
+	}
+	p.Ready(2)
+	if got := p.Pin(2); got != Hit {
+		t.Fatalf("repin at current epoch = %v, want Hit", got)
+	}
+	p.Unpin(2)
+	p.Unpin(2)
+	check(t, p)
+}
+
+func TestAdvanceEpochStalePinnedFrame(t *testing.T) {
+	p := newEpochPool(t, 8)
+	if st := p.Pin(7); st != Load {
+		t.Fatalf("Pin = %v, want Load", st)
+	}
+	p.Ready(7)
+	// Reader still holds page 7 across the mutation.
+	if n := p.AdvanceEpoch(); n != 0 {
+		t.Fatalf("AdvanceEpoch evicted %d pinned frames", n)
+	}
+	check(t, p)
+	// New readers must not be served the stale bytes: Pin bypasses.
+	if st := p.Pin(7); st != Busy {
+		t.Fatalf("Pin of stale pinned page = %v, want Busy", st)
+	}
+	// The old reader's final Unpin discards the frame instead of making it
+	// evictable.
+	p.Unpin(7)
+	check(t, p)
+	st := p.Stats()
+	if st.Resident != 0 || st.Invalidations != 1 {
+		t.Fatalf("stats after stale unpin = %+v", st)
+	}
+	if got := p.Pin(7); got != Load {
+		t.Fatalf("Pin after stale discard = %v, want Load", got)
+	}
+	p.Abort(7)
+	check(t, p)
+}
+
+func TestAdvanceEpochDuringLoad(t *testing.T) {
+	p := newEpochPool(t, 4)
+	if st := p.Pin(3); st != Load {
+		t.Fatalf("Pin = %v, want Load", st)
+	}
+	p.AdvanceEpoch()
+	check(t, p)
+	// The in-flight load belongs to the old epoch: Ready keeps the holder's
+	// pin valid, but the frame dies at Unpin and never serves a hit.
+	p.Ready(3)
+	if st := p.Pin(3); st != Busy {
+		t.Fatalf("Pin of stale loaded page = %v, want Busy", st)
+	}
+	p.Unpin(3)
+	check(t, p)
+	if st := p.Stats(); st.Resident != 0 {
+		t.Fatalf("stale frame survived its final unpin: %+v", st)
+	}
+}

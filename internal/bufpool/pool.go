@@ -89,15 +89,18 @@ type Stats struct {
 	Loads         int64 // Pin calls granted a Load frame (storage reads through the pool)
 	Evictions     int64 // pages evicted (replacer victims + over-budget unpins)
 	PinWaits      int64 // Pin calls denied (Busy or NoFrame) — bypass reads
+	Invalidations int64 // frames discarded because a graph mutation superseded their epoch
 	Resident      int   // resident pages (loading frames included)
 	Pinned        int   // resident pages with refcount > 0 or loading
 	ResidentBytes int64 // Resident * PageSize
 	BudgetBytes   int64 // current budget (Capacity * PageSize)
+	Epoch         uint64
 }
 
 type frame struct {
 	refs    int
 	loading bool
+	epoch   uint64 // pool epoch the frame's contents belong to
 }
 
 // Pool is a ref-counted host page buffer pool. All methods are safe for
@@ -113,8 +116,9 @@ type Pool struct {
 	seed     int64
 	frames   map[uint64]*frame
 	rep      Replacer
+	epoch    uint64 // current graph version; frames from older epochs are stale
 
-	hits, loads, evictions, pinWaits int64
+	hits, loads, evictions, pinWaits, invalidations int64
 }
 
 // New builds a pool. The capacity is cfg.Bytes/cfg.PageSize pages,
@@ -150,7 +154,10 @@ func (p *Pool) Pin(pid uint64) PinState {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if f, ok := p.frames[pid]; ok {
-		if f.loading {
+		if f.loading || f.epoch != p.epoch {
+			// Loading, or pinned with contents from a superseded graph
+			// version (stale unpinned frames are evicted by AdvanceEpoch,
+			// so a stale frame here is necessarily pinned): bypass.
 			p.pinWaits++
 			return Busy
 		}
@@ -171,7 +178,7 @@ func (p *Pool) Pin(pid uint64) PinState {
 		delete(p.frames, v)
 		p.evictions++
 	}
-	p.frames[pid] = &frame{refs: 1, loading: true}
+	p.frames[pid] = &frame{refs: 1, loading: true, epoch: p.epoch}
 	p.loads++
 	return Load
 }
@@ -213,12 +220,51 @@ func (p *Pool) Unpin(pid uint64) {
 	if f.refs > 0 {
 		return
 	}
+	if f.epoch != p.epoch {
+		// The pin outlived a graph mutation: the frame's bytes belong to a
+		// superseded epoch, so it dies here instead of becoming evictable.
+		delete(p.frames, pid)
+		p.evictions++
+		p.invalidations++
+		return
+	}
 	if len(p.frames) > p.capacity {
 		delete(p.frames, pid)
 		p.evictions++
 		return
 	}
 	p.rep.Insert(pid)
+}
+
+// AdvanceEpoch declares a new graph version: every resident frame from the
+// old epoch is stale. Unpinned stale frames are evicted immediately;
+// pinned (or loading) frames stay resident for their current holders —
+// readers of the old snapshot remain correct — but stop serving hits and
+// are discarded at their final Unpin. Returns how many frames were evicted
+// eagerly.
+func (p *Pool) AdvanceEpoch() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.epoch++
+	evicted := 0
+	for pid, f := range p.frames {
+		if f.refs > 0 || f.loading {
+			continue
+		}
+		p.rep.Remove(pid)
+		delete(p.frames, pid)
+		p.evictions++
+		p.invalidations++
+		evicted++
+	}
+	return evicted
+}
+
+// Epoch reports the pool's current graph version.
+func (p *Pool) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
 }
 
 // Resize sets a new byte budget (minimum one page) and evicts unpinned
@@ -285,6 +331,8 @@ func (p *Pool) Stats() Stats {
 		Loads:         p.loads,
 		Evictions:     p.evictions,
 		PinWaits:      p.pinWaits,
+		Invalidations: p.invalidations,
+		Epoch:         p.epoch,
 		Resident:      len(p.frames),
 		Pinned:        pinned,
 		ResidentBytes: int64(len(p.frames)) * p.pageSize,
@@ -327,6 +375,12 @@ func (p *Pool) CheckInvariants() error {
 	for pid, f := range p.frames {
 		if f.refs < 0 {
 			return fmt.Errorf("page %d refcount %d < 0", pid, f.refs)
+		}
+		if f.epoch > p.epoch {
+			return fmt.Errorf("page %d has epoch %d beyond pool epoch %d", pid, f.epoch, p.epoch)
+		}
+		if f.epoch != p.epoch && f.refs == 0 && !f.loading {
+			return fmt.Errorf("stale page %d (epoch %d < %d) is unpinned but still resident", pid, f.epoch, p.epoch)
 		}
 		if f.loading && f.refs != 1 {
 			return fmt.Errorf("loading page %d has refcount %d, want 1", pid, f.refs)

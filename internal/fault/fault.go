@@ -38,6 +38,13 @@ const (
 	// PageCorruption silently corrupts the data returned by a storage read;
 	// the engine detects it by page checksum and re-reads.
 	PageCorruption
+	// CrashPoint kills the ingest process at a chosen point: between two
+	// WAL appends, during an fsync, or during the in-memory page swap. The
+	// ingestor goes dead; recovery happens by reopening from durable state.
+	CrashPoint
+	// TornWrite is a crash mid-record: only a strict prefix of a WAL
+	// record reaches the file before the process dies.
+	TornWrite
 	// NumKinds is the number of fault kinds.
 	NumKinds
 )
@@ -55,6 +62,10 @@ func (k Kind) String() string {
 		return "storage-error"
 	case PageCorruption:
 		return "page-corruption"
+	case CrashPoint:
+		return "crash-point"
+	case TornWrite:
+		return "torn-write"
 	default:
 		return fmt.Sprintf("fault.Kind(%d)", int(k))
 	}
@@ -67,6 +78,10 @@ var (
 	ErrTransfer = errors.New("fault: injected PCI-E transfer error")
 	// ErrStorage is the error an injected storage read failure carries.
 	ErrStorage = errors.New("fault: injected storage read error")
+	// ErrCrash is the error an injected crash point carries. A component
+	// that observes it must treat itself as killed: no further durable
+	// writes, recovery only by reopening from what already reached disk.
+	ErrCrash = errors.New("fault: injected crash point")
 )
 
 // Plan is a declarative, seedable description of which faults to inject.
@@ -97,6 +112,24 @@ type Plan struct {
 	// MaxPerKind caps injections per kind; 0 means unlimited. A cap turns
 	// a high rate into a bounded burst, letting recovery finish the run.
 	MaxPerKind int64 `json:"max_per_kind,omitempty"`
+	// WALCrashAppends lists 1-based WAL append ordinals at which the
+	// ingest process dies cleanly BEFORE the record reaches the file — a
+	// crash between two appends. Ordinals count per injector.
+	WALCrashAppends []int64 `json:"wal_crash_appends,omitempty"`
+	// WALTornAppends lists 1-based WAL append ordinals at which the
+	// process dies mid-record: a strict prefix of the frame (chosen from
+	// the TornWrite PRNG stream) reaches the file, then the log goes dead.
+	WALTornAppends []int64 `json:"wal_torn_appends,omitempty"`
+	// WALCrashSyncs lists 1-based WAL fsync ordinals at which the process
+	// dies during the fsync: the record bytes are durable but the append
+	// is never acknowledged. Recovery replays such a batch — it is on
+	// disk and intact, exactly the ambiguity a real crash-during-fsync
+	// leaves.
+	WALCrashSyncs []int64 `json:"wal_crash_syncs,omitempty"`
+	// CrashApplies lists 1-based batch-apply ordinals at which the
+	// process dies during the in-memory page swap, after the WAL record
+	// is durable. Recovery must replay the batch from the log.
+	CrashApplies []int64 `json:"crash_applies,omitempty"`
 }
 
 // Validate reports whether the plan's parameters are in range.
@@ -125,13 +158,22 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("fault: OOM kernel launch ordinal %d must be >= 1", n)
 		}
 	}
+	for _, ords := range [][]int64{p.WALCrashAppends, p.WALTornAppends, p.WALCrashSyncs, p.CrashApplies} {
+		for _, n := range ords {
+			if n < 1 {
+				return fmt.Errorf("fault: crash-point ordinal %d must be >= 1", n)
+			}
+		}
+	}
 	return nil
 }
 
 // Enabled reports whether the plan can inject anything at all.
 func (p *Plan) Enabled() bool {
 	return p != nil && (p.TransferErrorRate > 0 || p.TransferStallRate > 0 ||
-		p.StorageErrorRate > 0 || p.CorruptionRate > 0 || len(p.OOMKernelLaunches) > 0)
+		p.StorageErrorRate > 0 || p.CorruptionRate > 0 || len(p.OOMKernelLaunches) > 0 ||
+		len(p.WALCrashAppends) > 0 || len(p.WALTornAppends) > 0 ||
+		len(p.WALCrashSyncs) > 0 || len(p.CrashApplies) > 0)
 }
 
 // stallDelay returns the configured or default stall duration.
@@ -152,6 +194,11 @@ type Stats struct {
 	DeviceOOMs     int64 `json:"device_ooms"`
 	StorageErrors  int64 `json:"storage_errors"`
 	Corruptions    int64 `json:"page_corruptions"`
+	// Crashes counts injected crash points (clean append crashes, fsync
+	// crashes, apply crashes); TornWrites the subset that left a partial
+	// record on disk.
+	Crashes    int64 `json:"crashes,omitempty"`
+	TornWrites int64 `json:"torn_writes,omitempty"`
 	// Retries counts recovery re-attempts (transfer retries, page re-reads,
 	// kernel relaunches).
 	Retries int64 `json:"retries"`
@@ -165,7 +212,7 @@ type Stats struct {
 
 // Injected sums the injection counters (not the recovery ones).
 func (s Stats) Injected() int64 {
-	return s.TransferErrors + s.Stalls + s.DeviceOOMs + s.StorageErrors + s.Corruptions
+	return s.TransferErrors + s.Stalls + s.DeviceOOMs + s.StorageErrors + s.Corruptions + s.Crashes
 }
 
 // Add accumulates other into s, for service-level aggregation.
@@ -175,6 +222,8 @@ func (s *Stats) Add(other Stats) {
 	s.DeviceOOMs += other.DeviceOOMs
 	s.StorageErrors += other.StorageErrors
 	s.Corruptions += other.Corruptions
+	s.Crashes += other.Crashes
+	s.TornWrites += other.TornWrites
 	s.Retries += other.Retries
 	s.Recoveries += other.Recoveries
 	s.Degradations += other.Degradations
@@ -192,7 +241,18 @@ type Injector struct {
 	// launches counts kernel launches for OOMKernelLaunches matching.
 	launches int64
 	oomAt    map[int64]bool
+	// appends/syncs/applies count WAL appends, fsyncs, and batch applies
+	// for crash-point ordinal matching.
+	appends, syncs, applies   int64
+	crashAt, tornAt           map[int64]bool
+	crashSyncAt, crashApplyAt map[int64]bool
 }
+
+// seedStride spaces the per-kind PRNG seeds. It is frozen at the original
+// kind count: deriving it from NumKinds would reseed every existing stream
+// (and silently shift all seeded fault schedules, including the golden
+// traces) each time a kind is appended.
+const seedStride = 5
 
 // NewInjector builds an injector for plan. A nil or inert plan yields a nil
 // injector. Each fault kind gets an independent PRNG stream keyed off
@@ -203,12 +263,24 @@ func NewInjector(plan *Plan) *Injector {
 	}
 	in := &Injector{plan: *plan, oomAt: make(map[int64]bool, len(plan.OOMKernelLaunches))}
 	for k := range in.rngs {
-		in.rngs[k] = rand.New(rand.NewSource(plan.Seed*int64(NumKinds) + int64(k) + 1))
+		in.rngs[k] = rand.New(rand.NewSource(plan.Seed*seedStride + int64(k) + 1))
 	}
 	for _, n := range plan.OOMKernelLaunches {
 		in.oomAt[n] = true
 	}
+	in.crashAt = ordinalSet(plan.WALCrashAppends)
+	in.tornAt = ordinalSet(plan.WALTornAppends)
+	in.crashSyncAt = ordinalSet(plan.WALCrashSyncs)
+	in.crashApplyAt = ordinalSet(plan.CrashApplies)
 	return in
+}
+
+func ordinalSet(ords []int64) map[int64]bool {
+	m := make(map[int64]bool, len(ords))
+	for _, n := range ords {
+		m[n] = true
+	}
+	return m
 }
 
 // capped reports whether kind has hit the per-kind injection cap.
@@ -226,6 +298,10 @@ func (in *Injector) count(k Kind) int64 {
 		return in.stats.DeviceOOMs
 	case StorageError:
 		return in.stats.StorageErrors
+	case CrashPoint:
+		return in.stats.Crashes
+	case TornWrite:
+		return in.stats.TornWrites
 	default:
 		return in.stats.Corruptions
 	}
@@ -296,4 +372,75 @@ func (in *Injector) Stats() Stats {
 		return Stats{}
 	}
 	return in.stats
+}
+
+// CrashMode is one WAL append's injected fate.
+type CrashMode int
+
+// Crash modes for WAL appends.
+const (
+	// CrashNone: the append proceeds normally.
+	CrashNone CrashMode = iota
+	// CrashBefore: the process dies before any byte of the record reaches
+	// the file — a crash between two appends.
+	CrashBefore
+	// CrashTorn: the process dies mid-record; only a strict prefix of the
+	// frame reaches the file.
+	CrashTorn
+)
+
+// WALAppendPoint decides one WAL append's fate. Every call advances the
+// per-injector append ordinal. For CrashTorn, frac in (0,1) picks how much
+// of the record reaches the file (the log scales it to a strict prefix).
+func (in *Injector) WALAppendPoint() (mode CrashMode, frac float64) {
+	if in == nil {
+		return CrashNone, 0
+	}
+	in.appends++
+	switch {
+	case in.tornAt[in.appends] && !in.capped(TornWrite):
+		in.stats.Crashes++
+		in.stats.TornWrites++
+		// Draw the tear point from the TornWrite stream so equal plans tear
+		// at identical offsets.
+		f := in.rngs[TornWrite].Float64()
+		if f <= 0 {
+			f = 0.5
+		}
+		return CrashTorn, f
+	case in.crashAt[in.appends] && !in.capped(CrashPoint):
+		in.stats.Crashes++
+		return CrashBefore, 0
+	}
+	return CrashNone, 0
+}
+
+// WALSyncPoint reports whether this fsync crashes. Every call advances the
+// fsync ordinal. A crashed fsync leaves the written bytes durable but the
+// append unacknowledged.
+func (in *Injector) WALSyncPoint() bool {
+	if in == nil {
+		return false
+	}
+	in.syncs++
+	if in.crashSyncAt[in.syncs] && !in.capped(CrashPoint) {
+		in.stats.Crashes++
+		return true
+	}
+	return false
+}
+
+// ApplyPoint reports whether this batch apply (the in-memory page swap
+// after the WAL record is durable) crashes. Every call advances the apply
+// ordinal.
+func (in *Injector) ApplyPoint() bool {
+	if in == nil {
+		return false
+	}
+	in.applies++
+	if in.crashApplyAt[in.applies] && !in.capped(CrashPoint) {
+		in.stats.Crashes++
+		return true
+	}
+	return false
 }

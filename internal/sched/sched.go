@@ -90,6 +90,8 @@ type Stats struct {
 	SharedPageCopies int64
 	BytesSaved       int64
 	BytesToGPU       int64
+	// Fences counts mutation boundaries declared via Fence.
+	Fences int64
 }
 
 // AmortizedBytesPerJob is the mean host-to-device traffic per group-served
@@ -104,6 +106,7 @@ func (s Stats) AmortizedBytesPerJob() float64 {
 // pending is a submitted job waiting for (or riding in) a group.
 type pending struct {
 	job  Job
+	gen  uint64 // fence generation at submission
 	done chan struct{}
 	res  Result
 	err  error
@@ -118,6 +121,7 @@ type Scheduler struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []*pending
+	gen    uint64 // current fence generation; groups never mix generations
 	closed bool
 	stats  Stats
 
@@ -150,6 +154,7 @@ func (s *Scheduler) Run(ctx context.Context, job Job) (Result, error) {
 		s.mu.Unlock()
 		return Result{}, ErrClosed
 	}
+	p.gen = s.gen
 	s.queue = append(s.queue, p)
 	s.cond.Signal()
 	s.mu.Unlock()
@@ -211,22 +216,58 @@ func (s *Scheduler) dispatch() {
 	}
 }
 
-// take removes up to n queued jobs.
-func (s *Scheduler) take(n int) []*pending {
+// Fence declares a mutation boundary: jobs submitted after the fence never
+// share a wave group with jobs submitted before it, so a group formed over
+// one graph version is never joined by a job expecting the next version.
+// Queued and running groups are unaffected — they finish against the
+// snapshot they formed on.
+func (s *Scheduler) Fence() {
+	s.mu.Lock()
+	s.gen++
+	s.stats.Fences++
+	s.mu.Unlock()
+}
+
+// takeHead removes up to n queued jobs of the head job's generation and
+// reports that generation. A fence in the middle of the queue cuts the
+// batch short; the later-generation jobs form their own group next round.
+func (s *Scheduler) takeHead(n int) ([]*pending, uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if n > len(s.queue) {
-		n = len(s.queue)
+	if len(s.queue) == 0 {
+		return nil, 0
 	}
-	batch := s.queue[:n:n]
-	s.queue = append([]*pending(nil), s.queue[n:]...)
+	gen := s.queue[0].gen
+	return s.takeLocked(n, gen), gen
+}
+
+// take removes up to n queued jobs matching generation gen — the admission
+// path: a running group only admits joiners from its own generation.
+func (s *Scheduler) take(n int, gen uint64) []*pending {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.takeLocked(n, gen)
+}
+
+// takeLocked removes the longest prefix (≤ n) of the queue whose jobs all
+// carry generation gen. Callers hold s.mu.
+func (s *Scheduler) takeLocked(n int, gen uint64) []*pending {
+	k := 0
+	for k < len(s.queue) && k < n && s.queue[k].gen == gen {
+		k++
+	}
+	if k == 0 {
+		return nil
+	}
+	batch := s.queue[:k:k]
+	s.queue = append([]*pending(nil), s.queue[k:]...)
 	return batch
 }
 
 // runGroup claims a System and runs one wave group to completion, admitting
 // late arrivals at wave boundaries. Declined members re-run privately.
 func (s *Scheduler) runGroup() {
-	members := s.take(s.cfg.MaxGroup)
+	members, gen := s.takeHead(s.cfg.MaxGroup)
 	if len(members) == 0 {
 		return
 	}
@@ -244,7 +285,7 @@ func (s *Scheduler) runGroup() {
 		jobs[i] = gts.SharedJob{Kernel: p.job.Kernel, Source: p.job.Source, Faults: p.job.Faults, Trace: p.job.Trace}
 	}
 	admit := func() []gts.SharedJob {
-		joiners := s.take(s.cfg.MaxGroup - len(members))
+		joiners := s.take(s.cfg.MaxGroup-len(members), gen)
 		if len(joiners) == 0 {
 			return nil
 		}

@@ -8,11 +8,14 @@ import (
 )
 
 // cacheKey canonicalizes a request into the string that keys the result
-// cache: graph name, the graph's load generation (so re-loading a name
-// invalidates stale entries), algorithm, and the normalized parameters.
-func cacheKey(graph string, gen uint64, algo string, p Params) string {
+// cache AND the single-flight table: graph name, the graph's load
+// generation (re-loading a name invalidates stale entries), the graph's
+// mutation epoch (an ingested batch invalidates stale entries and prevents
+// a new-epoch job from coalescing behind an old-epoch leader), algorithm,
+// and the normalized parameters.
+func cacheKey(graph string, gen, epoch uint64, algo string, p Params) string {
 	buf, _ := json.Marshal(p) // Params marshals deterministically (fixed field order)
-	return fmt.Sprintf("%s#%d/%s?%s", graph, gen, algo, buf)
+	return fmt.Sprintf("%s#%d@%d/%s?%s", graph, gen, epoch, algo, buf)
 }
 
 // resultCache is an LRU over completed job results, the service-level

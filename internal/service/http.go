@@ -16,10 +16,14 @@ import (
 
 // Handler returns the service's HTTP/JSON surface:
 //
-//	GET  /healthz                      liveness probe
+//	GET  /healthz                      liveness: 200 + per-graph states
+//	GET  /readyz                       readiness: 200 only when every
+//	                                   graph is serving, else 503
 //	GET  /metrics                      Prometheus text exposition
 //	GET  /v1/graphs                    registered graphs
-//	PUT  /v1/graphs/{name}             load a graph from a spec
+//	PUT  /v1/graphs/{name}             load a graph from a spec (add a
+//	                                   "wal" path for a mutable graph)
+//	POST /v1/graphs/{name}/ingest      commit an edge-mutation batch
 //	POST /v1/graphs/{name}/{algo}      run an algorithm (sync by default;
 //	                                   ?mode=async returns 202 + job ID;
 //	                                   ?timeout=500ms bounds the deadline)
@@ -28,11 +32,21 @@ import (
 //	                                   (404 unless Config.TraceJobs > 0)
 //
 // Typed service errors map to statuses: ErrOverloaded → 429, unknown
-// graph/algorithm/job → 404, ErrTimeout → 504, ErrShuttingDown → 503.
+// graph/algorithm/job → 404, ErrTimeout → 504, ErrShuttingDown and
+// ErrGraphNotReady → 503, ErrImmutableGraph → 409.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		// Liveness is always 200: the process is up; per-graph states tell
+		// the rest of the story (a graph mid-recovery is alive, not ready).
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "graphs": s.Health()})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		status := http.StatusOK
+		if !s.Ready() {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{"ready": status == http.StatusOK, "graphs": s.Health()})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -42,6 +56,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.Graphs(), "algorithms": Algorithms()})
 	})
 	mux.HandleFunc("PUT /v1/graphs/{name}", s.handleLoadGraph)
+	mux.HandleFunc("POST /v1/graphs/{name}/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/graphs/{name}/{algo}", s.handleRun)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
@@ -95,6 +110,10 @@ type loadRequest struct {
 	// concurrent jobs coalesce into wave groups that stream each page once
 	// (see gts.Config.ShareStreams).
 	ShareStreams bool `json:"share_streams,omitempty"`
+	// WAL, when set, loads the graph as mutable: the file at this path is
+	// the graph's write-ahead log (created if absent, replayed if present)
+	// and the graph accepts POST /v1/graphs/{name}/ingest.
+	WAL string `json:"wal,omitempty"`
 }
 
 func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
@@ -116,7 +135,11 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 	if strings.EqualFold(req.Strategy, "s") {
 		cfg.Strategy = gts.StrategyS
 	}
-	if err := s.LoadGraph(name, req.Spec, cfg, req.Pool); err != nil {
+	load := func() error { return s.LoadGraph(name, req.Spec, cfg, req.Pool) }
+	if req.WAL != "" {
+		load = func() error { return s.LoadMutableGraph(name, req.Spec, req.WAL, cfg, req.Pool) }
+	}
+	if err := load(); err != nil {
 		httpError(w, statusOf(err), err)
 		return
 	}
@@ -127,6 +150,38 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"name": name})
+}
+
+// ingestRequest is the POST /v1/graphs/{name}/ingest body.
+type ingestRequest struct {
+	Edges []struct {
+		Src uint64 `json:"src"`
+		Dst uint64 `json:"dst"`
+		// Del deletes every occurrence of src->dst instead of inserting.
+		Del bool `json:"del,omitempty"`
+	} `json:"edges"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad ingest request: %w", err))
+		return
+	}
+	if len(req.Edges) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("ingest request needs a non-empty \"edges\" list"))
+		return
+	}
+	ops := make([]gts.EdgeOp, len(req.Edges))
+	for i, e := range req.Edges {
+		ops[i] = gts.EdgeOp{Del: e.Del, Src: e.Src, Dst: e.Dst}
+	}
+	epoch, err := s.Ingest(r.PathValue("name"), ops)
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "applied": len(ops)})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -211,9 +266,15 @@ func statusOf(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrUnknownGraph), errors.Is(err, ErrUnknownAlgo), errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound
-	case errors.Is(err, ErrShuttingDown), errors.Is(err, gts.ErrHardwareFault):
-		// A hardware fault that survived the engine's retry budget is a
-		// transient infrastructure failure: 503 + Retry-After, not a 500.
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, gts.ErrHardwareFault), errors.Is(err, ErrGraphNotReady):
+		// A hardware fault that survived the engine's retry budget, like a
+		// graph still recovering, is a transient failure: 503 + Retry-After.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrImmutableGraph), errors.Is(err, ErrDuplicateGraph):
+		return http.StatusConflict
+	case errors.Is(err, gts.ErrCrashed):
+		// An injected ingest crash killed the mutable graph; reload (replay)
+		// to recover.
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrTimeout), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout

@@ -40,7 +40,13 @@ type metrics struct {
 	// hardware fault persisted beyond the engine's retry budget.
 	faults     gts.FaultStats
 	hwFailures uint64
-	perAlgo    map[string]*algoMetrics
+	// ingestBatches/ingestEdges count committed mutation batches and the
+	// edge ops they carried; ingestFailures counts batches that errored
+	// (including injected crashes).
+	ingestBatches  uint64
+	ingestEdges    uint64
+	ingestFailures uint64
+	perAlgo        map[string]*algoMetrics
 
 	// queueWait is dequeue-time minus submission for every job that went
 	// through the queue; runWall the engine compute time of computed jobs.
@@ -81,6 +87,16 @@ func (m *metrics) addFaults(fs gts.FaultStats) {
 }
 
 func (m *metrics) addHWFailure() { m.mu.Lock(); m.hwFailures++; m.mu.Unlock() }
+
+// addIngested records one committed ingest batch of edges edge ops.
+func (m *metrics) addIngested(edges int64) {
+	m.mu.Lock()
+	m.ingestBatches++
+	m.ingestEdges += uint64(edges)
+	m.mu.Unlock()
+}
+
+func (m *metrics) addIngestFailure() { m.mu.Lock(); m.ingestFailures++; m.mu.Unlock() }
 
 // jobCompleted records one successfully answered job. For computed jobs,
 // wall and virtual carry the run's cost; for cache hits both are zero and
@@ -177,6 +193,16 @@ type Stats struct {
 	// Pool holds each pooled graph's shared host page-pool snapshot, keyed
 	// by graph name (nil when no graph uses a BufferPool).
 	Pool map[string]gts.PoolStats `json:"pool,omitempty"`
+	// IngestBatches/IngestEdges count committed mutation batches and edge
+	// ops; IngestFailures counts batches that errored (including crashes).
+	IngestBatches  uint64 `json:"ingest_batches"`
+	IngestEdges    uint64 `json:"ingest_edges"`
+	IngestFailures uint64 `json:"ingest_failures"`
+	// WAL holds each mutable graph's write-ahead-log counters, keyed by
+	// graph name (nil when no graph is mutable).
+	WAL map[string]gts.WALStats `json:"wal,omitempty"`
+	// Epochs holds each mutable graph's mutation epoch (last applied LSN).
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
 	// QueueWait and RunWall summarize the admission-queue wait and engine
 	// compute-time distributions.
 	QueueWait LatencySummary       `json:"queue_wait"`
@@ -231,6 +257,33 @@ func (m *metrics) write(w io.Writer, s Stats) {
 	counter("gtsd_shared_bytes_saved_total", "Host-to-device bytes avoided by multi-query page sharing.", uint64(s.Sharing.BytesSaved))
 	counter("gtsd_shared_bytes_to_gpu_total", "Host-to-device bytes moved by shared groups.", uint64(s.Sharing.BytesToGPU))
 	gauge("gtsd_amortized_bytes_per_job", "Mean host-to-device bytes per wave-group job.", fmt.Sprintf("%.1f", s.Sharing.AmortizedBytesPerJob()))
+	counter("gtsd_ingest_batches_total", "Committed edge-mutation batches across mutable graphs.", s.IngestBatches)
+	counter("gtsd_ingest_edges_total", "Edge ops carried by committed ingest batches.", s.IngestEdges)
+	counter("gtsd_ingest_failures_total", "Ingest batches that errored, including injected crashes.", s.IngestFailures)
+
+	if len(s.WAL) > 0 {
+		graphs := make([]string, 0, len(s.WAL))
+		for name := range s.WAL {
+			graphs = append(graphs, name)
+		}
+		sort.Strings(graphs)
+		walCounter := func(name, help string, v func(gts.WALStats) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, g := range graphs {
+				fmt.Fprintf(w, "%s{graph=%q} %d\n", name, g, v(s.WAL[g]))
+			}
+		}
+		walCounter("gtsd_wal_appends_total", "Batches appended to the write-ahead log.", func(ws gts.WALStats) int64 { return ws.Appends })
+		walCounter("gtsd_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", func(ws gts.WALStats) int64 { return ws.AppendedBytes })
+		walCounter("gtsd_wal_fsyncs_total", "Physical fsyncs issued by the write-ahead log.", func(ws gts.WALStats) int64 { return ws.Fsyncs })
+		walCounter("gtsd_wal_group_commits_total", "Appends made durable by another waiter's fsync (group commit).", func(ws gts.WALStats) int64 { return ws.GroupCommits })
+		walCounter("gtsd_wal_replayed_batches", "Committed batches replayed at the last open.", func(ws gts.WALStats) int64 { return ws.ReplayedBatches })
+		walCounter("gtsd_wal_truncated_bytes_total", "Torn-tail bytes truncated at the last open.", func(ws gts.WALStats) int64 { return ws.TruncatedBytes })
+		fmt.Fprintf(w, "# HELP gtsd_graph_epoch Mutation epoch (last applied WAL LSN) per mutable graph.\n# TYPE gtsd_graph_epoch gauge\n")
+		for _, g := range graphs {
+			fmt.Fprintf(w, "gtsd_graph_epoch{graph=%q} %d\n", g, s.Epochs[g])
+		}
+	}
 
 	if len(s.Pool) > 0 {
 		graphs := make([]string, 0, len(s.Pool))

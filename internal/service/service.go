@@ -22,8 +22,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	gts "repro"
@@ -50,6 +52,12 @@ var (
 	// ErrDuplicateGraph reports AddGraph over an existing name without
 	// replace semantics (HTTP 409).
 	ErrDuplicateGraph = errors.New("service: graph already loaded")
+	// ErrGraphNotReady reports a job against a graph still loading or
+	// recovering, or one degraded by an ingest crash (HTTP 503).
+	ErrGraphNotReady = errors.New("service: graph not ready")
+	// ErrImmutableGraph reports an ingest against a graph loaded without a
+	// WAL (HTTP 409).
+	ErrImmutableGraph = errors.New("service: graph is immutable (loaded without a WAL)")
 )
 
 // Config sizes a Server. The zero value is serviceable: 4 workers, a
@@ -240,14 +248,63 @@ func (j *Job) fail(err error, state JobState) {
 	close(j.done)
 }
 
-// graphEntry is one registered graph with its engine pool.
+// GraphState is a registered graph's serving condition, reported by
+// /healthz and gating /readyz.
+type GraphState int32
+
+// Graph states.
+const (
+	// GraphLoading: the base graph is being opened/generated and its engine
+	// pool built.
+	GraphLoading GraphState = iota
+	// GraphRecovering: the WAL's committed batches are being replayed onto
+	// the base graph.
+	GraphRecovering
+	// GraphServing: queries are admitted.
+	GraphServing
+	// GraphDegraded: an ingest crash (or a failed pool rebuild) left the
+	// graph read-only-at-best; reload to recover.
+	GraphDegraded
+)
+
+// String names the state for /healthz JSON.
+func (g GraphState) String() string {
+	switch g {
+	case GraphLoading:
+		return "loading"
+	case GraphRecovering:
+		return "recovering"
+	case GraphServing:
+		return "serving"
+	default:
+		return "degraded"
+	}
+}
+
+// graphEntry is one registered graph with its engine pool. Entries are
+// immutable after publication except for state; a mutation publishes a
+// whole new entry (new pool over the new snapshot, same MutableGraph), so
+// jobs holding an old entry keep computing against the consistent old
+// snapshot.
 type graphEntry struct {
-	name string
-	gen  uint64 // load generation, part of the cache key
-	pool *gts.SystemPool
+	name  string
+	gen   uint64 // load generation, part of the cache key
+	epoch uint64 // mutation epoch (last applied WAL LSN), part of the cache key
+	pool  *gts.SystemPool
 	// sched coalesces concurrent jobs into shared wave groups; nil unless
 	// the pool was configured with ShareStreams.
 	sched *sched.Scheduler
+	// mg is the mutable backing (nil for immutable graphs).
+	mg    *gts.MutableGraph
+	state atomicState
+}
+
+// atomicState is a small typed wrapper over the entry's state word.
+type atomicState struct{ v int32 }
+
+func (a *atomicState) load() GraphState { return GraphState(atomic.LoadInt32(&a.v)) }
+func (a *atomicState) store(s GraphState) {
+	atomic.StoreInt32(&a.v, int32(s))
 }
 
 // GraphInfo describes a registered graph for listings.
@@ -265,6 +322,11 @@ type GraphInfo struct {
 	// Empty/zero when the graph serves from the classic per-run buffer.
 	PoolPolicy string `json:"pool_policy,omitempty"`
 	PoolBytes  int64  `json:"pool_bytes,omitempty"`
+	// State is the serving state ("loading"/"recovering"/"serving"/
+	// "degraded"); Mutable and Epoch describe WAL-backed graphs.
+	State   string `json:"state"`
+	Mutable bool   `json:"mutable,omitempty"`
+	Epoch   uint64 `json:"epoch,omitempty"`
 }
 
 // effectiveHostWorkers resolves a pool's HostWorkers setting the way the
@@ -340,6 +402,7 @@ func (s *Server) AddGraph(name string, pool *gts.SystemPool) error {
 	}
 	s.nextGen++
 	entry := &graphEntry{name: name, gen: s.nextGen, pool: pool}
+	entry.state.store(GraphServing)
 	if pool.Config().ShareStreams {
 		entry.sched = sched.New(pool, sched.Config{})
 	}
@@ -350,6 +413,186 @@ func (s *Server) AddGraph(name string, pool *gts.SystemPool) error {
 	}
 	s.graphs[name] = entry
 	return nil
+}
+
+// LoadMutableGraph opens spec as a crash-recoverable mutable graph whose
+// mutation history lives in the WAL at walPath (created if absent,
+// replayed if present), builds a poolSize-wide engine pool over the
+// recovered snapshot, and registers it under name. While the load runs the
+// graph is visible to Health in the "loading" (fresh WAL) or "recovering"
+// (non-empty WAL) state and rejects jobs with ErrGraphNotReady; it flips
+// to "serving" when the pool is up.
+func (s *Server) LoadMutableGraph(name, spec, walPath string, engineCfg gts.Config, poolSize int) error {
+	if name == "" || spec == "" || walPath == "" {
+		return fmt.Errorf("service: LoadMutableGraph needs a name, a spec and a WAL path")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrShuttingDown
+	}
+	s.nextGen++
+	placeholder := &graphEntry{name: name, gen: s.nextGen}
+	if fi, err := os.Stat(walPath); err == nil && fi.Size() > 0 {
+		placeholder.state.store(GraphRecovering)
+	} else {
+		placeholder.state.store(GraphLoading)
+	}
+	prev := s.graphs[name]
+	s.graphs[name] = placeholder
+	s.mu.Unlock()
+	if prev != nil && prev.sched != nil {
+		go prev.sched.Close()
+	}
+
+	fail := func(err error) error {
+		s.mu.Lock()
+		if s.graphs[name] == placeholder {
+			delete(s.graphs, name)
+		}
+		s.mu.Unlock()
+		return err
+	}
+	mg, err := gts.OpenMutable(spec, walPath, gts.MutableOptions{Faults: engineCfg.Faults})
+	if err != nil {
+		return fail(err)
+	}
+	// Per-job fault plans still apply through requests; the graph-level
+	// plan was consumed by the WAL/ingest injector above. Keeping it on the
+	// engines too would double-inject every storage fault.
+	pool, err := gts.NewSystemPool(mg.Snapshot(), engineCfg, poolSize)
+	if err != nil {
+		mg.Close()
+		return fail(err)
+	}
+	entry := &graphEntry{name: name, gen: placeholder.gen, epoch: mg.Epoch(), pool: pool, mg: mg}
+	entry.state.store(GraphServing)
+	if pool.Config().ShareStreams {
+		entry.sched = sched.New(pool, sched.Config{})
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		mg.Close()
+		if entry.sched != nil {
+			entry.sched.Close()
+		}
+		return ErrShuttingDown
+	}
+	if s.graphs[name] == placeholder {
+		s.graphs[name] = entry
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Ingest commits one batch of edge mutations against a mutable graph:
+// WAL-append + fsync, apply, then republish the graph at its new epoch —
+// a fresh engine pool over the new snapshot sharing the old host page pool
+// (stale frames invalidated via AdvanceEpoch), a fresh wave-group
+// scheduler (the old one is fenced and drained), and a new cache-key
+// epoch so no stale result or old-epoch leader can serve new-epoch jobs.
+func (s *Server) Ingest(name string, ops []gts.EdgeOp) (epoch uint64, err error) {
+	s.mu.Lock()
+	entry, ok := s.graphs[name]
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	if entry.mg == nil {
+		return 0, fmt.Errorf("%w: %q", ErrImmutableGraph, name)
+	}
+	if st := entry.state.load(); st != GraphServing {
+		return 0, fmt.Errorf("%w: %q is %s", ErrGraphNotReady, name, st)
+	}
+	epoch, err = entry.mg.Ingest(ops)
+	if err != nil {
+		s.met.addIngestFailure()
+		if errors.Is(err, gts.ErrCrashed) {
+			entry.state.store(GraphDegraded)
+		}
+		return 0, err
+	}
+	s.met.addIngested(int64(len(ops)))
+
+	// Fence the running scheduler so no pre-mutation wave group admits a
+	// post-mutation job, invalidate the shared host pool's superseded
+	// frames, and publish a new entry over the new snapshot.
+	if entry.sched != nil {
+		entry.sched.Fence()
+	}
+	cfg := entry.pool.Config()
+	if hp := entry.pool.HostPool(); hp != nil {
+		hp.AdvanceEpoch()
+		cfg.HostPool = hp // keep sharing the same pool across the rebuild
+	}
+	pool, perr := gts.NewSystemPool(entry.mg.Snapshot(), cfg, entry.pool.Size())
+	if perr != nil {
+		entry.state.store(GraphDegraded)
+		return epoch, fmt.Errorf("service: batch %d committed but pool rebuild failed: %w", epoch, perr)
+	}
+	next := &graphEntry{name: name, gen: entry.gen, epoch: epoch, pool: pool, mg: entry.mg}
+	next.state.store(GraphServing)
+	if cfg.ShareStreams {
+		next.sched = sched.New(pool, sched.Config{})
+	}
+	s.mu.Lock()
+	if s.graphs[name] == entry {
+		s.graphs[name] = next
+	}
+	s.mu.Unlock()
+	if entry.sched != nil {
+		// Jobs already inside the old scheduler finish against the old
+		// snapshot (their results are keyed to the old epoch and stay
+		// correct); Close drains them off the lock.
+		go entry.sched.Close()
+	}
+	return epoch, nil
+}
+
+// GraphHealth is one graph's /healthz row.
+type GraphHealth struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+	Epoch uint64 `json:"epoch"`
+	// Mutable reports whether the graph accepts ingest.
+	Mutable bool `json:"mutable"`
+	// ReplayedBatches is how many committed WAL batches the load replayed.
+	ReplayedBatches int `json:"replayed_batches,omitempty"`
+}
+
+// Health reports every registered graph's serving state, sorted by name.
+func (s *Server) Health() []GraphHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GraphHealth, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		h := GraphHealth{Name: e.name, State: e.state.load().String(), Epoch: e.epoch, Mutable: e.mg != nil}
+		if e.mg != nil {
+			h.Epoch = e.mg.Epoch()
+			h.ReplayedBatches = e.mg.ReplayedBatches()
+		}
+		out = append(out, h)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Ready reports whether every registered graph is serving (readiness: a
+// server with no graphs is ready; one mid-recovery or degraded is not).
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.graphs {
+		if e.state.load() != GraphServing {
+			return false
+		}
+	}
+	return true
 }
 
 // LoadGraph opens a graph spec (see gts.Open: a .gts store file or
@@ -373,14 +616,16 @@ func (s *Server) Graphs() []GraphInfo {
 	defer s.mu.Unlock()
 	out := make([]GraphInfo, 0, len(s.graphs))
 	for _, e := range s.graphs {
-		g := e.pool.Graph()
-		info := GraphInfo{
-			Name: e.name, Vertices: g.NumVertices(), Edges: g.NumEdges(),
-			Pool: e.pool.Size(), HostWorkers: effectiveHostWorkers(e.pool.Config()),
-		}
-		if hp := e.pool.HostPool(); hp != nil {
-			info.PoolPolicy = hp.Policy()
-			info.PoolBytes = hp.Budget()
+		info := GraphInfo{Name: e.name, State: e.state.load().String(), Mutable: e.mg != nil, Epoch: e.epoch}
+		if e.pool != nil { // placeholder entries mid-load have no pool yet
+			g := e.pool.Graph()
+			info.Vertices, info.Edges = g.NumVertices(), g.NumEdges()
+			info.Pool = e.pool.Size()
+			info.HostWorkers = effectiveHostWorkers(e.pool.Config())
+			if hp := e.pool.HostPool(); hp != nil {
+				info.PoolPolicy = hp.Policy()
+				info.PoolBytes = hp.Budget()
+			}
 		}
 		out = append(out, info)
 	}
@@ -417,6 +662,10 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, req.Graph)
 	}
+	if st := entry.state.load(); st != GraphServing {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q is %s", ErrGraphNotReady, req.Graph, st)
+	}
 	s.nextID++
 	id := fmt.Sprintf("job-%06d", s.nextID)
 	s.mu.Unlock()
@@ -432,7 +681,7 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	job := &Job{
 		id:        id,
 		req:       req,
-		key:       cacheKey(entry.name, entry.gen, req.Algo, req.Params),
+		key:       cacheKey(entry.name, entry.gen, entry.epoch, req.Algo, req.Params),
 		entry:     entry,
 		algo:      algo,
 		ctx:       ctx,
@@ -587,7 +836,20 @@ func (s *Server) Stats() Stats {
 	hostWorkers := 0
 	var sharing SharingStats
 	var pools map[string]gts.PoolStats
+	var walStats map[string]gts.WALStats
+	var epochs map[string]uint64
 	for _, e := range s.graphs {
+		if e.mg != nil {
+			if walStats == nil {
+				walStats = make(map[string]gts.WALStats)
+				epochs = make(map[string]uint64)
+			}
+			walStats[e.name] = e.mg.WALStats()
+			epochs[e.name] = e.mg.Epoch()
+		}
+		if e.pool == nil { // placeholder entry mid-load
+			continue
+		}
 		if hw := effectiveHostWorkers(e.pool.Config()); hw > hostWorkers {
 			hostWorkers = hw
 		}
@@ -631,6 +893,12 @@ func (s *Server) Stats() Stats {
 		HWFailures:  m.hwFailures,
 		Sharing:     sharing,
 		Pool:        pools,
+
+		IngestBatches:  m.ingestBatches,
+		IngestEdges:    m.ingestEdges,
+		IngestFailures: m.ingestFailures,
+		WAL:            walStats,
+		Epochs:         epochs,
 	}
 	m.mu.Unlock()
 	st.QueueWait = summarize(&m.queueWait)

@@ -1,0 +1,174 @@
+package slottedpage
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// EdgeOp is one directed-edge mutation against a mutable graph: an insert
+// (Del false) or a delete (Del true) of Src -> Dst. Deletes remove every
+// occurrence of the edge (the store permits parallel edges); deleting an
+// absent edge is a no-op. Inserts may name vertices beyond the current
+// vertex count — the vertex space grows to cover them.
+type EdgeOp struct {
+	Del bool
+	Src uint64
+	Dst uint64
+}
+
+// Mutable wraps an immutable slotted-page Graph with a batched mutation
+// path. Readers take latch-free snapshots (an atomic pointer load) and run
+// against a fully immutable Graph; ApplyBatch builds the successor state
+// off to the side and publishes it with a single atomic swap, adopting
+// every page whose bytes did not change under a per-page latch — the
+// blink-tree discipline: readers never block, writers never tear a page.
+//
+// The successor is produced by re-packing the mutated adjacency mirror
+// through Build, so a mutated graph is byte-identical to a from-scratch
+// build over the same logical edges — pages, checksums, RVT, home RIDs,
+// everything. That equivalence is what makes WAL recovery exact: replaying
+// a committed batch after a crash lands on the same bytes the crashed
+// process would have published.
+//
+// Writers are serialized (one ApplyBatch at a time); reads are safe
+// concurrently with a write.
+type Mutable struct {
+	mu      sync.Mutex   // serializes writers
+	latches []sync.Mutex // one per page of the current graph, for swap adoption
+	cur     atomic.Pointer[Graph]
+	adj     [][]uint64 // adjacency mirror of the current graph
+	edges   uint64
+}
+
+// mirrorSource adapts an adjacency mirror to the Build Source contract.
+type mirrorSource struct {
+	adj   [][]uint64
+	edges uint64
+}
+
+func (s mirrorSource) NumVertices() uint64 { return uint64(len(s.adj)) }
+func (s mirrorSource) NumEdges() uint64    { return s.edges }
+func (s mirrorSource) Degree(v uint64) int { return len(s.adj[v]) }
+func (s mirrorSource) Neighbors(v uint64, fn func(dst uint64)) {
+	for _, d := range s.adj[v] {
+		fn(d)
+	}
+}
+
+// NewMutable wraps g for mutation, decoding its adjacency into the host
+// mirror the mutation path rebuilds from. The wrapped Graph must not be
+// mutated elsewhere; its page buffers may be adopted (shared) by successor
+// snapshots.
+func NewMutable(g *Graph) *Mutable {
+	adj := make([][]uint64, g.NumVertices())
+	for v := uint64(0); v < g.NumVertices(); v++ {
+		deg := g.DegreeOf(v)
+		if deg > 0 {
+			row := make([]uint64, 0, deg)
+			g.NeighborsOf(v, func(dst uint64) { row = append(row, dst) })
+			adj[v] = row
+		}
+	}
+	m := &Mutable{adj: adj, edges: g.NumEdges(), latches: make([]sync.Mutex, g.NumPages())}
+	m.cur.Store(g)
+	return m
+}
+
+// Snapshot returns the current immutable graph. The snapshot stays valid
+// (and internally consistent) forever; later batches publish new snapshots
+// without disturbing it.
+func (m *Mutable) Snapshot() *Graph { return m.cur.Load() }
+
+// NumEdges returns the current logical edge count.
+func (m *Mutable) NumEdges() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.edges
+}
+
+// ApplyBatch applies ops atomically: either the whole batch commits and the
+// returned Graph is the published successor snapshot, or no observable
+// state changes. The successor shares the byte buffers of every page the
+// batch did not disturb (adopted under that page's latch), so small batches
+// over big graphs copy only the pages they touch.
+func (m *Mutable) ApplyBatch(ops []EdgeOp) (*Graph, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	old := m.cur.Load()
+	cfg := old.Config()
+
+	// Copy-on-write over the mirror: rows are copied the first time the
+	// batch touches them, so an error mid-batch leaves m.adj untouched.
+	adj := make([][]uint64, len(m.adj))
+	copy(adj, m.adj)
+	touched := make(map[uint64]bool)
+	edges := m.edges
+	grow := func(v uint64) error {
+		if v < uint64(len(adj)) {
+			return nil
+		}
+		if v >= cfg.MaxAddressableVertices() {
+			return fmt.Errorf("slottedpage: vertex %d exceeds addressable capacity %d", v, cfg.MaxAddressableVertices())
+		}
+		next := make([][]uint64, v+1)
+		copy(next, adj)
+		adj = next
+		return nil
+	}
+	for _, op := range ops {
+		if err := grow(op.Src); err != nil {
+			return nil, err
+		}
+		if err := grow(op.Dst); err != nil {
+			return nil, err
+		}
+		if !touched[op.Src] {
+			adj[op.Src] = append([]uint64(nil), adj[op.Src]...)
+			touched[op.Src] = true
+		}
+		if op.Del {
+			row := adj[op.Src]
+			kept := row[:0]
+			for _, d := range row {
+				if d == op.Dst {
+					edges--
+				} else {
+					kept = append(kept, d)
+				}
+			}
+			adj[op.Src] = kept
+		} else {
+			adj[op.Src] = append(adj[op.Src], op.Dst)
+			edges++
+		}
+	}
+
+	next, err := Build(mirrorSource{adj: adj, edges: edges}, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Adopt unchanged pages from the predecessor under their latches:
+	// where the rebuilt page is byte-equal to the old one, the successor
+	// points at the old buffer, so readers of either snapshot share one
+	// physical page and the swap never copies untouched topology.
+	for pid := 0; pid < len(next.pages) && pid < len(old.pages); pid++ {
+		m.latches[pid].Lock()
+		if next.sums[pid] == old.sums[pid] && bytes.Equal(next.pages[pid], old.pages[pid]) {
+			next.pages[pid] = old.pages[pid]
+		}
+		m.latches[pid].Unlock()
+	}
+	if len(next.pages) > len(m.latches) {
+		grown := make([]sync.Mutex, len(next.pages))
+		m.latches = grown
+	}
+
+	m.adj = adj
+	m.edges = edges
+	m.cur.Store(next)
+	return next, nil
+}

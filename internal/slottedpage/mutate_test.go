@@ -1,0 +1,207 @@
+package slottedpage
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// graphsIdentical asserts two graphs are byte-identical: same pages, sums,
+// side tables, counts.
+func graphsIdentical(t *testing.T, got, want *Graph, label string) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("%s: %d vertices / %d edges, want %d / %d",
+			label, got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	if got.NumPages() != want.NumPages() {
+		t.Fatalf("%s: %d pages, want %d", label, got.NumPages(), want.NumPages())
+	}
+	for pid := PageID(0); int(pid) < got.NumPages(); pid++ {
+		if got.PageChecksum(pid) != want.PageChecksum(pid) {
+			t.Fatalf("%s: page %d checksum mismatch", label, pid)
+		}
+		if !bytes.Equal(got.PageBytes(pid), want.PageBytes(pid)) {
+			t.Fatalf("%s: page %d bytes differ", label, pid)
+		}
+		if got.Kind(pid) != want.Kind(pid) || got.RVT(pid) != want.RVT(pid) {
+			t.Fatalf("%s: page %d side tables differ", label, pid)
+		}
+	}
+	for v := uint64(0); v < got.NumVertices(); v++ {
+		if got.HomeOf(v) != want.HomeOf(v) {
+			t.Fatalf("%s: vertex %d home RID differs", label, v)
+		}
+	}
+}
+
+func TestApplyBatchMatchesRebuild(t *testing.T) {
+	cfg := tinyConfig()
+	base := adjSource{adj: [][]uint64{{1, 2}, {2}, {0}, {}}}
+	g, err := Build(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMutable(g)
+
+	batches := [][]EdgeOp{
+		{{Src: 3, Dst: 0}, {Src: 0, Dst: 3}},
+		{{Del: true, Src: 0, Dst: 1}},
+		{{Src: 5, Dst: 1}, {Src: 1, Dst: 5}}, // grows the vertex space to 6
+		{{Del: true, Src: 9, Dst: 9}},        // delete of an absent edge: no-op (but grows to 10)
+	}
+	// The oracle mirrors the batches against a plain adjacency list and
+	// rebuilds from scratch after each batch.
+	oracle := [][]uint64{{1, 2}, {2}, {0}, {}}
+	for bi, ops := range batches {
+		got, err := m.ApplyBatch(ops)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		grow := func(v uint64) {
+			if v >= uint64(len(oracle)) {
+				grown := make([][]uint64, v+1)
+				copy(grown, oracle)
+				oracle = grown
+			}
+		}
+		for _, op := range ops {
+			grow(op.Src)
+			grow(op.Dst)
+			if op.Del {
+				kept := oracle[op.Src][:0]
+				for _, d := range oracle[op.Src] {
+					if d != op.Dst {
+						kept = append(kept, d)
+					}
+				}
+				oracle[op.Src] = kept
+			} else {
+				oracle[op.Src] = append(oracle[op.Src], op.Dst)
+			}
+		}
+		want, err := Build(adjSource{adj: oracle}, cfg)
+		if err != nil {
+			t.Fatalf("batch %d oracle build: %v", bi, err)
+		}
+		graphsIdentical(t, got, want, "after batch")
+		if err := got.Validate(); err != nil {
+			t.Fatalf("batch %d: Validate: %v", bi, err)
+		}
+		if m.Snapshot() != got {
+			t.Fatalf("batch %d: Snapshot is not the published successor", bi)
+		}
+	}
+}
+
+func TestApplyBatchAdoptsUntouchedPages(t *testing.T) {
+	// A big-ish graph where a single-edge batch should leave most pages
+	// byte-identical; adopted pages must share the old backing arrays.
+	cfg := tinyConfig()
+	adj := make([][]uint64, 256)
+	for v := range adj {
+		for d := 1; d <= 4; d++ {
+			adj[v] = append(adj[v], uint64((v+d)%256))
+		}
+	}
+	g, err := Build(adjSource{adj: adj}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMutable(g)
+	next, err := m.ApplyBatch([]EdgeOp{{Src: 255, Dst: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := 0
+	for pid := 0; pid < next.NumPages() && pid < g.NumPages(); pid++ {
+		op, np := g.PageBytes(PageID(pid)), next.PageBytes(PageID(pid))
+		if len(op) > 0 && len(np) > 0 && &op[0] == &np[0] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("single-edge batch adopted no predecessor pages")
+	}
+	if err := next.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The predecessor snapshot is untouched and still valid.
+	if err := g.Validate(); err != nil {
+		t.Fatalf("predecessor snapshot corrupted: %v", err)
+	}
+}
+
+func TestApplyBatchFailureLeavesStateUntouched(t *testing.T) {
+	cfg := tinyConfig()
+	g, err := Build(adjSource{adj: [][]uint64{{1}, {0}}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMutable(g)
+	before := m.Snapshot()
+	huge := cfg.MaxAddressableVertices() + 10
+	if _, err := m.ApplyBatch([]EdgeOp{{Src: 0, Dst: 1}, {Src: huge, Dst: 0}}); err == nil {
+		t.Fatal("batch naming an unaddressable vertex did not fail")
+	}
+	if m.Snapshot() != before {
+		t.Fatal("failed batch published a snapshot")
+	}
+	if m.NumEdges() != 2 {
+		t.Fatalf("failed batch changed edge count to %d", m.NumEdges())
+	}
+	// The mirror is intact: a valid follow-up batch applies cleanly.
+	next, err := m.ApplyBatch([]EdgeOp{{Src: 1, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Build(adjSource{adj: [][]uint64{{1}, {0, 1}}}, cfg)
+	graphsIdentical(t, next, want, "after failed batch")
+}
+
+func TestConcurrentSnapshotsDuringMutation(t *testing.T) {
+	cfg := tinyConfig()
+	adj := make([][]uint64, 64)
+	for v := range adj {
+		adj[v] = []uint64{uint64((v + 1) % 64)}
+	}
+	g, err := Build(adjSource{adj: adj}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMutable(g)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := m.Snapshot()
+				if err := s.Validate(); err != nil {
+					t.Errorf("snapshot invalid during mutation: %v", err)
+					return
+				}
+				var n uint64
+				s.NeighborsOf(3, func(uint64) { n++ })
+				_ = n
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		op := EdgeOp{Src: uint64(rng.Intn(64)), Dst: uint64(rng.Intn(64)), Del: rng.Intn(3) == 0}
+		if _, err := m.ApplyBatch([]EdgeOp{op}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
