@@ -21,7 +21,7 @@ test: build
 # span emission; randomized ingest crashes under concurrent queries in
 # TestChaosIngestRecovery) run here too.
 test-race:
-	$(GO) test -race ./internal/bufpool/... ./internal/core/... ./internal/kernels/... ./internal/sched/... ./internal/service/... ./internal/trace/... ./internal/hw/... ./internal/obs/... ./internal/wal/...
+	$(GO) test -race ./internal/bufpool/... ./internal/core/... ./internal/incremental/... ./internal/kernels/... ./internal/sched/... ./internal/service/... ./internal/trace/... ./internal/hw/... ./internal/obs/... ./internal/wal/...
 	$(GO) test -race -run 'System|Pool|Open|Concurrent|Chaos|Ingest' .
 
 vet:
@@ -35,7 +35,7 @@ vet:
 # included). Floors sit a few points under the measured baseline so real
 # regressions fail while small refactors don't.
 cover:
-	@set -e; for spec in ./internal/trace=85 ./internal/obs=90 ./internal/service=80 ./internal/sched=60 ./internal/bufpool=85 ./internal/kernels=85 ./internal/wal=85; do \
+	@set -e; for spec in ./internal/trace=85 ./internal/obs=90 ./internal/service=80 ./internal/sched=60 ./internal/bufpool=85 ./internal/kernels=85 ./internal/wal=85 ./internal/incremental=85; do \
 		pkg=$${spec%=*}; floor=$${spec#*=}; \
 		$(GO) test -coverprofile=coverage.tmp.out $$pkg >/dev/null; \
 		pct=$$($(GO) tool cover -func=coverage.tmp.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
@@ -51,8 +51,9 @@ cover:
 # into pool op scripts and replays them against the reference-model
 # oracle; FuzzDirectionSwitch builds adversarial frontier densities and
 # checks push-only, pull-only, and adaptive BFS agree with the plain
-# kernel. Go allows one -fuzz target per invocation, hence the separate
-# runs.
+# kernel; FuzzDeltaExpand replays adversarial (delete-heavy) ingest batches
+# through the retained-state planners against the full-recompute oracle.
+# Go allows one -fuzz target per invocation, hence the separate runs.
 fuzz:
 	$(GO) test ./internal/slottedpage -run '^$$' -fuzz '^FuzzStoreRead$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/slottedpage -run '^$$' -fuzz '^FuzzPageValidate$$' -fuzztime $(FUZZTIME)
@@ -60,6 +61,7 @@ fuzz:
 	$(GO) test ./internal/bufpool -run '^$$' -fuzz '^FuzzPoolOps$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzDirectionSwitch$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/incremental -run '^$$' -fuzz '^FuzzDeltaExpand$$' -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"os/exec"
@@ -12,7 +13,9 @@ import (
 	"time"
 
 	gts "repro"
+	"repro/internal/incremental"
 	"repro/internal/kernels"
+	"repro/internal/slottedpage"
 )
 
 // benchEntry is one kernel x worker-count measurement in the regression
@@ -102,6 +105,33 @@ type ingestEntry struct {
 	Runs     int   `json:"runs"`
 }
 
+// incrementalEntry is one algo x batch-size measurement of retained-state
+// delta expansion vs a from-scratch recompute of the same algorithm on the
+// same post-commit snapshot. Runs stream every page each superstep (device
+// cache disabled) so the page-scan counts are the superstep work the two
+// paths actually perform; the batch inserts edges in the R-MAT degree tail
+// — the small-localized-update case incremental recompute exists for.
+// Every incremental run is verified byte-identical to the full run before
+// its numbers are recorded.
+type incrementalEntry struct {
+	Algo          string `json:"algo"`
+	EdgesPerBatch int    `json:"edges_per_batch"`
+	// Seeds is the delta plan's initial frontier size.
+	Seeds int `json:"seeds"`
+	// FullPages / IncPages count page-scans (superstep work units) of the
+	// from-scratch vs the delta-expansion run; SavedSupersteps is their
+	// difference and PageSpeedup the ratio (full over inc, floored at 1
+	// page so an empty delta does not divide by zero).
+	FullPages       int64   `json:"full_pages"`
+	IncPages        int64   `json:"inc_pages"`
+	SavedSupersteps int64   `json:"saved_supersteps"`
+	PageSpeedup     float64 `json:"page_speedup"`
+	// FullWallSeconds / IncWallSeconds are mean real times of one run.
+	FullWallSeconds float64 `json:"full_wall_seconds"`
+	IncWallSeconds  float64 `json:"inc_wall_seconds"`
+	Runs            int     `json:"runs"`
+}
+
 // benchReport is the BENCH_<rev>.json document.
 type benchReport struct {
 	Rev        string       `json:"rev"`
@@ -119,6 +149,10 @@ type benchReport struct {
 	// Ingest records the WAL-backed mutation path's throughput and recovery
 	// replay cost (informational: the diff gate does not compare it).
 	Ingest []ingestEntry `json:"ingest,omitempty"`
+	// Incremental records the delta-expansion vs from-scratch recompute
+	// sweep per batch size (informational: the diff gate does not compare
+	// it).
+	Incremental []incrementalEntry `json:"incremental,omitempty"`
 }
 
 // gitRev resolves the short commit hash, or "dev" outside a git checkout.
@@ -442,6 +476,185 @@ func measureIngest(spec string, nv uint64, batches, edgesPerBatch, runs int) (in
 	}, nil
 }
 
+// incPeripheralBatch builds an insert-only batch in the R-MAT degree tail:
+// high vertex IDs are the low-degree periphery, so the inserted edges
+// deviate only a few pages and leave the hub pages untouched.
+func incPeripheralBatch(nv uint64, n int) []gts.EdgeOp {
+	ops := make([]gts.EdgeOp, n)
+	for i := range ops {
+		ops[i] = gts.EdgeOp{Src: nv - 2 - uint64(2*i), Dst: nv - 1 - uint64(2*i)}
+	}
+	return ops
+}
+
+// measureIncremental captures retained state from a full streaming run,
+// commits one peripheral batch, and prices the delta-expansion run against
+// a from-scratch recompute on the post-commit snapshot. The incremental
+// result must be byte-identical to the full one or the measurement fails.
+func measureIncremental(g *gts.Graph, algo string, edgesPerBatch, runs int) (incrementalEntry, error) {
+	const damping = 0.85
+	const prIters = 10
+	cfg := gts.Config{CacheBytes: gts.CacheDisabled}
+	sys, err := gts.NewSystem(g, cfg)
+	if err != nil {
+		return incrementalEntry{}, err
+	}
+	st := incremental.NewStore(0)
+	switch algo {
+	case "bfs":
+		res, err := sys.BFS(0)
+		if err != nil {
+			return incrementalEntry{}, err
+		}
+		st.Capture("bfs", &incremental.Entry{
+			Kind: incremental.KindBFS, Epoch: 0, Source: 0,
+			Levels: res.Levels, FullPages: res.Metrics.PagesStreamed,
+		})
+	case "cc":
+		res, err := sys.CC()
+		if err != nil {
+			return incrementalEntry{}, err
+		}
+		st.Capture("cc", &incremental.Entry{
+			Kind: incremental.KindCC, Epoch: 0,
+			Labels: res.Labels, FullPages: res.Metrics.PagesStreamed,
+		})
+	case "pagerank":
+		rec := incremental.NewRecordingPageRank(g, damping, prIters)
+		_, m, err := sys.RunKernel(rec, 0)
+		if err != nil {
+			return incrementalEntry{}, err
+		}
+		st.Capture("pagerank", &incremental.Entry{
+			Kind: incremental.KindPageRank, Epoch: 0,
+			Traj: rec.Traj, Damping: damping, Iterations: prIters,
+			FullPages: m.PagesStreamed,
+		})
+	default:
+		return incrementalEntry{}, fmt.Errorf("unknown algo %q", algo)
+	}
+
+	batch := incPeripheralBatch(g.NumVertices(), edgesPerBatch)
+	g2, err := slottedpage.NewMutable(g).ApplyBatch(batch)
+	if err != nil {
+		return incrementalEntry{}, err
+	}
+	st.Commit(0, 1, batch, g)
+	prior, delta, ok := st.Lookup(algo)
+	if !ok {
+		return incrementalEntry{}, fmt.Errorf("%s: retained entry not replayable", algo)
+	}
+	sys2, err := gts.NewSystem(g2, cfg)
+	if err != nil {
+		return incrementalEntry{}, err
+	}
+
+	// From-scratch recompute on the post-commit snapshot.
+	var fullWall time.Duration
+	var fullM gts.Metrics
+	var fullLevels []int16
+	var fullLabels []uint32
+	var fullRanks []float32
+	for i := 0; i < runs; i++ {
+		t0 := time.Now()
+		switch algo {
+		case "bfs":
+			res, err := sys2.BFS(0)
+			if err != nil {
+				return incrementalEntry{}, err
+			}
+			fullM, fullLevels = res.Metrics, res.Levels
+		case "cc":
+			res, err := sys2.CC()
+			if err != nil {
+				return incrementalEntry{}, err
+			}
+			fullM, fullLabels = res.Metrics, res.Labels
+		case "pagerank":
+			res, err := sys2.PageRank(damping, prIters)
+			if err != nil {
+				return incrementalEntry{}, err
+			}
+			fullM, fullRanks = res.Metrics, res.Ranks
+		}
+		fullWall += time.Since(t0)
+	}
+
+	// Delta-expansion run, re-planned fresh each time (kernels hold run
+	// state), verified byte-identical to the from-scratch result.
+	var incWall time.Duration
+	var incM gts.Metrics
+	seeds := 0
+	for i := 0; i < runs; i++ {
+		t0 := time.Now()
+		switch algo {
+		case "bfs":
+			k, reason := incremental.PlanBFS(g2, prior, delta)
+			if reason != "" {
+				return incrementalEntry{}, fmt.Errorf("bfs fell back: %s", reason)
+			}
+			out, m, err := sys2.RunKernel(k, 0)
+			if err != nil {
+				return incrementalEntry{}, err
+			}
+			incM, seeds = m, k.Seeds
+			for v, lv := range k.Levels(out) {
+				if lv != fullLevels[v] {
+					return incrementalEntry{}, fmt.Errorf("bfs: incremental level diverges at vertex %d", v)
+				}
+			}
+		case "cc":
+			k, reason := incremental.PlanCC(g2, prior, delta)
+			if reason != "" {
+				return incrementalEntry{}, fmt.Errorf("cc fell back: %s", reason)
+			}
+			out, m, err := sys2.RunKernel(k, 0)
+			if err != nil {
+				return incrementalEntry{}, err
+			}
+			incM, seeds = m, k.Seeds
+			for v, lb := range k.Components(out) {
+				if lb != fullLabels[v] {
+					return incrementalEntry{}, fmt.Errorf("cc: incremental label diverges at vertex %d", v)
+				}
+			}
+		case "pagerank":
+			k, reason := incremental.PlanPageRank(g2, prior, delta, damping, prIters)
+			if reason != "" {
+				return incrementalEntry{}, fmt.Errorf("pagerank fell back: %s", reason)
+			}
+			out, m, err := sys2.RunKernel(k, 0)
+			if err != nil {
+				return incrementalEntry{}, err
+			}
+			incM, seeds = m, k.Seeds
+			for v, r := range k.Ranks(out) {
+				if math.Float32bits(r) != math.Float32bits(fullRanks[v]) {
+					return incrementalEntry{}, fmt.Errorf("pagerank: incremental rank diverges at vertex %d", v)
+				}
+			}
+		}
+		incWall += time.Since(t0)
+	}
+
+	incPages := incM.PagesStreamed
+	if incPages < 1 {
+		incPages = 1
+	}
+	return incrementalEntry{
+		Algo:            algo,
+		EdgesPerBatch:   edgesPerBatch,
+		Seeds:           seeds,
+		FullPages:       fullM.PagesStreamed,
+		IncPages:        incM.PagesStreamed,
+		SavedSupersteps: fullM.PagesStreamed - incM.PagesStreamed,
+		PageSpeedup:     float64(fullM.PagesStreamed) / float64(incPages),
+		FullWallSeconds: fullWall.Seconds() / float64(runs),
+		IncWallSeconds:  incWall.Seconds() / float64(runs),
+		Runs:            runs,
+	}, nil
+}
+
 // runBenchJSON executes the regression suite and writes BENCH_<rev>.json
 // into outDir, returning the path written. jobs > 1 additionally records
 // the concurrent-job sharing measurement.
@@ -489,6 +702,15 @@ func runBenchJSON(dataset string, shrink, runs, jobs int, outDir string) (string
 			return "", fmt.Errorf("ingest: %w", err)
 		}
 		rep.Ingest = append(rep.Ingest, e)
+	}
+	for _, algo := range []string{"bfs", "cc", "pagerank"} {
+		for _, b := range []int{1, 8, 64} {
+			e, err := measureIncremental(g, algo, b, runs)
+			if err != nil {
+				return "", fmt.Errorf("incremental %s batch=%d: %w", algo, b, err)
+			}
+			rep.Incremental = append(rep.Incremental, e)
+		}
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return "", err

@@ -45,7 +45,8 @@ type MutableGraph struct {
 	dead     atomic.Bool   // an injected crash killed the ingest path
 	replayed int           // batches replayed at open
 
-	onCommit []func(epoch uint64, snapshot *Graph)
+	onCommit    []func(epoch uint64, snapshot *Graph)
+	onCommitOps []func(prevEpoch, epoch uint64, ops []EdgeOp, old, snapshot *Graph)
 }
 
 // MutableOptions tunes OpenMutable.
@@ -135,6 +136,18 @@ func (m *MutableGraph) OnCommit(fn func(epoch uint64, snapshot *Graph)) {
 	m.onCommit = append(m.onCommit, fn)
 }
 
+// OnCommitOps registers fn to run (under the ingest lock, in commit order)
+// after every successfully applied batch, with the full commit context:
+// the epoch edge it spans, the applied ops, and both the pre-commit and
+// post-commit snapshots. The incremental-recompute layer uses this to
+// migrate retained state across the epoch fence — the pre-image snapshot
+// is what lets it compute which vertices *lost* an edge.
+func (m *MutableGraph) OnCommitOps(fn func(prevEpoch, epoch uint64, ops []EdgeOp, old, snapshot *Graph)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onCommitOps = append(m.onCommitOps, fn)
+}
+
 // Ingest commits one batch of edge mutations: WAL append + group-commit
 // fsync first, then the in-memory apply and snapshot publish. It returns
 // the new epoch (the batch's LSN).
@@ -185,6 +198,11 @@ func (m *MutableGraph) Ingest(ops []EdgeOp) (uint64, error) {
 		m.dead.Store(true)
 		return 0, fmt.Errorf("gts: crash during page swap (batch %d durable, not applied): %w", lsn, ErrCrashed)
 	}
+	prevEpoch := m.epoch.Load()
+	var old *Graph
+	if len(m.onCommitOps) > 0 {
+		old = m.mut.Snapshot()
+	}
 	snap, err := m.mut.ApplyBatch(ops)
 	if err != nil {
 		// Unreachable for batches the pre-check admitted; if it happens the
@@ -196,6 +214,9 @@ func (m *MutableGraph) Ingest(ops []EdgeOp) (uint64, error) {
 	m.epoch.Store(lsn)
 	for _, fn := range m.onCommit {
 		fn(lsn, snap)
+	}
+	for _, fn := range m.onCommitOps {
+		fn(prevEpoch, lsn, ops, old, snap)
 	}
 	return lsn, nil
 }

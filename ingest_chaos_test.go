@@ -92,6 +92,13 @@ func TestChaosIngestRecovery(t *testing.T) {
 		if m.ReplayedBatches() != applied {
 			t.Fatalf("round %d: replayed %d, want %d", round, m.ReplayedBatches(), applied)
 		}
+		// Fresh-per-open retained state, the service rule: nothing survives
+		// a recovery, so no stale-epoch entry can be consulted this round.
+		incSt := incAttach(m)
+		if _, _, ok := incSt.Lookup("bfs"); ok {
+			t.Fatalf("round %d: fresh store served a retained entry", round)
+		}
+		incCapture(t, incSt, m)
 
 		// Concurrent queries against live snapshots, streaming pages through
 		// a storage-fault-injected engine. Snapshots are immutable, so every
@@ -145,6 +152,13 @@ func TestChaosIngestRecovery(t *testing.T) {
 				t.Fatalf("round %d: dead graph accepted ingest: %v", round, err)
 			}
 		}
+		// Live incremental is safe even after a crash: the commit hook fires
+		// only for successful commits, so the in-process delta chain is always
+		// consistent with the published snapshot. (Reusing this store after
+		// reopening would NOT be — a during-fsync crash can leave a durable
+		// batch the hook never saw — which is why recovery gets a fresh store
+		// at the top of the next round.)
+		incCheck(t, fmt.Sprintf("round %d live", round), incSt, m.Snapshot())
 		m.Close()
 
 		// Recover and verify against the synchronous-replay oracle.

@@ -5,13 +5,110 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"path/filepath"
 	"testing"
 
 	gts "repro"
 	"repro/internal/csr"
+	"repro/internal/incremental"
 )
+
+// incAttach wires a fresh retained-state store to mg exactly as the
+// service does on every (re)load: the store starts at the graph's current
+// epoch and observes each committed batch through the ingest hook. A
+// recovery therefore always starts with an EMPTY store — pre-crash
+// retained state is never carried across, because a durable-but-unhooked
+// batch (e.g. a crash during the fsync) would leave the old store's delta
+// chain one batch behind the recovered snapshot, and serving from it could
+// silently miss that batch's effects.
+func incAttach(mg *gts.MutableGraph) *incremental.Store {
+	st := incremental.NewStore(mg.Epoch())
+	mg.OnCommitOps(func(prev, epoch uint64, ops []gts.EdgeOp, old, _ *gts.Graph) {
+		st.Commit(prev, epoch, ops, old)
+	})
+	return st
+}
+
+// incCapture retains BFS levels and the PageRank trajectory for the
+// graph's current snapshot, as a completed full run would.
+func incCapture(t *testing.T, st *incremental.Store, mg *gts.MutableGraph) {
+	t.Helper()
+	g := mg.Snapshot()
+	sys, err := gts.NewSystem(g, gts.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := sys.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Capture("bfs", &incremental.Entry{Kind: incremental.KindBFS, Epoch: mg.Epoch(),
+		Source: 0, Levels: bfs.Levels}) {
+		t.Fatalf("bfs capture rejected at epoch %d", mg.Epoch())
+	}
+	rec := incremental.NewRecordingPageRank(g, 0.85, 5)
+	if _, _, err := sys.RunKernel(rec, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Capture("pagerank", &incremental.Entry{Kind: incremental.KindPageRank, Epoch: mg.Epoch(),
+		Traj: rec.Traj, Damping: 0.85, Iterations: 5}) {
+		t.Fatalf("pagerank capture rejected at epoch %d", mg.Epoch())
+	}
+}
+
+// incCheck resolves the retained entries in st against g: every accepted
+// delta-expansion plan must produce results byte-identical to a full run
+// (a refusal with a reason is a legal fallback). Returns how many plans
+// were accepted.
+func incCheck(t *testing.T, label string, st *incremental.Store, g *gts.Graph) int {
+	t.Helper()
+	sys, err := gts.NewSystem(g, gts.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	if e, d, ok := st.Lookup("bfs"); ok {
+		if k, reason := incremental.PlanBFS(g, e, d); reason == "" {
+			out, _, err := sys.RunKernel(k, 0)
+			if err != nil {
+				t.Fatalf("%s: incremental bfs: %v", label, err)
+			}
+			full, err := sys.BFS(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := k.Levels(out)
+			for i := range full.Levels {
+				if full.Levels[i] != got[i] {
+					t.Fatalf("%s: incremental bfs diverges at vertex %d", label, i)
+				}
+			}
+			hits++
+		}
+	}
+	if e, d, ok := st.Lookup("pagerank"); ok {
+		if k, reason := incremental.PlanPageRank(g, e, d, 0.85, 5); reason == "" {
+			out, _, err := sys.RunKernel(k, 0)
+			if err != nil {
+				t.Fatalf("%s: incremental pagerank: %v", label, err)
+			}
+			full, err := sys.PageRank(0.85, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := k.Ranks(out)
+			for i := range full.Ranks {
+				if math.Float32bits(full.Ranks[i]) != math.Float32bits(got[i]) {
+					t.Fatalf("%s: incremental pagerank diverges at vertex %d", label, i)
+				}
+			}
+			hits++
+		}
+	}
+	return hits
+}
 
 // testBaseGraph builds a deterministic small base graph, writes it to a
 // .gts file (so OpenMutable's base spec is stable across reopens), and
@@ -181,6 +278,10 @@ func TestIngestCrashMatrix(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				// Retained state rides along exactly as the service wires it:
+				// captured before the mutation history, chained by the hook.
+				preSt := incAttach(m)
+				incCapture(t, preSt, m)
 				var crashed bool
 				for i, ops := range batches {
 					_, err := m.Ingest(ops)
@@ -224,6 +325,21 @@ func TestIngestCrashMatrix(t *testing.T) {
 				if err := snap.Validate(); err != nil {
 					t.Fatalf("recovered graph invalid: %v", err)
 				}
+				// Recovery discards retained state: the fresh store holds no
+				// entries, so no stale-epoch state can be consulted. The
+				// pre-crash store must NOT be reused — for fsync/apply
+				// crashes the WAL is one durable batch ahead of its hook
+				// chain, so its deltas no longer describe the recovered
+				// snapshot.
+				recSt := incAttach(r)
+				if _, _, ok := recSt.Lookup("bfs"); ok {
+					t.Fatal("fresh post-recovery store served a retained entry")
+				}
+				if preSt.Epoch() > r.Epoch() {
+					t.Fatalf("pre-crash store at epoch %d ahead of recovered epoch %d",
+						preSt.Epoch(), r.Epoch())
+				}
+				incCapture(t, recSt, r)
 				graphsEqual(t, "recovered vs oracle", snap, oracleGraph(t, spec, batches, want))
 				if got := digestAll(t, snap); got != oracleDigest[want] {
 					t.Fatalf("recovered algorithm digests diverge from the %d-batch oracle", want)
@@ -237,6 +353,14 @@ func TestIngestCrashMatrix(t *testing.T) {
 				}
 				if got := digestAll(t, r.Snapshot()); got != oracleDigest[len(batches)] {
 					t.Fatal("post-recovery completion diverges from the full oracle")
+				}
+				// Incremental recompute over the post-recovery suffix: every
+				// accepted plan must match a full run byte-for-byte; an empty
+				// suffix (recovery already held the whole history) must serve
+				// both algorithms incrementally.
+				hits := incCheck(t, "post-recovery", recSt, r.Snapshot())
+				if want == len(batches) && hits != 2 {
+					t.Fatalf("empty-suffix recovery served %d/2 incremental plans", hits)
 				}
 			})
 		}

@@ -154,7 +154,7 @@ func (l *modelLRU) victim() (uint64, bool) {
 // modelClock: the same second-chance spec as the real replacer, written
 // naively over a plain slice with linear search.
 type modelClock struct {
-	ring   []struct {
+	ring []struct {
 		pid uint64
 		ref bool
 	}
@@ -327,12 +327,12 @@ func (q *model2Q) victim() (uint64, bool) {
 // Abort) except opPinHold, which leaves the frame loading so later pins
 // observe Busy until an opResolve readies or aborts it.
 const (
-	opPinReady  = iota // pin pid; on Load: read + Ready (pin kept, tracked)
-	opPinAbort         // pin pid; on Load: Abort (load failure path)
-	opUnpin            // unpin one tracked pin, chosen by arg
-	opResize           // resize to (arg%8+1) pages
-	opPinHold          // pin pid; on Load: leave loading (tracked separately)
-	opResolve          // resolve one held loading frame: even arg Ready, odd Abort
+	opPinReady = iota // pin pid; on Load: read + Ready (pin kept, tracked)
+	opPinAbort        // pin pid; on Load: Abort (load failure path)
+	opUnpin           // unpin one tracked pin, chosen by arg
+	opResize          // resize to (arg%8+1) pages
+	opPinHold         // pin pid; on Load: leave loading (tracked separately)
+	opResolve         // resolve one held loading frame: even arg Ready, odd Abort
 	numOpKinds
 )
 

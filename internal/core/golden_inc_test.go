@@ -1,0 +1,278 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/incremental"
+	"repro/internal/kernels"
+	"repro/internal/slottedpage"
+	"repro/internal/trace"
+)
+
+// incGoldenBatch is the fixed commit applied on top of the seeded RMAT
+// fixture for the incremental golden digests: inserts among existing
+// vertices only, so every planner stays on the delta-expansion path
+// (deletes would legitimately push CC into fallback, which has no
+// incremental digest to pin).
+func incGoldenBatch() []slottedpage.EdgeOp {
+	return []slottedpage.EdgeOp{
+		{Src: 3, Dst: 1501}, {Src: 1501, Dst: 3},
+		{Src: 7, Dst: 900}, {Src: 1200, Dst: 41},
+	}
+}
+
+// incGoldenSetup captures retained entries from serial clean full runs at
+// epoch 0, applies the fixed batch, and returns the post-commit graph
+// plus a store whose Lookup yields a one-commit delta for every algo.
+func incGoldenSetup(t *testing.T) (*slottedpage.Graph, *incremental.Store) {
+	t.Helper()
+	sp := buildPages(t, rmatGraph(t))
+	st := incremental.NewStore(0)
+
+	bfs := kernels.NewBFS(sp)
+	rep := mustRun(t, newEngine(t, sp, Options{Source: 0, HostWorkers: 1}, 1, 0), bfs)
+	st.Capture("bfs", &incremental.Entry{
+		Kind: incremental.KindBFS, Epoch: 0, Source: 0,
+		Levels:    append([]int16(nil), bfs.Levels(rep.State)...),
+		FullPages: rep.PagesStreamed,
+	})
+	cc := kernels.NewCC(sp)
+	rep = mustRun(t, newEngine(t, sp, Options{HostWorkers: 1}, 1, 0), cc)
+	st.Capture("cc", &incremental.Entry{
+		Kind: incremental.KindCC, Epoch: 0,
+		Labels:    append([]uint32(nil), cc.Components(rep.State)...),
+		FullPages: rep.PagesStreamed,
+	})
+	pr := incremental.NewRecordingPageRank(sp, 0.85, 5)
+	rep = mustRun(t, newEngine(t, sp, Options{HostWorkers: 1}, 1, 0), pr)
+	st.Capture("pagerank", &incremental.Entry{
+		Kind: incremental.KindPageRank, Epoch: 0,
+		Traj: pr.Traj, Damping: 0.85, Iterations: 5,
+		FullPages: rep.PagesStreamed,
+	})
+
+	mut := slottedpage.NewMutable(sp)
+	g2, err := mut.ApplyBatch(incGoldenBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Commit(0, 1, incGoldenBatch(), sp)
+	return g2, st
+}
+
+// incGoldenKernel plans one algorithm's delta-expansion kernel against the
+// post-commit graph. Kernels accumulate run state, so a fresh plan is
+// built for every execution.
+func incGoldenKernel(t *testing.T, g *slottedpage.Graph, st *incremental.Store, algo string) (kernels.Kernel, func(kernels.State) []byte, int) {
+	t.Helper()
+	e, d, ok := st.Lookup(algo)
+	if !ok {
+		t.Fatalf("%s: no retained entry", algo)
+	}
+	switch algo {
+	case "bfs":
+		k, reason := incremental.PlanBFS(g, e, d)
+		if reason != "" {
+			t.Fatalf("bfs plan refused: %s", reason)
+		}
+		return k, func(s kernels.State) []byte { return encodeVec(k.Levels(s)) }, k.Seeds
+	case "cc":
+		k, reason := incremental.PlanCC(g, e, d)
+		if reason != "" {
+			t.Fatalf("cc plan refused: %s", reason)
+		}
+		return k, func(s kernels.State) []byte { return encodeVec(k.Components(s)) }, k.Seeds
+	case "pagerank":
+		k, reason := incremental.PlanPageRank(g, e, d, 0.85, 5)
+		if reason != "" {
+			t.Fatalf("pagerank plan refused: %s", reason)
+		}
+		return k, func(s kernels.State) []byte { return encodeVec(k.Ranks(s)) }, k.Seeds
+	}
+	t.Fatalf("unknown algo %q", algo)
+	return nil, nil, 0
+}
+
+func incGoldenDigest(t *testing.T, g *slottedpage.Graph, st *incremental.Store, algo string, workers int, faulted bool) string {
+	t.Helper()
+	k, enc, _ := incGoldenKernel(t, g, st, algo)
+	opts := Options{Source: 0, HostWorkers: workers}
+	if faulted {
+		opts.Faults = chaosPlan()
+	}
+	rep := mustRun(t, newEngine(t, g, opts, 1, 0), k)
+	sum := sha256.Sum256(enc(rep.State))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenIncremental pins the incremental-path result digests beside
+// the full-kernel ones in golden.json, under "inc-" keys: each retained
+// algorithm re-executed by delta expansion over the fixed batch must
+// reproduce its checked-in digest at serial and parallel worker counts,
+// fault-free and under the chaos plan. By the exactness contract these
+// digests equal a from-scratch digest on the post-commit graph — which is
+// asserted directly, so a drift in either path is caught even when the
+// golden file is being rewritten.
+func TestGoldenIncremental(t *testing.T) {
+	g, st := incGoldenSetup(t)
+	algos := []string{"bfs", "cc", "pagerank"}
+	full := map[string]kernelCase{}
+	for _, kc := range kernelCases() {
+		switch kc.name {
+		case "BFS":
+			full["bfs"] = kc
+		case "CC":
+			full["cc"] = kc
+		case "PageRank":
+			full["pagerank"] = kc
+		}
+	}
+	fromScratch := func(algo string) string {
+		raw, _ := runDigest(t, g, full[algo], Options{Source: 0, HostWorkers: 1}, 1, 0)
+		sum := sha256.Sum256(raw)
+		return hex.EncodeToString(sum[:])
+	}
+
+	if *updateGolden {
+		m := map[string]goldenEntry{}
+		if raw, err := os.ReadFile(goldenPath); err == nil {
+			if err := json.Unmarshal(raw, &m); err != nil {
+				t.Fatalf("parsing %s: %v", goldenPath, err)
+			}
+		}
+		for _, algo := range algos {
+			clean := incGoldenDigest(t, g, st, algo, 1, false)
+			if clean != fromScratch(algo) {
+				t.Fatalf("%s: incremental digest being pinned differs from from-scratch recompute", algo)
+			}
+			m["inc-"+algo] = goldenEntry{
+				Clean:   clean,
+				Faulted: incGoldenDigest(t, g, st, algo, 1, true),
+			}
+		}
+		raw, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", goldenPath, len(m))
+		return
+	}
+
+	golden := readGolden(t)
+	for _, algo := range algos {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			want, ok := golden["inc-"+algo]
+			if !ok {
+				t.Fatalf("golden file has no inc-%s entry — re-pin with -update-golden", algo)
+			}
+			if want.Clean != fromScratch(algo) {
+				t.Errorf("pinned clean digest differs from a from-scratch recompute on the post-commit graph")
+			}
+			_, _, seeds := incGoldenKernel(t, g, st, algo)
+			if seeds == 0 {
+				t.Errorf("delta plan has no seeds — the batch did not exercise delta expansion")
+			}
+			for _, workers := range []int{1, 4, 8} {
+				if got := incGoldenDigest(t, g, st, algo, workers, false); got != want.Clean {
+					t.Errorf("workers=%d clean digest = %s, want %s", workers, got, want.Clean)
+				}
+				if got := incGoldenDigest(t, g, st, algo, workers, true); got != want.Faulted {
+					t.Errorf("workers=%d faulted digest = %s, want %s", workers, got, want.Faulted)
+				}
+			}
+		})
+	}
+}
+
+const incTraceName = "inc_bfs_clean"
+
+// incTraceExports runs the incremental BFS plan with the service-shaped
+// recorder — the incseed marker span first, then the engine timeline on a
+// 1-GPU/1-SSD machine — and returns both export encodings.
+func incTraceExports(t *testing.T, g *slottedpage.Graph, st *incremental.Store, workers int) (chrome, jsonl []byte, seeds int) {
+	t.Helper()
+	k, _, seeds := incGoldenKernel(t, g, st, "bfs")
+	rec := trace.NewWithID(incTraceName)
+	rec.Add(trace.Span{GPU: -1, Stream: -1, Kind: trace.IncSeed, Page: int64(seeds), Level: -1})
+	mustRun(t, newEngine(t, g, Options{Source: 0, HostWorkers: workers, Trace: rec}, 1, 1), k)
+	var cb, jb bytes.Buffer
+	if err := rec.WriteChrome(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes(), seeds
+}
+
+// TestGoldenIncrementalTrace pins a trace fixture for the incremental
+// path: an incseed marker followed by the delta-expansion BFS timeline.
+// Both exports must be byte-identical across worker counts and reruns,
+// must survive the parser with the incseed span (and its seed count)
+// intact, and the pre-existing fixtures stay untouched — this case writes
+// only its own pair of files.
+func TestGoldenIncrementalTrace(t *testing.T) {
+	g, st := incGoldenSetup(t)
+
+	if *updateGolden {
+		chrome, jsonl, _ := incTraceExports(t, g, st, 1)
+		if err := os.WriteFile(traceGoldenPath(incTraceName, "json"), chrome, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(traceGoldenPath(incTraceName, "jsonl"), jsonl, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (.json %d bytes, .jsonl %d bytes)", traceGoldenPath(incTraceName, "*"), len(chrome), len(jsonl))
+		return
+	}
+
+	wantChrome, err := os.ReadFile(traceGoldenPath(incTraceName, "json"))
+	if err != nil {
+		t.Fatalf("reading golden (run -update-golden to create): %v", err)
+	}
+	wantJSONL, err := os.ReadFile(traceGoldenPath(incTraceName, "jsonl"))
+	if err != nil {
+		t.Fatalf("reading golden (run -update-golden to create): %v", err)
+	}
+	var wantSeeds int
+	for _, workers := range []int{1, 8} {
+		chrome, jsonl, seeds := incTraceExports(t, g, st, workers)
+		wantSeeds = seeds
+		if !bytes.Equal(chrome, wantChrome) {
+			t.Errorf("workers=%d: Chrome export differs from golden (%d vs %d bytes)", workers, len(chrome), len(wantChrome))
+		}
+		if !bytes.Equal(jsonl, wantJSONL) {
+			t.Errorf("workers=%d: JSONL export differs from golden (%d vs %d bytes)", workers, len(jsonl), len(wantJSONL))
+		}
+	}
+	for _, enc := range [][]byte{wantChrome, wantJSONL} {
+		rec, err := trace.Parse(enc)
+		if err != nil {
+			t.Fatalf("golden export unparseable: %v", err)
+		}
+		var incSeeds int
+		for _, s := range rec.Spans() {
+			if s.Kind == trace.IncSeed {
+				incSeeds++
+				if s.Page != int64(wantSeeds) || s.Page <= 0 {
+					t.Errorf("incseed span carries seed count %d, want %d (> 0)", s.Page, wantSeeds)
+				}
+			}
+		}
+		if incSeeds != 1 {
+			t.Errorf("parsed %d incseed spans, want exactly 1", incSeeds)
+		}
+	}
+	if !bytes.Contains(wantJSONL, []byte("incseed")) {
+		t.Error("JSONL fixture does not name the incseed span kind")
+	}
+}

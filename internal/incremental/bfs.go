@@ -1,0 +1,328 @@
+package incremental
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/kernels"
+	"repro/internal/slottedpage"
+)
+
+// unvisited mirrors the BFS kernel's NULL level.
+const unvisited = -1
+
+// Incremental kernels reuse the frontier machinery but report a simple
+// edge-proportional cycle cost instead of the full SIMT lane model: their
+// virtual time is never compared against full-kernel goldens (only their
+// output vectors are), and the simple model keeps the gather halves
+// trivially phase-stable.
+type incCost struct{ lane, slot float64 }
+
+func (c incCost) cycles(slots, edges int64) float64 {
+	return float64(slots)*c.slot + float64(edges)*c.lane
+}
+
+// IncBFS re-executes BFS from a retained level vector: only vertices whose
+// level an edge batch can lower are re-expanded. It is a monotone
+// level-lowering relaxation — levels only ever decrease from the retained
+// values — which is exact when every deleted edge was non-tight in the
+// retained run (PlanBFS checks; tight deletes fall back to a full run).
+//
+// Plan state: PlanLevel diffs the merged level vector against its last
+// snapshot, pends every lowered vertex at its new level, and expands the
+// pending vertices level by level in ascending order — the standard
+// dynamic-BFS worklist, expressed through the FrontierKernel contract.
+type IncBFS struct {
+	g    *slottedpage.Graph
+	init []int16 // retained levels, extended, with verified seeds applied
+	base []int16 // retained levels, extended, pre-seed (first diff baseline)
+	cost incCost
+
+	// plan state (mutated only inside PlanLevel, read-only during phases)
+	lvPrev []int16
+	pend   map[int16][]uint64
+	front  *bitset.Set
+	cur    int16
+
+	// Seeds is how many vertices the delta directly lowered (trace/metrics).
+	Seeds int
+}
+
+type incBFSState struct{ lv []int16 }
+
+func (s *incBFSState) WABytes() int64 { return int64(len(s.lv)) * 2 }
+func (s *incBFSState) RABytes() int64 { return 0 }
+func (s *incBFSState) Clone() kernels.State {
+	c := &incBFSState{lv: make([]int16, len(s.lv))}
+	copy(c.lv, s.lv)
+	return c
+}
+
+// PlanBFS builds an incremental BFS kernel from a retained entry and the
+// delta to the current graph, or reports a fallback reason. The safety
+// argument:
+//
+//   - Deletes: removing an edge (u,v) that is non-tight w.r.t. the
+//     retained levels (lv[v] != lv[u]+1 or u unreached) cannot change any
+//     shortest distance — the retained BFS tree uses only tight edges, and
+//     deleting non-tight edges leaves every tree path intact. Any tight
+//     delete may disconnect or lengthen paths, so it falls back.
+//   - Inserts: an edge (u,v) present in the *final* graph with
+//     lv[u]+1 < lv[v] (or v unreached) seeds v at lv[u]+1; relaxation then
+//     propagates. Ops whose edge did not survive the whole chain (inserted
+//     then deleted) seed nothing. New distances are always <= retained
+//     ones, so monotone lowering from the retained vector converges to the
+//     exact new levels.
+//   - Vertex growth: new vertices start unreached, exactly as a full run
+//     would initialize them.
+func PlanBFS(g *slottedpage.Graph, e *Entry, d Delta) (*IncBFS, string) {
+	if e.Kind != KindBFS {
+		return nil, "wrong-kind"
+	}
+	n := g.NumVertices()
+	if uint64(len(e.Levels)) > n {
+		return nil, "vertex-shrink"
+	}
+	// Tight-delete check against the retained levels.
+	lvAt := func(v uint64) int16 {
+		if v < uint64(len(e.Levels)) {
+			return e.Levels[v]
+		}
+		return unvisited
+	}
+	for _, op := range d.Ops {
+		if !op.Del {
+			continue
+		}
+		lu, lv := lvAt(op.Src), lvAt(op.Dst)
+		if lu != unvisited && lv == lu+1 {
+			return nil, "tight-delete"
+		}
+	}
+	base := make([]int16, n)
+	copy(base, e.Levels)
+	for i := len(e.Levels); i < int(n); i++ {
+		base[i] = unvisited
+	}
+	init := append([]int16(nil), base...)
+	// Verify insert seeds against the final adjacency, applying them in op
+	// order so chained inserts compound (any ordering converges — the
+	// relaxation re-expands every lowered vertex — but op order is the
+	// deterministic choice).
+	var adjCache map[uint64]map[uint64]bool
+	hasEdge := func(u, v uint64) bool {
+		if adjCache == nil {
+			adjCache = make(map[uint64]map[uint64]bool)
+		}
+		set, ok := adjCache[u]
+		if !ok {
+			set = make(map[uint64]bool)
+			if u < n {
+				g.NeighborsOf(u, func(dst uint64) { set[dst] = true })
+			}
+			adjCache[u] = set
+		}
+		return set[v]
+	}
+	seeds := 0
+	for _, op := range d.Ops {
+		if op.Del || op.Src >= n || op.Dst >= n || !hasEdge(op.Src, op.Dst) {
+			continue
+		}
+		lu := init[op.Src]
+		if lu == unvisited {
+			continue
+		}
+		if init[op.Dst] == unvisited || init[op.Dst] > lu+1 {
+			init[op.Dst] = lu + 1
+			seeds++
+		}
+	}
+	k := &IncBFS{
+		g:     g,
+		init:  init,
+		base:  base,
+		cost:  incCost{lane: 40, slot: 10},
+		pend:  make(map[int16][]uint64),
+		Seeds: seeds,
+	}
+	k.lvPrev = append([]int16(nil), base...)
+	k.front = bitset.New(int(n))
+	return k, ""
+}
+
+// Name implements Kernel.
+func (k *IncBFS) Name() string { return "IncBFS" }
+
+// Class implements Kernel: incremental BFS streams only affected pages.
+func (k *IncBFS) Class() kernels.Class { return kernels.BFSLike }
+
+// RAPerVertex implements Kernel.
+func (k *IncBFS) RAPerVertex() int64 { return 0 }
+
+// NewState implements Kernel.
+func (k *IncBFS) NewState() kernels.State {
+	return &incBFSState{lv: make([]int16, k.g.NumVertices())}
+}
+
+// Init implements Kernel: the run starts from the retained levels with the
+// delta's verified seeds already applied (source is ignored — it is baked
+// into the retained vector).
+func (k *IncBFS) Init(st kernels.State, _ uint64) {
+	copy(st.(*incBFSState).lv, k.init)
+}
+
+// BeginLevel implements Kernel.
+func (k *IncBFS) BeginLevel([]kernels.State, int32) {}
+
+// PlanLevel implements FrontierKernel: fold newly lowered vertices into
+// the pending worklist, then expand the lowest pending level.
+func (k *IncBFS) PlanLevel(sts []kernels.State, _ int32, next *bitset.Set) kernels.Direction {
+	lv := sts[0].(*incBFSState).lv
+	for v := range lv {
+		if lv[v] != k.lvPrev[v] {
+			k.pend[lv[v]] = append(k.pend[lv[v]], uint64(v))
+			k.lvPrev[v] = lv[v]
+		}
+	}
+	next.Reset()
+	k.front.Reset()
+	for len(k.pend) > 0 {
+		min, found := int16(0), false
+		for l := range k.pend {
+			if !found || l < min {
+				min, found = l, true
+			}
+		}
+		any := false
+		for _, v := range k.pend[min] {
+			if lv[v] != min { // re-lowered since pended; a fresher pend entry covers it
+				continue
+			}
+			k.front.Set(int(v))
+			kernels.MarkVertexPages(k.g, v, next, true)
+			any = true
+		}
+		delete(k.pend, min)
+		if any {
+			k.cur = min
+			return kernels.DirPush
+		}
+	}
+	return kernels.DirNone
+}
+
+// RunSP implements the small-page kernel: expand pending frontier slots.
+func (k *IncBFS) RunSP(a *kernels.Args) kernels.Result { return k.runSP(a, nil) }
+
+// GatherSP implements GatherKernel: the frontier (this plan's pending
+// vertices at level cur) is phase-stable — applies this phase only write
+// level cur+1, which can never put a vertex onto the current frontier.
+func (k *IncBFS) GatherSP(a *kernels.Args, d *kernels.Deferred) kernels.Result {
+	return k.runSP(a, d)
+}
+
+func (k *IncBFS) runSP(a *kernels.Args, d *kernels.Deferred) kernels.Result {
+	s := a.State.(*incBFSState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var res kernels.Result
+	var edges int64
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		if !k.front.Get(int(vid)) {
+			continue
+		}
+		adj := pg.Adj(slot)
+		edges += int64(adj.Len())
+		k.expand(a, s, adj, &res, d)
+	}
+	res.Edges = edges
+	res.Cycles = k.cost.cycles(int64(n), edges)
+	return res
+}
+
+// RunLP implements the large-page kernel.
+func (k *IncBFS) RunLP(a *kernels.Args) kernels.Result { return k.runLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *IncBFS) GatherLP(a *kernels.Args, d *kernels.Deferred) kernels.Result {
+	return k.runLP(a, d)
+}
+
+func (k *IncBFS) runLP(a *kernels.Args, d *kernels.Deferred) kernels.Result {
+	s := a.State.(*incBFSState)
+	vid, _ := a.Page.Slot(0)
+	var res kernels.Result
+	var edges int64
+	if k.front.Get(int(vid)) {
+		adj := a.Page.Adj(0)
+		edges = int64(adj.Len())
+		k.expand(a, s, adj, &res, d)
+	}
+	res.Edges = edges
+	res.Cycles = k.cost.cycles(1, edges)
+	return res
+}
+
+// expand relaxes one frontier vertex's adjacency: neighbors improve to
+// cur+1 when that lowers (or first sets) their level. Superset+recheck:
+// the condition only flips monotonically as applies commit cur+1 writes.
+func (k *IncBFS) expand(a *kernels.Args, s *incBFSState, adj slottedpage.AdjView, res *kernels.Result, d *kernels.Deferred) {
+	nl := k.cur + 1
+	for i := 0; i < adj.Len(); i++ {
+		rid := adj.At(i)
+		nvid := k.g.VIDOf(rid)
+		if nvid < a.OwnedLo || nvid >= a.OwnedHi {
+			continue
+		}
+		if s.lv[nvid] == unvisited || s.lv[nvid] > nl {
+			if d != nil {
+				d.Push(kernels.Op{Idx: nvid, Val: uint64(uint16(nl)), PID: int32(rid.PID)})
+				continue
+			}
+			s.lv[nvid] = nl
+			res.Updates++
+			res.Active = true
+		}
+	}
+}
+
+// Apply implements GatherKernel: re-test and commit lowered levels in
+// recorded order.
+func (k *IncBFS) Apply(a *kernels.Args, d *kernels.Deferred, res *kernels.Result) {
+	s := a.State.(*incBFSState)
+	for _, op := range d.Ops {
+		nl := int16(uint16(op.Val))
+		if s.lv[op.Idx] != unvisited && s.lv[op.Idx] <= nl {
+			continue
+		}
+		s.lv[op.Idx] = nl
+		res.Updates++
+		res.Active = true
+	}
+}
+
+// MergeStates implements Kernel: levels merge by minimum (unvisited is the
+// identity) — lowering is the only write this kernel performs.
+func (k *IncBFS) MergeStates(sts []kernels.State) {
+	if len(sts) < 2 {
+		return
+	}
+	base := sts[0].(*incBFSState)
+	for _, other := range sts[1:] {
+		o := other.(*incBFSState)
+		for v, l := range o.lv {
+			if l != unvisited && (base.lv[v] == unvisited || l < base.lv[v]) {
+				base.lv[v] = l
+			}
+		}
+	}
+	for _, other := range sts[1:] {
+		copy(other.(*incBFSState).lv, base.lv)
+	}
+}
+
+// EndIteration implements Kernel: termination is the planner's (empty pend).
+func (k *IncBFS) EndIteration([]kernels.State, bool) bool { return false }
+
+// Levels exposes the result vector of a finished run.
+func (k *IncBFS) Levels(st kernels.State) []int16 { return st.(*incBFSState).lv }

@@ -1,0 +1,276 @@
+package incremental
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/kernels"
+	"repro/internal/slottedpage"
+)
+
+// IncCC re-executes connected components from retained labels after an
+// insert-only batch. Label propagation toward the minimum has a unique
+// fixpoint per (weakly) connected component, and inserts only merge
+// components: relaxing from the retained fixpoint with the new edges'
+// endpoints seeded converges to exactly the labels a full run computes.
+// Any delete can split a component — whose members would need their labels
+// *raised*, which min-propagation cannot do — so PlanCC falls back.
+//
+// Unlike the full CC (a full-scan PageRank-like kernel), IncCC is
+// frontier-driven: each round scans only vertices whose label changed last
+// round plus their in-neighbors (which might now pull the lowered label),
+// streaming just those vertices' pages.
+type IncCC struct {
+	g    *slottedpage.Graph
+	rev  kernels.RevCSR
+	init []uint32 // retained labels, extended, with seed relaxations applied
+	base []uint32 // retained labels, extended, pre-seed (first diff baseline)
+	cost incCost
+
+	// plan state
+	snap []uint32
+	scan *bitset.Set
+
+	// Seeds is how many vertices the delta directly relabeled.
+	Seeds int
+}
+
+type incCCState struct {
+	prev []uint32
+	next []uint32
+}
+
+func (s *incCCState) WABytes() int64 { return int64(len(s.prev)) * 8 }
+func (s *incCCState) RABytes() int64 { return 0 }
+func (s *incCCState) Clone() kernels.State {
+	c := &incCCState{prev: make([]uint32, len(s.prev)), next: make([]uint32, len(s.next))}
+	copy(c.prev, s.prev)
+	copy(c.next, s.next)
+	return c
+}
+
+// PlanCC builds an incremental CC kernel, or reports a fallback reason
+// (any delete in the chain).
+func PlanCC(g *slottedpage.Graph, e *Entry, d Delta) (*IncCC, string) {
+	if e.Kind != KindCC {
+		return nil, "wrong-kind"
+	}
+	n := g.NumVertices()
+	if uint64(len(e.Labels)) > n {
+		return nil, "vertex-shrink"
+	}
+	for _, op := range d.Ops {
+		if op.Del {
+			return nil, "delete"
+		}
+	}
+	base := make([]uint32, n)
+	copy(base, e.Labels)
+	for i := uint64(len(e.Labels)); i < n; i++ {
+		base[i] = uint32(i) // new vertices: own component, as a full run inits
+	}
+	init := append([]uint32(nil), base...)
+	seeds := 0
+	for _, op := range d.Ops {
+		if op.Src >= n || op.Dst >= n {
+			continue
+		}
+		lo := init[op.Src]
+		if init[op.Dst] < lo {
+			lo = init[op.Dst]
+		}
+		if init[op.Src] != lo {
+			init[op.Src] = lo
+			seeds++
+		}
+		if init[op.Dst] != lo {
+			init[op.Dst] = lo
+			seeds++
+		}
+	}
+	k := &IncCC{
+		g:     g,
+		rev:   kernels.NewRevCSR(g),
+		init:  init,
+		base:  base,
+		cost:  incCost{lane: 110, slot: 50},
+		snap:  append([]uint32(nil), base...),
+		scan:  bitset.New(int(n)),
+		Seeds: seeds,
+	}
+	return k, ""
+}
+
+// Name implements Kernel.
+func (k *IncCC) Name() string { return "IncCC" }
+
+// Class implements Kernel: frontier-driven, unlike the full-scan CC.
+func (k *IncCC) Class() kernels.Class { return kernels.BFSLike }
+
+// RAPerVertex implements Kernel.
+func (k *IncCC) RAPerVertex() int64 { return 0 }
+
+// NewState implements Kernel.
+func (k *IncCC) NewState() kernels.State {
+	n := k.g.NumVertices()
+	return &incCCState{prev: make([]uint32, n), next: make([]uint32, n)}
+}
+
+// Init implements Kernel: both vectors start at the seeded retained labels.
+func (k *IncCC) Init(st kernels.State, _ uint64) {
+	s := st.(*incCCState)
+	copy(s.prev, k.init)
+	copy(s.next, k.init)
+}
+
+// BeginLevel implements Kernel.
+func (k *IncCC) BeginLevel([]kernels.State, int32) {}
+
+// PlanLevel implements FrontierKernel: the round's scan set is every
+// vertex whose label changed since the last snapshot plus its
+// in-neighbors (which may pull the lowered label across an edge the
+// changed vertex cannot see from its own slot). prev catches up to next
+// here — the plan step is the inter-round label publish.
+func (k *IncCC) PlanLevel(sts []kernels.State, _ int32, next *bitset.Set) kernels.Direction {
+	s := sts[0].(*incCCState)
+	next.Reset()
+	k.scan.Reset()
+	changed := false
+	for v, l := range s.next {
+		if l != k.snap[v] {
+			changed = true
+			k.snap[v] = l
+			vid := uint64(v)
+			k.scan.Set(v)
+			kernels.MarkVertexPages(k.g, vid, next, true)
+			for _, u := range k.rev.In(vid) {
+				k.scan.Set(int(u))
+				kernels.MarkVertexPages(k.g, uint64(u), next, true)
+			}
+		}
+	}
+	// Publish: every replica's prev catches up to the merged next.
+	for _, st := range sts {
+		r := st.(*incCCState)
+		copy(r.prev, s.next)
+		copy(r.next, s.next)
+	}
+	if !changed {
+		return kernels.DirNone
+	}
+	return kernels.DirPush
+}
+
+// RunSP relaxes labels for scan-set slots, both directions, exactly as the
+// full CC's propagate does.
+func (k *IncCC) RunSP(a *kernels.Args) kernels.Result { return k.runSP(a, nil) }
+
+// GatherSP implements GatherKernel: candidates read prev (published at
+// plan time, stable all phase); min-writes to next are conditional-
+// monotone, so Apply's re-test reproduces the serial order.
+func (k *IncCC) GatherSP(a *kernels.Args, d *kernels.Deferred) kernels.Result {
+	return k.runSP(a, d)
+}
+
+func (k *IncCC) runSP(a *kernels.Args, d *kernels.Deferred) kernels.Result {
+	s := a.State.(*incCCState)
+	pg := a.Page
+	n := pg.NumSlots()
+	var res kernels.Result
+	var edges int64
+	for slot := 0; slot < n; slot++ {
+		vid, _ := pg.Slot(slot)
+		if !k.scan.Get(int(vid)) {
+			continue
+		}
+		adj := pg.Adj(slot)
+		edges += int64(adj.Len())
+		k.propagate(a, s, vid, adj, &res, d)
+	}
+	res.Edges = edges
+	res.Cycles = k.cost.cycles(int64(n), edges)
+	return res
+}
+
+// RunLP relaxes one large vertex's page-local adjacency.
+func (k *IncCC) RunLP(a *kernels.Args) kernels.Result { return k.runLP(a, nil) }
+
+// GatherLP implements GatherKernel.
+func (k *IncCC) GatherLP(a *kernels.Args, d *kernels.Deferred) kernels.Result {
+	return k.runLP(a, d)
+}
+
+func (k *IncCC) runLP(a *kernels.Args, d *kernels.Deferred) kernels.Result {
+	s := a.State.(*incCCState)
+	vid, _ := a.Page.Slot(0)
+	var res kernels.Result
+	var edges int64
+	if k.scan.Get(int(vid)) {
+		adj := a.Page.Adj(0)
+		edges = int64(adj.Len())
+		k.propagate(a, s, vid, adj, &res, d)
+	}
+	res.Edges = edges
+	res.Cycles = k.cost.cycles(1, edges)
+	return res
+}
+
+func (k *IncCC) propagate(a *kernels.Args, s *incCCState, vid uint64, adj slottedpage.AdjView, res *kernels.Result, d *kernels.Deferred) {
+	cv := s.prev[vid]
+	for i := 0; i < adj.Len(); i++ {
+		nvid := k.g.VIDOf(adj.At(i))
+		if nvid >= a.OwnedLo && nvid < a.OwnedHi && cv < s.next[nvid] {
+			if d != nil {
+				d.Push(kernels.Op{Idx: nvid, Val: uint64(cv)})
+			} else {
+				s.next[nvid] = cv
+				res.Updates++
+				res.Active = true
+			}
+		}
+		if cn := s.prev[nvid]; vid >= a.OwnedLo && vid < a.OwnedHi && cn < s.next[vid] {
+			if d != nil {
+				d.Push(kernels.Op{Idx: vid, Val: uint64(cn)})
+			} else {
+				s.next[vid] = cn
+				res.Updates++
+				res.Active = true
+			}
+		}
+	}
+}
+
+// Apply implements GatherKernel: commit still-smaller labels in order.
+func (k *IncCC) Apply(a *kernels.Args, d *kernels.Deferred, res *kernels.Result) {
+	s := a.State.(*incCCState)
+	for _, op := range d.Ops {
+		if c := uint32(op.Val); c < s.next[op.Idx] {
+			s.next[op.Idx] = c
+			res.Updates++
+			res.Active = true
+		}
+	}
+}
+
+// MergeStates implements Kernel: next merges by minimum.
+func (k *IncCC) MergeStates(sts []kernels.State) {
+	if len(sts) < 2 {
+		return
+	}
+	base := sts[0].(*incCCState)
+	for _, other := range sts[1:] {
+		o := other.(*incCCState)
+		for v, l := range o.next {
+			if l < base.next[v] {
+				base.next[v] = l
+			}
+		}
+	}
+	for _, other := range sts[1:] {
+		copy(other.(*incCCState).next, base.next)
+	}
+}
+
+// EndIteration implements Kernel: termination is the planner's.
+func (k *IncCC) EndIteration([]kernels.State, bool) bool { return false }
+
+// Components exposes the final labels of a finished run.
+func (k *IncCC) Components(st kernels.State) []uint32 { return st.(*incCCState).next }

@@ -1,0 +1,379 @@
+package incremental_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	gts "repro"
+	"repro/internal/bitset"
+	"repro/internal/csr"
+	"repro/internal/incremental"
+	"repro/internal/kernels"
+	"repro/internal/slottedpage"
+)
+
+// buildLPSpec writes a two-hub graph whose hub adjacencies overflow the
+// small-page capacity, so the build emits large-page runs. Hub A (vertex 0)
+// anchors the BFS-reachable cluster; hub B (vertex 1600) anchors a second
+// cluster that is unreachable from the source until a bridge edge lands.
+func buildLPSpec(t testing.TB) string {
+	t.Helper()
+	const n = 3200
+	var edges []csr.Edge
+	for i := uint32(1); i <= 1400; i++ {
+		edges = append(edges, csr.Edge{Src: 0, Dst: i})
+	}
+	edges = append(edges, csr.Edge{Src: 1, Dst: 2}, csr.Edge{Src: 2, Dst: 3})
+	for i := uint32(1601); i <= 3000; i++ {
+		edges = append(edges, csr.Edge{Src: 1600, Dst: i})
+	}
+	g, err := gts.BuildGraph(csr.MustFromEdges(n, edges), gts.ScaledPageConfig(2, 2, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "star.gts")
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLargePageDeltaExpansion runs the full differential check on a graph
+// with large-page vertices: a bridge insert pulls hub B onto every
+// kernel's frontier, so the LP streaming paths (RunLP at one worker,
+// GatherLP under the parallel gather) execute for all three algorithms.
+func TestLargePageDeltaExpansion(t *testing.T) {
+	spec := buildLPSpec(t)
+	h := newHarness(t, spec)
+	g0 := h.mg.Snapshot()
+	if lp := kernels.LPDegrees(g0); len(lp) < 2 {
+		t.Fatalf("expected both hubs as large vertices, got %v", lp)
+	}
+	o := computeOracle(t, g0, 8, nil)
+	h.capture(t, o)
+
+	if _, err := h.mg.Ingest([]gts.EdgeOp{{Src: 1, Dst: 1600}}); err != nil {
+		t.Fatal(err)
+	}
+	g := h.mg.Snapshot()
+	want := computeOracle(t, g, 8, nil)
+
+	for _, workers := range differentialWorkers {
+		prior, delta, ok := h.st.Lookup("bfs")
+		if !ok {
+			t.Fatal("bfs entry not replayable")
+		}
+		kb, reason := incremental.PlanBFS(g, prior, delta)
+		if reason != "" {
+			t.Fatalf("bfs fallback %q on insert-only bridge", reason)
+		}
+		st, _ := runKernel(t, g, kb, bfsSource, workers, nil)
+		if i := cmpLevels(want.levels, kb.Levels(st)); i >= 0 {
+			t.Fatalf("bfs diverges at vertex %d (workers=%d)", i, workers)
+		}
+
+		prior, delta, ok = h.st.Lookup("cc")
+		if !ok {
+			t.Fatal("cc entry not replayable")
+		}
+		kc, reason := incremental.PlanCC(g, prior, delta)
+		if reason != "" {
+			t.Fatalf("cc fallback %q on insert-only bridge", reason)
+		}
+		st, _ = runKernel(t, g, kc, 0, workers, nil)
+		if i := cmpLabels(want.labels, kc.Components(st)); i >= 0 {
+			t.Fatalf("cc diverges at vertex %d (workers=%d)", i, workers)
+		}
+
+		prior, delta, ok = h.st.Lookup("pagerank")
+		if !ok {
+			t.Fatal("pagerank entry not replayable")
+		}
+		kp, reason := incremental.PlanPageRank(g, prior, delta, prDamping, prIters)
+		if reason != "" {
+			t.Fatalf("pagerank fallback %q on insert-only bridge", reason)
+		}
+		st, _ = runKernel(t, g, kp, 0, workers, nil)
+		if i := cmpRanks(want.ranks, kp.Ranks(st)); i >= 0 {
+			t.Fatalf("pagerank diverges at vertex %d (workers=%d)", i, workers)
+		}
+	}
+}
+
+// planFixpoint plans all three kernels from a clean fixpoint with an empty
+// delta, failing the test on any fallback.
+func planFixpoint(t testing.TB, g *gts.Graph, o *oracle) (*incremental.IncBFS, *incremental.IncCC, *incremental.IncPR) {
+	t.Helper()
+	kb, r := incremental.PlanBFS(g, &incremental.Entry{Kind: incremental.KindBFS,
+		Source: bfsSource, Levels: o.levels}, incremental.Delta{})
+	if r != "" {
+		t.Fatalf("bfs plan: %q", r)
+	}
+	kc, r := incremental.PlanCC(g, &incremental.Entry{Kind: incremental.KindCC,
+		Labels: o.labels}, incremental.Delta{})
+	if r != "" {
+		t.Fatalf("cc plan: %q", r)
+	}
+	kp, r := incremental.PlanPageRank(g, &incremental.Entry{Kind: incremental.KindPageRank,
+		Traj: o.traj, Damping: prDamping, Iterations: prIters}, incremental.Delta{}, prDamping, prIters)
+	if r != "" {
+		t.Fatalf("pagerank plan: %q", r)
+	}
+	return kb, kc, kp
+}
+
+// TestKernelSurface pins the parts of the Kernel contract the engine only
+// exercises in specific configurations: state cloning, multi-replica
+// merges, the deferred-apply re-test, and the metadata accessors.
+func TestKernelSurface(t *testing.T) {
+	g := openBase(t)
+	o := computeOracle(t, g, 1, nil)
+	kb, kc, kp := planFixpoint(t, g, o)
+
+	for _, k := range []gts.Kernel{kb, kc, kp} {
+		if k.Name() == "" {
+			t.Fatal("empty kernel name")
+		}
+		if k.Class() != kernels.BFSLike {
+			t.Fatalf("%s: incremental kernels must be frontier-class", k.Name())
+		}
+		if k.RAPerVertex() != 0 {
+			t.Fatalf("%s: unexpected RA vector", k.Name())
+		}
+		k.BeginLevel(nil, 0)
+		if k.EndIteration(nil, true) {
+			t.Fatalf("%s: EndIteration must defer termination to the planner", k.Name())
+		}
+		st := k.NewState()
+		if st.RABytes() != 0 || st.WABytes() == 0 {
+			t.Fatalf("%s: state byte accounting (RA=%d WA=%d)", k.Name(), st.RABytes(), st.WABytes())
+		}
+	}
+
+	// Clone independence, observed through the result accessors.
+	st := kb.NewState()
+	kb.Init(st, bfsSource)
+	clone := st.Clone()
+	kb.Levels(st)[0] = 99
+	if kb.Levels(clone)[0] == 99 {
+		t.Fatal("bfs clone aliases its parent's levels")
+	}
+	cs := kc.NewState()
+	kc.Init(cs, 0)
+	cclone := cs.Clone()
+	kc.Components(cs)[0] = 99
+	if kc.Components(cclone)[0] == 99 {
+		t.Fatal("cc clone aliases its parent's labels")
+	}
+
+	// BFS replicas merge by minimum level with unvisited as the identity.
+	a, b := kb.NewState(), kb.NewState()
+	la, lb := kb.Levels(a), kb.Levels(b)
+	for i := range la {
+		la[i], lb[i] = unvisitedLevel, unvisitedLevel
+	}
+	la[1], lb[1] = 5, 3
+	la[2], lb[2] = unvisitedLevel, 7
+	la[3], lb[3] = 2, unvisitedLevel
+	kb.MergeStates([]kernels.State{a, b})
+	if la[1] != 3 || la[2] != 7 || la[3] != 2 {
+		t.Fatalf("bfs merge: got (%d,%d,%d), want (3,7,2)", la[1], la[2], la[3])
+	}
+	if i := cmpLevels(la, lb); i >= 0 {
+		t.Fatalf("bfs merge left replicas diverged at %d", i)
+	}
+	kb.MergeStates([]kernels.State{a}) // single replica: no-op
+
+	// CC replicas merge by minimum label.
+	ca, cb := kc.NewState(), kc.NewState()
+	for i := range kc.Components(ca) {
+		kc.Components(ca)[i] = uint32(i)
+		kc.Components(cb)[i] = uint32(i)
+	}
+	kc.Components(ca)[4] = 1
+	kc.Components(cb)[5] = 2
+	kc.MergeStates([]kernels.State{ca, cb})
+	if kc.Components(ca)[4] != 1 || kc.Components(ca)[5] != 2 {
+		t.Fatal("cc merge lost a lowered label")
+	}
+	if i := cmpLabels(kc.Components(ca), kc.Components(cb)); i >= 0 {
+		t.Fatalf("cc merge left replicas diverged at %d", i)
+	}
+	kc.MergeStates([]kernels.State{ca})
+
+	// PR replicas only ever exist singly (the service gates multi-GPU);
+	// the merge's copy semantics just have to hold together.
+	pa, pb := kp.NewState(), kp.NewState()
+	kp.Init(pa, 0)
+	kp.MergeStates([]kernels.State{pa, pb, pb.Clone()})
+	kp.MergeStates([]kernels.State{pa})
+
+	// Deferred apply re-tests each op: a superseded (higher) BFS level and
+	// a superseded (higher) CC label must not overwrite the better value.
+	kb.Init(st, bfsSource)
+	lv := kb.Levels(st)
+	lv[1] = unvisitedLevel
+	var d kernels.Deferred
+	d.Push(kernels.Op{Idx: 1, Val: uint64(uint16(3))})
+	d.Push(kernels.Op{Idx: 1, Val: uint64(uint16(7))})
+	var res kernels.Result
+	kb.Apply(&kernels.Args{State: st}, &d, &res)
+	if lv[1] != 3 || res.Updates != 1 {
+		t.Fatalf("bfs apply: level %d after %d updates, want 3 after 1", lv[1], res.Updates)
+	}
+
+	kc.Init(cs, 0)
+	labels := kc.Components(cs)
+	labels[2] = 50
+	d.Reset()
+	d.Push(kernels.Op{Idx: 2, Val: 40})
+	d.Push(kernels.Op{Idx: 2, Val: 45})
+	res = kernels.Result{}
+	kc.Apply(&kernels.Args{State: cs}, &d, &res)
+	if labels[2] != 40 || res.Updates != 1 {
+		t.Fatalf("cc apply: label %d after %d updates, want 40 after 1", labels[2], res.Updates)
+	}
+
+	ps := kp.NewState()
+	d.Reset()
+	d.Push(kernels.Op{Idx: 0, Val: uint64(math.Float32bits(0.25))})
+	res = kernels.Result{}
+	kp.Apply(&kernels.Args{State: ps}, &d, &res)
+	if res.Updates != 1 {
+		t.Fatalf("pagerank apply: %d updates, want 1", res.Updates)
+	}
+}
+
+// TestEmptyDeltaTrajectory checks that an empty-delta PageRank run reuses
+// the retained trajectory verbatim: every level of Trajectory() must be
+// bitwise-equal to the prior entry's, making re-capture after a no-op
+// requery free.
+func TestEmptyDeltaTrajectory(t *testing.T) {
+	g := openBase(t)
+	o := computeOracle(t, g, 1, nil)
+	_, _, kp := planFixpoint(t, g, o)
+	st, m := runKernel(t, g, kp, 0, 1, nil)
+	if m.PagesStreamed != 0 {
+		t.Fatalf("empty delta streamed %d pages", m.PagesStreamed)
+	}
+	if i := cmpRanks(o.ranks, kp.Ranks(st)); i >= 0 {
+		t.Fatalf("ranks diverge at vertex %d", i)
+	}
+	traj := kp.Trajectory()
+	if len(traj) != prIters+1 {
+		t.Fatalf("trajectory has %d levels, want %d", len(traj), prIters+1)
+	}
+	for lvl := range traj {
+		if i := cmpRanks(o.traj[lvl], traj[lvl]); i >= 0 {
+			t.Fatalf("trajectory level %d diverges at vertex %d", lvl, i)
+		}
+	}
+}
+
+// TestOwnershipBounds drives each kernel's page function directly with an
+// empty owned range, the strategy-S configuration where another GPU owns
+// every attribute entry: no update may land.
+func TestOwnershipBounds(t *testing.T) {
+	g := openBase(t)
+	o := computeOracle(t, g, 1, nil)
+	n := g.NumVertices()
+
+	// A fabricated stale entry plus an op over an existing edge gives each
+	// planner a genuine seed, so PlanLevel marks real pages.
+	var dst uint64
+	foundDst := false
+	g.NeighborsOf(0, func(v uint64) {
+		if !foundDst && v != 0 {
+			dst, foundDst = v, true
+		}
+	})
+	if !foundDst {
+		t.Skip("vertex 0 has no out-edges in the test graph")
+	}
+	op := gts.EdgeOp{Src: 0, Dst: dst}
+	delta := incremental.Delta{Ops: []gts.EdgeOp{op}, OldNumVertices: n,
+		OldAdj: map[uint64][]uint64{0: nil}}
+
+	staleLv := append([]int16(nil), o.levels...)
+	staleLv[dst] = unvisitedLevel
+	kb, r := incremental.PlanBFS(g, &incremental.Entry{Kind: incremental.KindBFS,
+		Source: bfsSource, Levels: staleLv}, delta)
+	if r != "" || kb.Seeds == 0 {
+		t.Fatalf("bfs plan: reason %q, %d seeds", r, kb.Seeds)
+	}
+	staleLb := append([]uint32(nil), o.labels...)
+	staleLb[dst] = uint32(dst)
+	if staleLb[0] >= staleLb[dst] {
+		t.Fatalf("label fixture needs labels[0] < %d", dst)
+	}
+	kc, r := incremental.PlanCC(g, &incremental.Entry{Kind: incremental.KindCC,
+		Labels: staleLb}, delta)
+	if r != "" || kc.Seeds == 0 {
+		t.Fatalf("cc plan: reason %q, %d seeds", r, kc.Seeds)
+	}
+	kp, r := incremental.PlanPageRank(g, &incremental.Entry{Kind: incremental.KindPageRank,
+		Traj: o.traj, Damping: prDamping, Iterations: prIters}, delta, prDamping, prIters)
+	if r != "" || kp.Seeds == 0 {
+		t.Fatalf("pagerank plan: reason %q, %d seeds", r, kp.Seeds)
+	}
+
+	run := func(name string, k gts.Kernel) {
+		st := k.NewState()
+		k.Init(st, bfsSource)
+		next := bitset.New(g.NumPages())
+		if dir := k.(kernels.FrontierKernel).PlanLevel([]kernels.State{st}, 0, next); dir != kernels.DirPush {
+			t.Fatalf("%s: PlanLevel direction %v with live seeds", name, dir)
+		}
+		updates := int64(0)
+		next.ForEach(func(i int) {
+			pid := slottedpage.PageID(i)
+			args := kernels.Args{Graph: g, PID: pid, Page: g.Page(pid), State: st,
+				OwnedLo: 0, OwnedHi: 0}
+			var res kernels.Result
+			if g.Kind(pid) == slottedpage.LargePage {
+				res = k.RunLP(&args)
+			} else {
+				res = k.RunSP(&args)
+			}
+			updates += res.Updates
+		})
+		if updates != 0 {
+			t.Fatalf("%s: %d updates landed outside the owned range", name, updates)
+		}
+	}
+	run("bfs", kb)
+	run("cc", kc)
+	run("pagerank", kp)
+}
+
+// TestPlannerShapeFallbacks pins the remaining invalidation-matrix rows:
+// retained state over more vertices than the graph, and a delta whose
+// pre-image vertex count disagrees with the current graph.
+func TestPlannerShapeFallbacks(t *testing.T) {
+	g := openBase(t)
+	n := g.NumVertices()
+	longLv := make([]int16, n+1)
+	if _, r := incremental.PlanBFS(g, &incremental.Entry{Kind: incremental.KindBFS,
+		Levels: longLv}, incremental.Delta{}); r != "vertex-shrink" {
+		t.Fatalf("bfs shrink reason = %q", r)
+	}
+	longLb := make([]uint32, n+1)
+	if _, r := incremental.PlanCC(g, &incremental.Entry{Kind: incremental.KindCC,
+		Labels: longLb}, incremental.Delta{}); r != "vertex-shrink" {
+		t.Fatalf("cc shrink reason = %q", r)
+	}
+	if _, r := incremental.PlanPageRank(g, &incremental.Entry{Kind: incremental.KindCC},
+		incremental.Delta{}, prDamping, prIters); r != "wrong-kind" {
+		t.Fatalf("pagerank wrong-kind reason = %q", r)
+	}
+	traj := make([][]float32, prIters+1)
+	for i := range traj {
+		traj[i] = make([]float32, n)
+	}
+	grown := incremental.Delta{Ops: []gts.EdgeOp{{Src: 1, Dst: 2}}, OldNumVertices: n - 1}
+	if _, r := incremental.PlanPageRank(g, &incremental.Entry{Kind: incremental.KindPageRank,
+		Traj: traj, Damping: prDamping, Iterations: prIters}, grown, prDamping, prIters); r != "vertex-growth" {
+		t.Fatalf("pagerank growth reason = %q", r)
+	}
+}

@@ -1,0 +1,238 @@
+package incremental_test
+
+import (
+	"fmt"
+	"testing"
+
+	gts "repro"
+	"repro/internal/incremental"
+)
+
+func openBase(t testing.TB) *gts.Graph {
+	t.Helper()
+	g, err := gts.Open(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestStoreCommitAndLookup(t *testing.T) {
+	g := openBase(t)
+	s := incremental.NewStore(0)
+	if !s.Capture("bfs", &incremental.Entry{Kind: incremental.KindBFS, Epoch: 0, Levels: []int16{0}}) {
+		t.Fatal("capture at current epoch rejected")
+	}
+	s.Commit(0, 1, []incremental.EdgeOp{{Src: 1, Dst: 2}}, g)
+	s.Commit(1, 2, []incremental.EdgeOp{{Del: true, Src: 3, Dst: 4}, {Src: 1, Dst: 5}}, g)
+
+	e, d, ok := s.Lookup("bfs")
+	if !ok {
+		t.Fatal("entry not replayable")
+	}
+	if e.Epoch != 0 || d.FromEpoch != 0 || d.ToEpoch != 2 {
+		t.Fatalf("delta spans %d..%d from entry epoch %d", d.FromEpoch, d.ToEpoch, e.Epoch)
+	}
+	if len(d.Ops) != 3 {
+		t.Fatalf("flattened ops = %d, want 3", len(d.Ops))
+	}
+	if d.OldNumVertices != g.NumVertices() {
+		t.Fatalf("OldNumVertices = %d, want %d", d.OldNumVertices, g.NumVertices())
+	}
+	// Pre-image adjacency captured for every distinct source.
+	for _, src := range []uint64{1, 3} {
+		if _, ok := d.OldAdj[src]; !ok {
+			t.Fatalf("missing pre-image adjacency for source %d", src)
+		}
+	}
+}
+
+func TestStoreOldAdjFirstOccurrenceWins(t *testing.T) {
+	g := openBase(t)
+	s := incremental.NewStore(0)
+	s.Capture("k", &incremental.Entry{Kind: incremental.KindPageRank, Epoch: 0})
+	// Source 7 is touched by both commits; the delta must carry its
+	// adjacency as of epoch 0 (the first commit's pre-image), captured from
+	// the graph state passed to the first commit.
+	s.Commit(0, 1, []incremental.EdgeOp{{Src: 7, Dst: 8}}, g)
+	var want []uint64
+	g.NeighborsOf(7, func(dst uint64) { want = append(want, dst) })
+	s.Commit(1, 2, []incremental.EdgeOp{{Src: 7, Dst: 9}}, g)
+	_, d, ok := s.Lookup("k")
+	if !ok {
+		t.Fatal("entry not replayable")
+	}
+	if fmt.Sprint(d.OldAdj[7]) != fmt.Sprint(want) {
+		t.Fatalf("OldAdj[7] = %v, want first-commit pre-image %v", d.OldAdj[7], want)
+	}
+}
+
+func TestStoreLineageBreakDropsEverything(t *testing.T) {
+	g := openBase(t)
+	s := incremental.NewStore(0)
+	s.Capture("bfs", &incremental.Entry{Kind: incremental.KindBFS, Epoch: 0})
+	s.Commit(0, 1, nil, g)
+	// A commit whose prev does not extend the lineage (missed commit, or a
+	// recovered graph reusing LSNs) must wipe chain and entries.
+	s.Commit(5, 6, nil, g)
+	if s.Len() != 0 {
+		t.Fatalf("entries survived a lineage break: %d", s.Len())
+	}
+	if _, _, ok := s.Lookup("bfs"); ok {
+		t.Fatal("lookup served across a lineage break")
+	}
+	if s.Epoch() != 6 {
+		t.Fatalf("epoch = %d, want 6", s.Epoch())
+	}
+}
+
+func TestStoreCaptureRejectsStaleEpoch(t *testing.T) {
+	g := openBase(t)
+	s := incremental.NewStore(0)
+	s.Commit(0, 1, nil, g)
+	// A run that raced an ingest commit carries the pre-commit epoch and
+	// must be discarded.
+	if s.Capture("bfs", &incremental.Entry{Kind: incremental.KindBFS, Epoch: 0}) {
+		t.Fatal("stale-epoch capture accepted")
+	}
+	if s.Len() != 0 {
+		t.Fatal("stale entry stored")
+	}
+}
+
+func TestStoreChainTrimDropsUnreplayableEntries(t *testing.T) {
+	g := openBase(t)
+	s := incremental.NewStore(0)
+	s.Capture("old", &incremental.Entry{Kind: incremental.KindCC, Epoch: 0})
+	for i := 0; i < incremental.DefaultMaxChain+5; i++ {
+		s.Commit(uint64(i), uint64(i+1), nil, g)
+	}
+	if _, _, ok := s.Lookup("old"); ok {
+		t.Fatal("entry older than the chain window still served")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("unreplayable entry retained: %d", s.Len())
+	}
+	// A fresh capture at the current epoch still works.
+	cur := s.Epoch()
+	if !s.Capture("new", &incremental.Entry{Kind: incremental.KindCC, Epoch: cur}) {
+		t.Fatal("current-epoch capture rejected after trim")
+	}
+	if _, d, ok := s.Lookup("new"); !ok || len(d.Ops) != 0 {
+		t.Fatal("current-epoch entry should yield an empty delta")
+	}
+}
+
+func TestStoreInvalidate(t *testing.T) {
+	g := openBase(t)
+	s := incremental.NewStore(0)
+	s.Capture("bfs", &incremental.Entry{Kind: incremental.KindBFS, Epoch: 0})
+	s.Commit(0, 1, nil, g)
+	s.Invalidate()
+	if s.Len() != 0 {
+		t.Fatal("Invalidate left entries")
+	}
+	if _, _, ok := s.Lookup("bfs"); ok {
+		t.Fatal("Invalidate left a servable entry")
+	}
+}
+
+func TestStoreCounters(t *testing.T) {
+	s := incremental.NewStore(0)
+	s.AddHit(10)
+	s.AddHit(-3) // negative savings clamp to zero
+	s.AddFallback()
+	hits, falls, saved := s.Counters()
+	if hits != 2 || falls != 1 || saved != 10 {
+		t.Fatalf("counters = (%d,%d,%d), want (2,1,10)", hits, falls, saved)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[incremental.Kind]string{
+		incremental.KindBFS: "bfs", incremental.KindCC: "cc", incremental.KindPageRank: "pagerank",
+	} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if incremental.Kind(99).String() != "unknown" {
+		t.Fatal("unknown kind not reported")
+	}
+}
+
+// TestPlannerFallbackReasons pins the invalidation matrix: each unsafe
+// delta shape must be refused with its documented reason.
+func TestPlannerFallbackReasons(t *testing.T) {
+	g := openBase(t)
+	n := g.NumVertices()
+	lv := make([]int16, n)
+	for i := range lv {
+		lv[i] = unvisitedLevel
+	}
+	g.NeighborsOf(0, func(dst uint64) { lv[dst] = 1 })
+	lv[0] = 0 // after the neighbor sweep: a self-loop must not overwrite the source level
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	traj := make([][]float32, prIters+1)
+	for i := range traj {
+		traj[i] = make([]float32, n)
+	}
+
+	bfsEntry := &incremental.Entry{Kind: incremental.KindBFS, Levels: lv, Source: 0}
+	ccEntry := &incremental.Entry{Kind: incremental.KindCC, Labels: labels}
+	prEntry := &incremental.Entry{Kind: incremental.KindPageRank, Traj: traj,
+		Damping: prDamping, Iterations: prIters}
+
+	var tight gts.EdgeOp
+	found := false
+	g.NeighborsOf(0, func(dst uint64) {
+		if !found && dst != 0 && lv[dst] == 1 {
+			tight = gts.EdgeOp{Del: true, Src: 0, Dst: dst}
+			found = true
+		}
+	})
+	if !found {
+		t.Skip("source 0 has no out-edges in the test graph")
+	}
+
+	cases := []struct {
+		name   string
+		plan   func(d incremental.Delta) string
+		delta  incremental.Delta
+		reason string
+	}{
+		{"bfs-wrong-kind", func(d incremental.Delta) string {
+			_, r := incremental.PlanBFS(g, ccEntry, d)
+			return r
+		}, incremental.Delta{}, "wrong-kind"},
+		{"bfs-tight-delete", func(d incremental.Delta) string {
+			_, r := incremental.PlanBFS(g, bfsEntry, d)
+			return r
+		}, incremental.Delta{Ops: []gts.EdgeOp{tight}}, "tight-delete"},
+		{"cc-any-delete", func(d incremental.Delta) string {
+			_, r := incremental.PlanCC(g, ccEntry, d)
+			return r
+		}, incremental.Delta{Ops: []gts.EdgeOp{{Del: true, Src: 1, Dst: 2}}}, "delete"},
+		{"pagerank-params-mismatch", func(d incremental.Delta) string {
+			_, r := incremental.PlanPageRank(g, prEntry, d, 0.5, prIters)
+			return r
+		}, incremental.Delta{}, "params-mismatch"},
+		{"pagerank-trajectory-shape", func(d incremental.Delta) string {
+			_, r := incremental.PlanPageRank(g, &incremental.Entry{Kind: incremental.KindPageRank,
+				Traj: traj[:2], Damping: prDamping, Iterations: prIters}, d, prDamping, prIters)
+			return r
+		}, incremental.Delta{}, "trajectory-shape"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if r := tc.plan(tc.delta); r != tc.reason {
+				t.Fatalf("reason = %q, want %q", r, tc.reason)
+			}
+		})
+	}
+}
+
+const unvisitedLevel = int16(-1)

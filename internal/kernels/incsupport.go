@@ -1,0 +1,48 @@
+package kernels
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/slottedpage"
+)
+
+// This file exports the small planning helpers that incremental kernels
+// (internal/incremental) need: reverse-CSR lookup, page marking for a
+// seeded frontier, and the LP out-degree map PageRank-style kernels divide
+// contributions by. They are thin wrappers over the package-private
+// machinery the frontier kernels already use, so incremental and full
+// kernels share one implementation of each invariant.
+
+// Push appends a deferred write outside the kernels package. Incremental
+// kernels live in internal/incremental but follow the same gather/apply
+// contract as the kernels here: gathers push ops, Apply replays them in
+// deterministic (GPU, page) order.
+func (d *Deferred) Push(op Op) { d.push(op) }
+
+// RevCSR is an exported handle on the reverse adjacency (in-neighbors)
+// index. Incremental kernels use it to find which vertices can feed a
+// dirty target: CC rescans in(changed), PageRank marks the pages of
+// in(candidate) so every contribution a candidate receives is recomputed.
+type RevCSR struct{ r *revAdj }
+
+// NewRevCSR builds the reverse-CSR index for g (in-neighbor lists sorted
+// by source VID).
+func NewRevCSR(g *slottedpage.Graph) RevCSR { return RevCSR{r: buildRevAdj(g)} }
+
+// In returns v's in-neighbors, ascending by source VID.
+func (r RevCSR) In(v uint64) []uint32 { return r.r.in(v) }
+
+// OutDeg returns v's out-degree as counted by the reverse-CSR build pass.
+func (r RevCSR) OutDeg(v uint64) int32 { return r.r.outDeg[v] }
+
+// MarkVertexPages marks the page(s) that must stream for vertex v to be
+// scanned: its home page, plus the whole LP run when v is a large vertex
+// and expandLP is set. Identical semantics to the planning done by the
+// direction-optimizing BFS.
+func MarkVertexPages(g *slottedpage.Graph, v uint64, next *bitset.Set, expandLP bool) {
+	markVertexPages(g, v, next, expandLP)
+}
+
+// LPDegrees returns the total out-degree of every large vertex, keyed by
+// VID — the divisor PageRank-style kernels must use for contributions
+// scattered from LP sub-pages.
+func LPDegrees(g *slottedpage.Graph) map[uint64]int { return lpDegrees(g) }

@@ -186,11 +186,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	req := Request{Graph: r.PathValue("name"), Algo: r.PathValue("algo")}
-	// An absent or empty body means default parameters.
-	if err := json.NewDecoder(r.Body).Decode(&req.Params); err != nil && !errors.Is(err, io.EOF) {
+	// An absent or empty body means default parameters. The incremental
+	// flag rides beside the params in the body but lands on the Request:
+	// it selects an execution strategy, not a different result, so it must
+	// stay out of the cache key Params become.
+	var body struct {
+		Params
+		Incremental bool `json:"incremental,omitempty"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad params: %w", err))
 		return
 	}
+	req.Params = body.Params
+	req.Incremental = body.Incremental
 	if t := r.URL.Query().Get("timeout"); t != "" {
 		d, err := time.ParseDuration(t)
 		if err != nil {

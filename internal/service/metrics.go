@@ -46,7 +46,14 @@ type metrics struct {
 	ingestBatches  uint64
 	ingestEdges    uint64
 	ingestFailures uint64
-	perAlgo        map[string]*algoMetrics
+	// incHits/incFallbacks count requests served from retained epoch state
+	// vs. requests that asked for incremental but fell back to a full run;
+	// incSaved accumulates page-scans avoided relative to from-scratch
+	// cost.
+	incHits      uint64
+	incFallbacks uint64
+	incSaved     uint64
+	perAlgo      map[string]*algoMetrics
 
 	// queueWait is dequeue-time minus submission for every job that went
 	// through the queue; runWall the engine compute time of computed jobs.
@@ -97,6 +104,21 @@ func (m *metrics) addIngested(edges int64) {
 }
 
 func (m *metrics) addIngestFailure() { m.mu.Lock(); m.ingestFailures++; m.mu.Unlock() }
+
+// addIncHit records one job served from retained epoch state and the
+// page-scans it saved relative to a from-scratch run.
+func (m *metrics) addIncHit(savedPages int64) {
+	m.mu.Lock()
+	m.incHits++
+	if savedPages > 0 {
+		m.incSaved += uint64(savedPages)
+	}
+	m.mu.Unlock()
+}
+
+// addIncFallback records one incremental request that fell back to a full
+// recompute.
+func (m *metrics) addIncFallback() { m.mu.Lock(); m.incFallbacks++; m.mu.Unlock() }
 
 // jobCompleted records one successfully answered job. For computed jobs,
 // wall and virtual carry the run's cost; for cache hits both are zero and
@@ -198,6 +220,15 @@ type Stats struct {
 	IngestBatches  uint64 `json:"ingest_batches"`
 	IngestEdges    uint64 `json:"ingest_edges"`
 	IngestFailures uint64 `json:"ingest_failures"`
+	// IncrementalHits counts jobs served from retained epoch state;
+	// IncrementalFallbacks counts incremental requests that fell back to a
+	// full recompute; IncrementalSavedSupersteps accumulates the page-scans
+	// those hits avoided relative to from-scratch cost.
+	IncrementalHits            uint64 `json:"incremental_hits"`
+	IncrementalFallbacks       uint64 `json:"incremental_fallbacks"`
+	IncrementalSavedSupersteps uint64 `json:"incremental_saved_supersteps"`
+	// Retained holds each incremental graph's live retained-entry count.
+	Retained map[string]int `json:"retained,omitempty"`
 	// WAL holds each mutable graph's write-ahead-log counters, keyed by
 	// graph name (nil when no graph is mutable).
 	WAL map[string]gts.WALStats `json:"wal,omitempty"`
@@ -260,6 +291,9 @@ func (m *metrics) write(w io.Writer, s Stats) {
 	counter("gtsd_ingest_batches_total", "Committed edge-mutation batches across mutable graphs.", s.IngestBatches)
 	counter("gtsd_ingest_edges_total", "Edge ops carried by committed ingest batches.", s.IngestEdges)
 	counter("gtsd_ingest_failures_total", "Ingest batches that errored, including injected crashes.", s.IngestFailures)
+	counter("gtsd_incremental_hits_total", "Jobs served by delta-expansion from retained epoch state.", s.IncrementalHits)
+	counter("gtsd_incremental_fallbacks_total", "Incremental requests that fell back to a full recompute.", s.IncrementalFallbacks)
+	counter("gtsd_incremental_saved_supersteps_total", "Page-scan supersteps avoided by incremental runs vs from-scratch cost.", s.IncrementalSavedSupersteps)
 
 	if len(s.WAL) > 0 {
 		graphs := make([]string, 0, len(s.WAL))

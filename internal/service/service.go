@@ -29,6 +29,7 @@ import (
 	"time"
 
 	gts "repro"
+	"repro/internal/incremental"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -81,6 +82,12 @@ type Config struct {
 	// recent TraceJobs jobs, served at /debug/trace/{id}. 0 disables
 	// tracing.
 	TraceJobs int
+	// Incremental, when true, retains completed BFS/CC/PageRank state on
+	// mutable graphs and serves `incremental: true` requests by
+	// delta-expansion from it (falling back to a full run whenever
+	// exactness cannot be guaranteed). Results are byte-identical to
+	// from-scratch recompute either way.
+	Incremental bool
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +114,11 @@ type Request struct {
 	// Timeout bounds queueing + pool wait; 0 inherits
 	// Config.DefaultTimeout, negative means no deadline.
 	Timeout time.Duration `json:"timeout,omitempty"`
+	// Incremental asks the server to answer from retained epoch state via
+	// delta-expansion when it can (Config.Incremental graphs only). The
+	// result is byte-identical to a full recompute; the flag only changes
+	// how much of the graph is re-streamed.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // Result is a completed job's immutable answer. Cached results are shared
@@ -295,7 +307,13 @@ type graphEntry struct {
 	// the pool was configured with ShareStreams.
 	sched *sched.Scheduler
 	// mg is the mutable backing (nil for immutable graphs).
-	mg    *gts.MutableGraph
+	mg *gts.MutableGraph
+	// inc is the retained-state store for incremental recompute (nil
+	// unless Config.Incremental and the graph is mutable). It is carried
+	// across ingest republishes — the commit hook migrates its chain — and
+	// rebuilt from scratch on graph reload, so crash recovery can never
+	// resurrect pre-crash state.
+	inc   *incremental.Store
 	state atomicState
 }
 
@@ -466,6 +484,17 @@ func (s *Server) LoadMutableGraph(name, spec, walPath string, engineCfg gts.Conf
 		return fail(err)
 	}
 	entry := &graphEntry{name: name, gen: placeholder.gen, epoch: mg.Epoch(), pool: pool, mg: mg}
+	if s.cfg.Incremental {
+		// A fresh store per load: recovery discards every pre-crash entry
+		// by construction (epoch-mismatch safety without trusting the
+		// recovered LSN counter). The commit hook runs under the ingest
+		// lock, so the chain records commits in order.
+		inc := incremental.NewStore(mg.Epoch())
+		mg.OnCommitOps(func(prev, epoch uint64, ops []gts.EdgeOp, old, _ *gts.Graph) {
+			inc.Commit(prev, epoch, ops, old)
+		})
+		entry.inc = inc
+	}
 	entry.state.store(GraphServing)
 	if pool.Config().ShareStreams {
 		entry.sched = sched.New(pool, sched.Config{})
@@ -531,7 +560,7 @@ func (s *Server) Ingest(name string, ops []gts.EdgeOp) (epoch uint64, err error)
 		entry.state.store(GraphDegraded)
 		return epoch, fmt.Errorf("service: batch %d committed but pool rebuild failed: %w", epoch, perr)
 	}
-	next := &graphEntry{name: name, gen: entry.gen, epoch: epoch, pool: pool, mg: entry.mg}
+	next := &graphEntry{name: name, gen: entry.gen, epoch: epoch, pool: pool, mg: entry.mg, inc: entry.inc}
 	next.state.store(GraphServing)
 	if cfg.ShareStreams {
 		next.sched = sched.New(pool, sched.Config{})
@@ -559,6 +588,10 @@ type GraphHealth struct {
 	Mutable bool `json:"mutable"`
 	// ReplayedBatches is how many committed WAL batches the load replayed.
 	ReplayedBatches int `json:"replayed_batches,omitempty"`
+	// Incremental reports whether the graph retains state for incremental
+	// recompute; RetainedEntries is the live retained-entry count.
+	Incremental     bool `json:"incremental,omitempty"`
+	RetainedEntries int  `json:"retained_entries,omitempty"`
 }
 
 // Health reports every registered graph's serving state, sorted by name.
@@ -571,6 +604,10 @@ func (s *Server) Health() []GraphHealth {
 		if e.mg != nil {
 			h.Epoch = e.mg.Epoch()
 			h.ReplayedBatches = e.mg.ReplayedBatches()
+		}
+		if e.inc != nil {
+			h.Incremental = true
+			h.RetainedEntries = e.inc.Len()
 		}
 		out = append(out, h)
 	}
@@ -838,7 +875,14 @@ func (s *Server) Stats() Stats {
 	var pools map[string]gts.PoolStats
 	var walStats map[string]gts.WALStats
 	var epochs map[string]uint64
+	var retained map[string]int
 	for _, e := range s.graphs {
+		if e.inc != nil {
+			if retained == nil {
+				retained = make(map[string]int)
+			}
+			retained[e.name] = e.inc.Len()
+		}
 		if e.mg != nil {
 			if walStats == nil {
 				walStats = make(map[string]gts.WALStats)
@@ -899,6 +943,11 @@ func (s *Server) Stats() Stats {
 		IngestFailures: m.ingestFailures,
 		WAL:            walStats,
 		Epochs:         epochs,
+
+		IncrementalHits:            m.incHits,
+		IncrementalFallbacks:       m.incFallbacks,
+		IncrementalSavedSupersteps: m.incSaved,
+		Retained:                   retained,
 	}
 	m.mu.Unlock()
 	st.QueueWait = summarize(&m.queueWait)
@@ -972,6 +1021,13 @@ func (s *Server) execute(job *Job) {
 	if res, ok := s.cache.peek(job.key); ok {
 		job.complete(res, true)
 		s.met.jobCompleted(job.req.Algo, job.Latency(), 0, 0)
+		return
+	}
+	// Graphs with a retained-state store route BFS/CC/PageRank through the
+	// incremental path: it serves `incremental: true` requests by
+	// delta-expansion when safe and captures fresh state either way. It
+	// reuses the wave-group scheduler when the graph has one.
+	if s.executeIncremental(job) {
 		return
 	}
 	// Graphs serving with ShareStreams route through the wave-group

@@ -24,27 +24,29 @@ type Kind int
 
 // Span kinds.
 const (
-	CopyWA     Kind = iota // chunk copy of attribute data
-	CopyPage               // streaming copy of a topology page (+RA)
-	Kernel                 // kernel execution
-	StorageIO              // SSD/HDD fetch into the main-memory buffer
-	Sync                   // WA synchronization back to the host
-	Fault                  // injected fault (zero-duration marker at the injection instant)
-	Retry                  // recovery re-attempt (zero-duration marker)
-	Run                    // the whole run, emitted once at completion
-	Superstep              // one traversal level / iteration, superstep + sync
-	Wave                   // one shared superstep wave of a multi-query group
-	SharedCopy             // a page copy served to a member by another member's stream
-	PoolHit                // host buffer-pool pin served from a resident page (marker)
-	PoolLoad               // host buffer-pool pin that loaded the page from storage (marker)
-	PoolWait               // host buffer-pool pin denied (busy/no frame) — bypass read (marker)
-	WALAppend              // one ingest batch appended (framed + written) to the write-ahead log
-	WALFsync               // one WAL group-commit fsync
-	WALReplay              // WAL recovery replay at graph-open time
+	CopyWA      Kind = iota // chunk copy of attribute data
+	CopyPage                // streaming copy of a topology page (+RA)
+	Kernel                  // kernel execution
+	StorageIO               // SSD/HDD fetch into the main-memory buffer
+	Sync                    // WA synchronization back to the host
+	Fault                   // injected fault (zero-duration marker at the injection instant)
+	Retry                   // recovery re-attempt (zero-duration marker)
+	Run                     // the whole run, emitted once at completion
+	Superstep               // one traversal level / iteration, superstep + sync
+	Wave                    // one shared superstep wave of a multi-query group
+	SharedCopy              // a page copy served to a member by another member's stream
+	PoolHit                 // host buffer-pool pin served from a resident page (marker)
+	PoolLoad                // host buffer-pool pin that loaded the page from storage (marker)
+	PoolWait                // host buffer-pool pin denied (busy/no frame) — bypass read (marker)
+	WALAppend               // one ingest batch appended (framed + written) to the write-ahead log
+	WALFsync                // one WAL group-commit fsync
+	WALReplay               // WAL recovery replay at graph-open time
+	IncSeed                 // incremental run seeded from retained state (marker; Page = seed count)
+	IncFallback             // incremental request fell back to a full recompute (marker)
 )
 
 // NumKinds is the count of span kinds (for Summary.Busy indexing).
-const NumKinds = int(WALReplay) + 1
+const NumKinds = int(IncFallback) + 1
 
 // String names the kind. Unknown values format as "kind(N)" rather than
 // silently aliasing a real kind.
@@ -84,6 +86,10 @@ func (k Kind) String() string {
 		return "walfsync"
 	case WALReplay:
 		return "walreplay"
+	case IncSeed:
+		return "incseed"
+	case IncFallback:
+		return "incfallback"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
